@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Criterion measures time; each bench also prints the accuracy of the
+//! ablated configuration once, so a single run shows both sides of each
+//! trade-off (the accuracy numbers are also covered by `dfcm-repro`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfcm::{DfcmPredictor, HashFunction, StridePredictor, StrideWidth, TwoDeltaStridePredictor};
+use dfcm_bench::fixture_trace;
+use dfcm_sim::simulate_trace;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ACCURACY: Once = Once::new();
+
+fn bench_hash_ablation(c: &mut Criterion) {
+    let trace = fixture_trace(30_000);
+    PRINT_ACCURACY.call_once(|| {
+        println!("\nablation accuracies on the li fixture (30k records, 2^12/2^12):");
+        for (label, hash) in [
+            ("fs_r5", HashFunction::FsR5),
+            ("fold_xor", HashFunction::FoldXor),
+            ("concat3", HashFunction::Concat { order: 3 }),
+        ] {
+            let mut p = DfcmPredictor::builder()
+                .l1_bits(12)
+                .l2_bits(12)
+                .hash(hash)
+                .build()
+                .unwrap();
+            let acc = simulate_trace(&mut p, &trace).accuracy();
+            println!("  hash {label:<9} accuracy {acc:.3}");
+        }
+        for (label, width) in [
+            ("full", StrideWidth::Full),
+            ("16b", StrideWidth::Bits(16)),
+            ("8b", StrideWidth::Bits(8)),
+        ] {
+            let mut p = DfcmPredictor::builder()
+                .l1_bits(12)
+                .l2_bits(12)
+                .stride_width(width)
+                .build()
+                .unwrap();
+            let acc = simulate_trace(&mut p, &trace).accuracy();
+            println!("  stride width {label:<5} accuracy {acc:.3}");
+        }
+        let mut guarded = StridePredictor::new(12);
+        let mut two_delta = TwoDeltaStridePredictor::new(12);
+        println!(
+            "  stride policy: confidence-guarded {:.3}, two-delta {:.3}",
+            simulate_trace(&mut guarded, &trace).accuracy(),
+            simulate_trace(&mut two_delta, &trace).accuracy()
+        );
+        println!();
+    });
+
+    let mut group = c.benchmark_group("ablation");
+    for (label, hash) in [
+        ("fs_r5", HashFunction::FsR5),
+        ("fold_xor", HashFunction::FoldXor),
+        ("concat3", HashFunction::Concat { order: 3 }),
+    ] {
+        group.bench_function(BenchmarkId::new("dfcm_hash", label), |b| {
+            b.iter(|| {
+                let mut p = DfcmPredictor::builder()
+                    .l1_bits(12)
+                    .l2_bits(12)
+                    .hash(hash)
+                    .build()
+                    .unwrap();
+                black_box(simulate_trace(&mut p, &trace))
+            })
+        });
+    }
+    for (label, width) in [
+        ("full", StrideWidth::Full),
+        ("16b", StrideWidth::Bits(16)),
+        ("8b", StrideWidth::Bits(8)),
+    ] {
+        group.bench_function(BenchmarkId::new("dfcm_width", label), |b| {
+            b.iter(|| {
+                let mut p = DfcmPredictor::builder()
+                    .l1_bits(12)
+                    .l2_bits(12)
+                    .stride_width(width)
+                    .build()
+                    .unwrap();
+                black_box(simulate_trace(&mut p, &trace))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Throughput of the history hash functions (the per-access critical
+//! operation of both two-level predictors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfcm::HashFunction;
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let values: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut group = c.benchmark_group("hash_fold_update");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for (label, hash) in [
+        ("fs_r5", HashFunction::FsR5),
+        ("fold_xor", HashFunction::FoldXor),
+        ("concat", HashFunction::Concat { order: 3 }),
+    ] {
+        for bits in [12u32, 20] {
+            if hash.validate(bits).is_err() {
+                continue;
+            }
+            group.bench_function(BenchmarkId::new(label, bits), |b| {
+                b.iter(|| {
+                    let mut h = 0u64;
+                    for &v in &values {
+                        h = hash.fold_update(h, v, bits);
+                    }
+                    black_box(h)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Throughput of each predictor's predict+update step on a mixed trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfcm::{
+    DfcmPredictor, FcmPredictor, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor,
+};
+use dfcm_bench::fixture_trace;
+use dfcm_sim::simulate_trace;
+use std::hint::black_box;
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = fixture_trace(50_000);
+    let n = trace.len() as u64;
+    let mut group = c.benchmark_group("predictors");
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function(BenchmarkId::new("lvp", "2^12"), |b| {
+        b.iter(|| {
+            let mut p = LastValuePredictor::new(12);
+            black_box(simulate_trace(&mut p, &trace))
+        })
+    });
+    group.bench_function(BenchmarkId::new("stride", "2^12"), |b| {
+        b.iter(|| {
+            let mut p = StridePredictor::new(12);
+            black_box(simulate_trace(&mut p, &trace))
+        })
+    });
+    group.bench_function(BenchmarkId::new("two_delta", "2^12"), |b| {
+        b.iter(|| {
+            let mut p = TwoDeltaStridePredictor::new(12);
+            black_box(simulate_trace(&mut p, &trace))
+        })
+    });
+    group.bench_function(BenchmarkId::new("fcm", "2^12/2^12"), |b| {
+        b.iter(|| {
+            let mut p = FcmPredictor::builder()
+                .l1_bits(12)
+                .l2_bits(12)
+                .build()
+                .unwrap();
+            black_box(simulate_trace(&mut p, &trace))
+        })
+    });
+    group.bench_function(BenchmarkId::new("dfcm", "2^12/2^12"), |b| {
+        b.iter(|| {
+            let mut p = DfcmPredictor::builder()
+                .l1_bits(12)
+                .l2_bits(12)
+                .build()
+                .unwrap();
+            black_box(simulate_trace(&mut p, &trace))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

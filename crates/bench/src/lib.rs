@@ -1,0 +1,45 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure implementation throughput (predictions per second)
+//! and run the ablations DESIGN.md calls out: hash function, stride
+//! policy, stride width, and the history order implied by the level-2
+//! size. The *accuracy* reproductions live in `dfcm-repro`; these benches
+//! answer "how fast is the simulator" and "what do the design knobs cost".
+
+use dfcm_trace::suite::standard_suite;
+use dfcm_trace::Trace;
+
+/// A standard mixed-workload fixture: the `li` benchmark trace at a small
+/// scale, deterministic across runs.
+pub fn fixture_trace(records: usize) -> Trace {
+    let spec = standard_suite()
+        .into_iter()
+        .find(|b| b.name() == "li")
+        .expect("li exists");
+    let scale = records as f64 / spec.predictions(1.0) as f64;
+    spec.trace(0xBEEF, scale.max(1e-6)).trace
+}
+
+/// A pure stride-pattern fixture (best case for stride-aware predictors).
+pub fn stride_trace(records: usize) -> Trace {
+    (0..records as u64)
+        .map(|i| dfcm_trace::TraceRecord::new(0x400000 + 4 * (i % 16), 3 * (i / 16)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_requested_magnitude() {
+        let t = fixture_trace(10_000);
+        assert!((9_000..=11_000).contains(&t.len()), "{}", t.len());
+        assert_eq!(stride_trace(500).len(), 500);
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(fixture_trace(2_000), fixture_trace(2_000));
+    }
+}

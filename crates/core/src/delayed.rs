@@ -1,0 +1,179 @@
+use std::collections::VecDeque;
+
+use crate::predictor::ValuePredictor;
+use crate::storage::StorageCost;
+
+/// Models delayed predictor update (§4.5, Figure 17).
+///
+/// In a real pipeline the tables are not updated the instant a prediction
+/// is made: the actual value is only known once the instruction executes.
+/// `DelayedUpdate` defers every inner update until `delay` further
+/// predictions have been performed, so a static instruction recurring
+/// within that distance predicts from stale history — exactly the paper's
+/// model ("the update of the tables is only done after *d* other
+/// predictions have been performed").
+///
+/// A delay of 0 is an immediate update and behaves identically to the bare
+/// inner predictor.
+///
+/// ```
+/// use dfcm::{DelayedUpdate, LastValuePredictor, ValuePredictor};
+///
+/// let mut p = DelayedUpdate::new(LastValuePredictor::new(4), 2);
+/// p.access(0, 7);
+/// // The update for value 7 has not been applied yet (delay 2), so the
+/// // next prediction still sees the cold table.
+/// assert_eq!(p.predict(0), 0);
+/// p.access(1, 1);
+/// p.access(2, 2); // 2 predictions later, the first update lands
+/// assert_eq!(p.predict(0), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayedUpdate<P> {
+    inner: P,
+    delay: usize,
+    pending: VecDeque<(u64, u64)>,
+}
+
+impl<P: ValuePredictor> DelayedUpdate<P> {
+    /// Wraps `inner` with an update delay of `delay` predictions.
+    pub fn new(inner: P, delay: usize) -> Self {
+        DelayedUpdate {
+            inner,
+            delay,
+            pending: VecDeque::with_capacity(delay + 1),
+        }
+    }
+
+    /// The configured delay in predictions.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Applies all pending updates immediately (e.g. at end of trace).
+    pub fn flush(&mut self) {
+        while let Some((pc, actual)) = self.pending.pop_front() {
+            self.inner.update(pc, actual);
+        }
+    }
+
+    /// Returns the wrapped predictor, dropping any pending updates.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: ValuePredictor> ValuePredictor for DelayedUpdate<P> {
+    fn predict(&mut self, pc: u64) -> u64 {
+        self.inner.predict(pc)
+    }
+
+    fn update(&mut self, pc: u64, actual: u64) {
+        self.pending.push_back((pc, actual));
+        if self.pending.len() > self.delay {
+            let (pc, actual) = self.pending.pop_front().expect("just pushed");
+            self.inner.update(pc, actual);
+        }
+    }
+
+    fn storage(&self) -> StorageCost {
+        self.inner.storage()
+    }
+
+    fn name(&self) -> String {
+        format!("{}@d{}", self.inner.name(), self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfcm::DfcmPredictor;
+    use crate::lvp::LastValuePredictor;
+
+    #[test]
+    fn zero_delay_matches_bare_predictor() {
+        let mut bare = LastValuePredictor::new(4);
+        let mut delayed = DelayedUpdate::new(LastValuePredictor::new(4), 0);
+        for i in 0..50u64 {
+            let pc = i % 3;
+            let v = i * 7 % 13;
+            assert_eq!(bare.access(pc, v), delayed.access(pc, v), "i={i}");
+        }
+    }
+
+    #[test]
+    fn updates_land_after_exactly_delay_predictions() {
+        let mut p = DelayedUpdate::new(LastValuePredictor::new(4), 3);
+        p.access(0, 99);
+        p.access(1, 1);
+        p.access(2, 2);
+        // Three predictions made since, but the third access only pushed the
+        // queue to length 3; the first update applies on the next access.
+        assert_eq!(p.predict(0), 0);
+        p.access(3, 3);
+        assert_eq!(p.predict(0), 99);
+    }
+
+    #[test]
+    fn stale_history_hurts_tight_recurrence() {
+        // The same static instruction recurring within the delay distance
+        // must predict from stale state: an LVP on a constant stream is
+        // wrong only while the first update is in flight.
+        let mut p = DelayedUpdate::new(LastValuePredictor::new(4), 4);
+        let outcomes: Vec<bool> = (0..10).map(|_| p.access(0, 5).correct).collect();
+        assert!(!outcomes[0]);
+        // Until the first update lands (after 4 more predictions), the
+        // table still predicts 0.
+        assert_eq!(&outcomes[1..5], &[false; 4]);
+        assert_eq!(&outcomes[5..], &[true; 5]);
+    }
+
+    #[test]
+    fn delay_degrades_dfcm_on_interleaved_strides() {
+        let run = |delay: usize| {
+            let inner = DfcmPredictor::builder()
+                .l1_bits(8)
+                .l2_bits(12)
+                .build()
+                .unwrap();
+            let mut p = DelayedUpdate::new(inner, delay);
+            let mut correct = 0;
+            for i in 0..500u64 {
+                for pc in 0..4u64 {
+                    correct += usize::from(p.access(pc, 100 * pc + 3 * i).correct);
+                }
+            }
+            correct
+        };
+        let immediate = run(0);
+        let delayed = run(16);
+        assert!(
+            delayed < immediate,
+            "delay must not help: immediate={immediate}, delayed={delayed}"
+        );
+    }
+
+    #[test]
+    fn flush_applies_pending() {
+        let mut p = DelayedUpdate::new(LastValuePredictor::new(4), 8);
+        p.access(0, 42);
+        assert_eq!(p.predict(0), 0);
+        p.flush();
+        assert_eq!(p.predict(0), 42);
+    }
+
+    #[test]
+    fn into_inner_returns_wrapped() {
+        let mut p = DelayedUpdate::new(LastValuePredictor::new(4), 0);
+        p.access(0, 9);
+        let mut inner = p.into_inner();
+        assert_eq!(inner.predict(0), 9);
+    }
+
+    #[test]
+    fn name_mentions_delay() {
+        let p = DelayedUpdate::new(LastValuePredictor::new(4), 32);
+        assert!(p.name().ends_with("@d32"));
+    }
+}

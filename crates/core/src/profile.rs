@@ -1,0 +1,233 @@
+use crate::predictor::{L2Indexed, ValuePredictor};
+use crate::stride::StridePredictor;
+
+/// Counts, for each level-2 entry of a two-level predictor, how many
+/// accesses were *part of a stride pattern* (Figures 6 and 9 of the paper).
+///
+/// The paper's indicator: a value is part of a stride pattern if a
+/// (large, 64K-entry) stride predictor running alongside predicts it
+/// correctly. Each time the analyzed predictor is accessed for such a
+/// value, the counter of the level-2 entry the access used is incremented.
+/// Sorting the counters in descending order shows how widely stride
+/// patterns are smeared across the level-2 table — the FCM scatters them
+/// over an entry per pattern element, the DFCM collapses each stride to a
+/// single entry.
+///
+/// ```
+/// use dfcm::{DfcmPredictor, StrideOccupancyProfiler, ValuePredictor};
+///
+/// # fn main() -> Result<(), dfcm::ConfigError> {
+/// let dfcm = DfcmPredictor::builder().l1_bits(8).l2_bits(8).build()?;
+/// let mut profiler = StrideOccupancyProfiler::new(dfcm, 16);
+/// for i in 0..10_000u64 {
+///     profiler.access(0x400, 3 * i);
+/// }
+/// let stats = profiler.stats();
+/// // One stride pattern occupies essentially one level-2 entry.
+/// assert!(stats.entries_with_at_least(100) <= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrideOccupancyProfiler<P> {
+    predictor: P,
+    detector: StridePredictor,
+    counts: Vec<u64>,
+    correct: u64,
+    total: u64,
+}
+
+impl<P: ValuePredictor + L2Indexed> StrideOccupancyProfiler<P> {
+    /// Wraps `predictor` with a stride-pattern detector of
+    /// `2^detector_bits` entries (the paper uses 2^16).
+    pub fn new(predictor: P, detector_bits: u32) -> Self {
+        let counts = vec![0; predictor.l2_entries()];
+        StrideOccupancyProfiler {
+            predictor,
+            detector: StridePredictor::new(detector_bits),
+            counts,
+            correct: 0,
+            total: 0,
+        }
+    }
+
+    /// Runs one trace record through both the detector and the analyzed
+    /// predictor, attributing the access to its level-2 entry if the value
+    /// was stride-predictable. Returns whether the analyzed predictor was
+    /// correct.
+    pub fn access(&mut self, pc: u64, actual: u64) -> bool {
+        let in_stride = self.detector.access(pc, actual).correct;
+        let idx = self.predictor.l2_index(pc);
+        if in_stride {
+            self.counts[idx] += 1;
+        }
+        let outcome = self.predictor.access(pc, actual);
+        self.total += 1;
+        self.correct += u64::from(outcome.correct);
+        outcome.correct
+    }
+
+    /// The per-entry stride-access counts, unsorted (index = level-2 entry).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Summary statistics over the counters.
+    pub fn stats(&self) -> OccupancyStats {
+        OccupancyStats::from_counts(&self.counts)
+    }
+
+    /// Accuracy of the analyzed predictor over the profiled trace.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Returns the analyzed predictor, dropping the profile.
+    pub fn into_inner(self) -> P {
+        self.predictor
+    }
+}
+
+/// Aggregated view of a [`StrideOccupancyProfiler`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyStats {
+    sorted_desc: Vec<u64>,
+}
+
+impl OccupancyStats {
+    /// Builds the stats from raw per-entry counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut sorted_desc = counts.to_vec();
+        sorted_desc.sort_unstable_by(|a, b| b.cmp(a));
+        OccupancyStats { sorted_desc }
+    }
+
+    /// The counts sorted in descending order — the series plotted in
+    /// Figures 6 and 9.
+    pub fn sorted_desc(&self) -> &[u64] {
+        &self.sorted_desc
+    }
+
+    /// Number of level-2 entries with at least `n` stride accesses.
+    ///
+    /// The paper's summary metric: e.g. for `li`, the FCM uses 3801 of
+    /// 4096 entries more than 1000 times for strides while the DFCM uses
+    /// 582.
+    pub fn entries_with_at_least(&self, n: u64) -> usize {
+        self.sorted_desc.partition_point(|&c| c >= n)
+    }
+
+    /// Total number of stride accesses attributed.
+    pub fn total_stride_accesses(&self) -> u64 {
+        self.sorted_desc.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfcm::DfcmPredictor;
+    use crate::fcm::FcmPredictor;
+
+    fn drive_strides<P: ValuePredictor + L2Indexed>(
+        profiler: &mut StrideOccupancyProfiler<P>,
+        laps: u64,
+        period: u64,
+    ) {
+        // Several interleaved wrap-around stride patterns, like the paper's
+        // norm kernel: i, j, j*8, &m[i][j] analogues.
+        for lap in 0..laps {
+            for j in 0..period {
+                profiler.access(0x100, j); // j
+                profiler.access(0x104, 8 * j); // j*8
+                profiler.access(0x108, 0x8000 + 800 * lap + 8 * j); // &m[i][j]
+                profiler.access(0x10c, u64::from(j < period - 1)); // slt
+            }
+        }
+    }
+
+    #[test]
+    fn fcm_scatters_strides_dfcm_collapses_them() {
+        let fcm = FcmPredictor::builder()
+            .l1_bits(10)
+            .l2_bits(12)
+            .build()
+            .unwrap();
+        let mut pf = StrideOccupancyProfiler::new(fcm, 16);
+        drive_strides(&mut pf, 50, 100);
+        let fcm_spread = pf.stats().entries_with_at_least(50);
+
+        let dfcm = DfcmPredictor::builder()
+            .l1_bits(10)
+            .l2_bits(12)
+            .build()
+            .unwrap();
+        let mut pd = StrideOccupancyProfiler::new(dfcm, 16);
+        drive_strides(&mut pd, 50, 100);
+        let dfcm_spread = pd.stats().entries_with_at_least(50);
+
+        assert!(
+            dfcm_spread * 4 < fcm_spread,
+            "DFCM must use far fewer entries: fcm={fcm_spread}, dfcm={dfcm_spread}"
+        );
+    }
+
+    #[test]
+    fn counts_length_matches_l2() {
+        let fcm = FcmPredictor::builder()
+            .l1_bits(4)
+            .l2_bits(8)
+            .build()
+            .unwrap();
+        let pf = StrideOccupancyProfiler::new(fcm, 8);
+        assert_eq!(pf.counts().len(), 256);
+    }
+
+    #[test]
+    fn non_stride_values_not_attributed() {
+        // A pattern the stride detector cannot predict contributes nothing.
+        let fcm = FcmPredictor::builder()
+            .l1_bits(4)
+            .l2_bits(8)
+            .build()
+            .unwrap();
+        let mut pf = StrideOccupancyProfiler::new(fcm, 8);
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            pf.access(0x40, x >> 33);
+        }
+        assert!(pf.stats().total_stride_accesses() < 50);
+    }
+
+    #[test]
+    fn stats_sorted_descending() {
+        let stats = OccupancyStats::from_counts(&[3, 9, 1, 9, 0]);
+        assert_eq!(stats.sorted_desc(), &[9, 9, 3, 1, 0]);
+        assert_eq!(stats.entries_with_at_least(9), 2);
+        assert_eq!(stats.entries_with_at_least(1), 4);
+        assert_eq!(stats.entries_with_at_least(10), 0);
+        assert_eq!(stats.total_stride_accesses(), 22);
+    }
+
+    #[test]
+    fn accuracy_reported() {
+        let dfcm = DfcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let mut pf = StrideOccupancyProfiler::new(dfcm, 8);
+        for i in 0..1000u64 {
+            pf.access(0, 5 * i);
+        }
+        assert!(pf.accuracy() > 0.99);
+        let _inner = pf.into_inner();
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt;
+
+/// Itemized storage cost of a predictor, in bits.
+///
+/// The paper compares predictors by total table storage in Kbit (Figures 3
+/// and 11). `StorageCost` keeps a per-component breakdown so reports can
+/// show, e.g., how the DFCM's extra last-value field in the level-1 table
+/// trades off against its narrower level-2 entries.
+///
+/// ```
+/// use dfcm::StorageCost;
+///
+/// let cost = StorageCost::new()
+///     .with("L1 history", 1 << 16)
+///     .with("L2 values", 32 << 12);
+/// assert_eq!(cost.total_bits(), (1 << 16) + (32 << 12));
+/// assert!(cost.kbits() > 190.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageCost {
+    parts: Vec<(&'static str, u64)>,
+}
+
+impl StorageCost {
+    /// Creates an empty (zero-bit) cost.
+    pub fn new() -> Self {
+        StorageCost::default()
+    }
+
+    /// Adds a named component of `bits` bits and returns the updated cost.
+    #[must_use]
+    pub fn with(mut self, label: &'static str, bits: u64) -> Self {
+        self.parts.push((label, bits));
+        self
+    }
+
+    /// Merges all components of `other` into this cost, prefixing is not
+    /// performed; labels are kept as-is.
+    #[must_use]
+    pub fn with_cost(mut self, other: StorageCost) -> Self {
+        self.parts.extend(other.parts);
+        self
+    }
+
+    /// Total size in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.parts.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Total size in Kbit (units of 1024 bits), the unit used in the paper's
+    /// size/accuracy plots.
+    pub fn kbits(&self) -> f64 {
+        self.total_bits() as f64 / 1024.0
+    }
+
+    /// Iterates over `(label, bits)` components in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.parts.iter().copied()
+    }
+}
+
+impl fmt::Display for StorageCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} Kbit (", self.kbits())?;
+        for (i, (label, bits)) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{label}: {bits} b")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cost_is_zero() {
+        let c = StorageCost::new();
+        assert_eq!(c.total_bits(), 0);
+        assert_eq!(c.kbits(), 0.0);
+    }
+
+    #[test]
+    fn components_accumulate() {
+        let c = StorageCost::new().with("a", 100).with("b", 24);
+        assert_eq!(c.total_bits(), 124);
+        let parts: Vec<_> = c.iter().collect();
+        assert_eq!(parts, vec![("a", 100), ("b", 24)]);
+    }
+
+    #[test]
+    fn merge_keeps_both_sides() {
+        let a = StorageCost::new().with("a", 1);
+        let b = StorageCost::new().with("b", 2);
+        let merged = a.with_cost(b);
+        assert_eq!(merged.total_bits(), 3);
+        assert_eq!(merged.iter().count(), 2);
+    }
+
+    #[test]
+    fn kbit_conversion() {
+        let c = StorageCost::new().with("x", 2048);
+        assert_eq!(c.kbits(), 2.0);
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let c = StorageCost::new().with("L1", 1024);
+        let s = c.to_string();
+        assert!(s.contains("1.0 Kbit"), "{s}");
+        assert!(s.contains("L1: 1024 b"), "{s}");
+    }
+}

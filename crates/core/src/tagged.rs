@@ -1,0 +1,462 @@
+use crate::error::{check_table_bits, ConfigError};
+use crate::hash::HashFunction;
+use crate::predictor::{L2Indexed, ValuePredictor};
+use crate::storage::StorageCost;
+use crate::DEFAULT_VALUE_BITS;
+
+/// A DFCM prediction qualified by the confidence estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidentPrediction {
+    /// The predicted value (always produced).
+    pub value: u64,
+    /// Whether the estimator would issue this prediction to the pipeline.
+    pub confident: bool,
+}
+
+/// A predictor that can qualify its predictions with a confidence verdict.
+///
+/// The evaluation harness uses this to measure the coverage/accuracy
+/// trade-off of confidence estimation: `predict_confident` must return the
+/// same value `predict` would, plus the issue decision.
+pub trait ConfidencePredictor: ValuePredictor {
+    /// Predicts and reports whether the prediction would be issued.
+    fn predict_confident(&self, pc: u64) -> ConfidentPrediction;
+}
+
+/// The DFCM with the hash-alias-tracking confidence estimator the paper
+/// *suggests* at the end of §4.2 but does not evaluate:
+///
+/// > "the design of a confidence estimator for a (D)FCM predictor should
+/// > include tagging the level-2 table with some information to track
+/// > hash-aliasing … Some bits of a second hashing function, orthogonal to
+/// > the main one, seems to be a good choice for the tag."
+///
+/// Each level-1 entry maintains a *second* hashed history using a
+/// different fold shift, so it evolves orthogonally to the index hash;
+/// its low `tag_bits` bits are stored in the level-2 entry on update and
+/// compared on prediction. A tag mismatch means the entry was last written
+/// under a different context (hash aliasing — the dominant misprediction
+/// source in Figure 14) and the prediction is flagged unconfident. A small
+/// per-entry saturating counter additionally vets entries whose
+/// predictions have been failing.
+///
+/// ```
+/// use dfcm::{TaggedDfcmPredictor, ValuePredictor};
+///
+/// # fn main() -> Result<(), dfcm::ConfigError> {
+/// let mut p = TaggedDfcmPredictor::builder().l1_bits(8).l2_bits(8).build()?;
+/// // Warm a stride; predictions become confident and correct.
+/// for i in 0..50u64 {
+///     p.access(0x40, 7 * i);
+/// }
+/// let q = p.predict_confident(0x40);
+/// assert!(q.confident);
+/// assert_eq!(q.value, 7 * 50);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaggedDfcmPredictor {
+    last: Vec<u64>,
+    hist: Vec<u64>,
+    /// Second, orthogonal hashed history per level-1 entry.
+    tag_hist: Vec<u64>,
+    l2: Vec<TaggedEntry>,
+    l1_mask: usize,
+    l1_bits: u32,
+    l2_bits: u32,
+    hash: HashFunction,
+    tag_bits: u32,
+    conf_threshold: u8,
+    value_bits: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    diff: u64,
+    tag: u16,
+    confidence: u8,
+}
+
+/// Builder for [`TaggedDfcmPredictor`].
+#[derive(Debug, Clone)]
+pub struct TaggedDfcmBuilder {
+    l1_bits: u32,
+    l2_bits: u32,
+    hash: HashFunction,
+    tag_bits: u32,
+    conf_bits: u32,
+    conf_threshold: u8,
+    value_bits: u32,
+}
+
+impl Default for TaggedDfcmBuilder {
+    fn default() -> Self {
+        TaggedDfcmBuilder {
+            l1_bits: 12,
+            l2_bits: 12,
+            hash: HashFunction::FsR5,
+            tag_bits: 4,
+            conf_bits: 2,
+            conf_threshold: 2,
+            value_bits: DEFAULT_VALUE_BITS,
+        }
+    }
+}
+
+impl TaggedDfcmBuilder {
+    /// Sets the level-1 table to `2^bits` entries (default 12).
+    pub fn l1_bits(&mut self, bits: u32) -> &mut Self {
+        self.l1_bits = bits;
+        self
+    }
+
+    /// Sets the level-2 table to `2^bits` entries (default 12).
+    pub fn l2_bits(&mut self, bits: u32) -> &mut Self {
+        self.l2_bits = bits;
+        self
+    }
+
+    /// Selects the (primary) history hash (default FS R-5).
+    pub fn hash(&mut self, hash: HashFunction) -> &mut Self {
+        self.hash = hash;
+        self
+    }
+
+    /// Width of the stored tag from the orthogonal hash, 0–16 bits
+    /// (default 4; 0 disables tagging, leaving only the counter).
+    pub fn tag_bits(&mut self, bits: u32) -> &mut Self {
+        self.tag_bits = bits;
+        self
+    }
+
+    /// Confidence-counter threshold: a prediction is confident only when
+    /// the entry's counter is ≥ this value (default 2, with a 2-bit
+    /// counter saturating at 3). 0 disables the counter test.
+    pub fn conf_threshold(&mut self, threshold: u8) -> &mut Self {
+        self.conf_threshold = threshold;
+        self
+    }
+
+    /// Builds the predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid table exponents, a tag width
+    /// above 16, or a threshold above the counter maximum (3).
+    pub fn build(&self) -> Result<TaggedDfcmPredictor, ConfigError> {
+        check_table_bits("l1_bits", self.l1_bits)?;
+        check_table_bits("l2_bits", self.l2_bits)?;
+        if self.tag_bits > 16 {
+            return Err(ConfigError::Width {
+                parameter: "tag_bits",
+                value: self.tag_bits,
+                min: 0,
+                max: 16,
+            });
+        }
+        if self.conf_threshold > 3 {
+            return Err(ConfigError::Width {
+                parameter: "conf_threshold",
+                value: u32::from(self.conf_threshold),
+                min: 0,
+                max: 3,
+            });
+        }
+        let _ = self.conf_bits;
+        self.hash.validate(self.l2_bits)?;
+        let l1 = 1usize << self.l1_bits;
+        Ok(TaggedDfcmPredictor {
+            last: vec![0; l1],
+            hist: vec![0; l1],
+            tag_hist: vec![0; l1],
+            l2: vec![TaggedEntry::default(); 1 << self.l2_bits],
+            l1_mask: l1 - 1,
+            l1_bits: self.l1_bits,
+            l2_bits: self.l2_bits,
+            hash: self.hash,
+            tag_bits: self.tag_bits,
+            conf_threshold: self.conf_threshold,
+            value_bits: self.value_bits,
+        })
+    }
+}
+
+impl TaggedDfcmPredictor {
+    /// Starts building a tagged DFCM.
+    pub fn builder() -> TaggedDfcmBuilder {
+        TaggedDfcmBuilder::default()
+    }
+
+    /// The configured tag width in bits.
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    /// The configured confidence threshold.
+    pub fn conf_threshold(&self) -> u8 {
+        self.conf_threshold
+    }
+
+    fn l1_index(&self, pc: u64) -> usize {
+        crate::predictor::pc_index(pc, self.l1_mask)
+    }
+
+    /// The orthogonal hash: same incremental fold idea as FS R-5 but with
+    /// a shift of 3 so the two histories drift apart ("orthogonal"), over
+    /// a 16-bit register from which the tag is drawn.
+    fn tag_update(old: u64, diff: u64) -> u64 {
+        ((old << 3) ^ HashFunction::fold(diff, 16)) & 0xFFFF
+    }
+
+    fn current_tag(&self, i1: usize) -> u16 {
+        if self.tag_bits == 0 {
+            0
+        } else {
+            (self.tag_hist[i1] & ((1u64 << self.tag_bits) - 1)) as u16
+        }
+    }
+
+    /// Predicts and reports whether the confidence estimator would issue
+    /// the prediction: the stored tag must match the current orthogonal
+    /// hash and the entry's confidence counter must reach the threshold.
+    pub fn predict_confident(&self, pc: u64) -> ConfidentPrediction {
+        let i1 = self.l1_index(pc);
+        let entry = self.l2[self.hist[i1] as usize];
+        let tag_ok = self.tag_bits == 0 || entry.tag == self.current_tag(i1);
+        let conf_ok = entry.confidence >= self.conf_threshold;
+        ConfidentPrediction {
+            value: self.last[i1].wrapping_add(entry.diff),
+            confident: tag_ok && conf_ok,
+        }
+    }
+}
+
+impl ValuePredictor for TaggedDfcmPredictor {
+    fn predict(&mut self, pc: u64) -> u64 {
+        self.predict_confident(pc).value
+    }
+
+    fn update(&mut self, pc: u64, actual: u64) {
+        let i1 = self.l1_index(pc);
+        let h = self.hist[i1];
+        let i2 = h as usize;
+        let diff = actual.wrapping_sub(self.last[i1]);
+        let tag = self.current_tag(i1);
+        let entry = &mut self.l2[i2];
+        let was_correct = entry.diff == diff;
+        // Train the counter before overwriting: correct re-confirmation
+        // strengthens, a different outcome resets confidence.
+        entry.confidence = if was_correct {
+            (entry.confidence + 1).min(3)
+        } else {
+            0
+        };
+        entry.diff = diff;
+        entry.tag = tag;
+        self.hist[i1] = self.hash.fold_update(h, diff, self.l2_bits);
+        self.tag_hist[i1] = Self::tag_update(self.tag_hist[i1], diff);
+        self.last[i1] = actual;
+    }
+
+    fn storage(&self) -> StorageCost {
+        let l1 = self.last.len() as u64;
+        let l2 = self.l2.len() as u64;
+        StorageCost::new()
+            .with("L1 last values", l1 * self.value_bits as u64)
+            .with("L1 hashed histories", l1 * self.l2_bits as u64)
+            .with("L1 tag histories", l1 * 16)
+            .with("L2 differences", l2 * self.value_bits as u64)
+            .with("L2 tags", l2 * self.tag_bits as u64)
+            .with("L2 confidence", l2 * 2)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "dfcm+tag(l1=2^{},l2=2^{},t{},c{})",
+            self.l1_bits, self.l2_bits, self.tag_bits, self.conf_threshold
+        )
+    }
+}
+
+impl ConfidencePredictor for TaggedDfcmPredictor {
+    fn predict_confident(&self, pc: u64) -> ConfidentPrediction {
+        TaggedDfcmPredictor::predict_confident(self, pc)
+    }
+}
+
+impl L2Indexed for TaggedDfcmPredictor {
+    fn l2_index(&self, pc: u64) -> usize {
+        self.hist[self.l1_index(pc)] as usize
+    }
+
+    fn l2_entries(&self) -> usize {
+        self.l2.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfcm::DfcmPredictor;
+
+    fn tagged(l1: u32, l2: u32) -> TaggedDfcmPredictor {
+        TaggedDfcmPredictor::builder()
+            .l1_bits(l1)
+            .l2_bits(l2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(TaggedDfcmPredictor::builder().tag_bits(17).build().is_err());
+        assert!(TaggedDfcmPredictor::builder()
+            .conf_threshold(4)
+            .build()
+            .is_err());
+        assert!(TaggedDfcmPredictor::builder().l1_bits(31).build().is_err());
+        assert!(TaggedDfcmPredictor::builder().build().is_ok());
+    }
+
+    #[test]
+    fn value_predictions_match_plain_dfcm() {
+        // With the same geometry and hash, the tagged variant's *values*
+        // must be identical to the plain DFCM's — tags only gate issue.
+        let mut plain = DfcmPredictor::builder()
+            .l1_bits(8)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let mut tagged = tagged(8, 10);
+        for i in 0..5000u64 {
+            let pc = 4 * (i % 37);
+            let v = (i * i) % 1000;
+            assert_eq!(plain.predict(pc), tagged.predict(pc), "i={i}");
+            plain.update(pc, v);
+            tagged.update(pc, v);
+        }
+    }
+
+    #[test]
+    fn steady_pattern_becomes_confident() {
+        let mut p = tagged(8, 10);
+        for i in 0..50u64 {
+            p.access(0x10, 3 * i);
+        }
+        assert!(p.predict_confident(0x10).confident);
+    }
+
+    #[test]
+    fn cold_entry_is_not_confident() {
+        let p = tagged(8, 10);
+        assert!(
+            !p.predict_confident(0x10).confident,
+            "cold counter must gate issue"
+        );
+    }
+
+    #[test]
+    fn hash_alias_suppresses_confidence() {
+        // Two instructions with different contexts that collide in a tiny
+        // level-2 table: the tags keep flipping, so at least one side is
+        // flagged unconfident most of the time even though the shared
+        // entry keeps serving both.
+        let mut p = TaggedDfcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(2)
+            .conf_threshold(1)
+            .build()
+            .unwrap();
+        let mut unconfident_mispredictions = 0u32;
+        let mut confident_mispredictions = 0u32;
+        for i in 0..4000u64 {
+            for (pc, v) in [(0x10u64, 17 * i), (0x20, (i * i) % 97)] {
+                let q = p.predict_confident(pc);
+                let correct = q.value == v;
+                if !correct {
+                    if q.confident {
+                        confident_mispredictions += 1;
+                    } else {
+                        unconfident_mispredictions += 1;
+                    }
+                }
+                p.update(pc, v);
+            }
+        }
+        assert!(
+            unconfident_mispredictions > confident_mispredictions,
+            "tags should catch most collision-driven mispredictions: \
+             confident {confident_mispredictions}, unconfident {unconfident_mispredictions}"
+        );
+    }
+
+    #[test]
+    fn issued_predictions_are_more_accurate_than_all() {
+        // The estimator's whole point: accuracy over issued predictions
+        // beats accuracy over all predictions on a mixed workload.
+        let mut p = tagged(8, 8);
+        let mut all = (0u64, 0u64);
+        let mut issued = (0u64, 0u64);
+        let mut x = 7u64;
+        for i in 0..20_000u64 {
+            let (pc, v) = match i % 4 {
+                0 => (0x10, 5 * (i / 4)),                          // stride
+                1 => (0x20, 42),                                   // constant
+                2 => (0x30, [9u64, 2, 6][((i / 4) % 3) as usize]), // context
+                _ => {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (0x40, x >> 40) // random
+                }
+            };
+            let q = p.predict_confident(pc);
+            let correct = q.value == v;
+            all.0 += 1;
+            all.1 += u64::from(correct);
+            if q.confident {
+                issued.0 += 1;
+                issued.1 += u64::from(correct);
+            }
+            p.update(pc, v);
+        }
+        let acc_all = all.1 as f64 / all.0 as f64;
+        let acc_issued = issued.1 as f64 / issued.0.max(1) as f64;
+        assert!(issued.0 > all.0 / 4, "estimator must not refuse everything");
+        assert!(
+            acc_issued > acc_all + 0.1,
+            "issued {acc_issued:.3} must clearly beat all {acc_all:.3}"
+        );
+    }
+
+    #[test]
+    fn zero_tag_bits_leaves_counter_only() {
+        let mut p = TaggedDfcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(8)
+            .tag_bits(0)
+            .build()
+            .unwrap();
+        for i in 0..20u64 {
+            p.access(0x10, i);
+        }
+        assert!(p.predict_confident(0x10).confident);
+        assert_eq!(p.tag_bits(), 0);
+    }
+
+    #[test]
+    fn storage_includes_tags_and_counters() {
+        let p = tagged(10, 10);
+        let bits = p.storage().total_bits();
+        let l1 = 1u64 << 10;
+        let l2 = 1u64 << 10;
+        assert_eq!(
+            bits,
+            l1 * 32 + l1 * 10 + l1 * 16 + l2 * 32 + l2 * 4 + l2 * 2
+        );
+    }
+
+    #[test]
+    fn name_mentions_tagging() {
+        assert_eq!(tagged(12, 12).name(), "dfcm+tag(l1=2^12,l2=2^12,t4,c2)");
+    }
+}

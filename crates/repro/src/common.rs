@@ -1,0 +1,84 @@
+//! Shared options and helpers for the reproduction experiments.
+
+use std::path::PathBuf;
+
+use dfcm_trace::suite::standard_traces;
+use dfcm_trace::BenchmarkTrace;
+
+/// Command-line options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Master seed for workload generation.
+    pub seed: u64,
+    /// Trace-length scale (1.0 ≈ paper counts ÷ 100).
+    pub scale: f64,
+    /// Extend sweeps to the paper's largest table sizes (2^18, 2^20).
+    pub full: bool,
+    /// Directory for CSV output.
+    pub out_dir: PathBuf,
+    /// Also write a JSON copy of every table.
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 12345,
+            scale: 0.1,
+            full: false,
+            out_dir: PathBuf::from("results"),
+            json: false,
+        }
+    }
+}
+
+impl Options {
+    /// Generates the standard suite traces at these options.
+    pub fn traces(&self) -> Vec<BenchmarkTrace> {
+        standard_traces(self.seed, self.scale)
+    }
+
+    /// The level-2 size exponents to sweep: the paper's 8..=20 step 2,
+    /// capped at 16 unless `--full`.
+    pub fn l2_sweep(&self) -> Vec<u32> {
+        let max = if self.full { 20 } else { 16 };
+        (8..=max).step_by(2).collect()
+    }
+
+    /// Path for an experiment's CSV file.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}.csv"))
+    }
+
+    /// Writes an experiment table as CSV (and JSON when `--json` is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — the repro binaries treat an unwritable
+    /// results directory as fatal.
+    pub fn emit(&self, table: &dfcm_sim::report::TextTable, name: &str) {
+        table
+            .write_csv(self.csv_path(name))
+            .unwrap_or_else(|e| panic!("writing {name}.csv: {e}"));
+        if self.json {
+            table
+                .write_json(self.out_dir.join(format!("{name}.json")))
+                .unwrap_or_else(|e| panic!("writing {name}.json: {e}"));
+        }
+    }
+}
+
+/// Prints an experiment header.
+pub fn banner(title: &str, note: &str) {
+    println!();
+    println!("=== {title} ===");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!();
+}
+
+/// Number of worker threads for parallel sweeps.
+pub fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

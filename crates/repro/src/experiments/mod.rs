@@ -1,0 +1,20 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod fig03;
+pub mod fig04_08;
+pub mod fig06_09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_14;
+pub mod fig16;
+pub mod fig17;
+pub mod ideal;
+pub mod order;
+pub mod phases;
+pub mod related;
+pub mod sec4_4;
+pub mod specupdate;
+pub mod speedup;
+pub mod table1;
+pub mod tags;
+pub mod vmbench;

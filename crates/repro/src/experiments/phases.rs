@@ -1,0 +1,113 @@
+//! Extension experiment: sensitivity to program phase changes.
+//!
+//! The paper evaluates steady traces; real programs move through phases.
+//! When a phase change redirects the *same static instructions* to new
+//! behaviour, every history-based predictor pays a re-learning cost and
+//! the level-2 table churns. This experiment interleaves two synthetic
+//! programs in bursts of varying length and measures how both predictors'
+//! accuracy recovers as bursts grow — and whether the DFCM's advantage
+//! survives phase pressure.
+
+use dfcm::{DfcmPredictor, FcmPredictor, ValuePredictor};
+use dfcm_sim::chart::{ScatterChart, Series};
+use dfcm_sim::report::{fmt_accuracy, TextTable};
+use dfcm_sim::{simulate_n, simulate_timeline};
+use dfcm_trace::suite::standard_suite;
+use dfcm_trace::PhasedProgram;
+
+use crate::common::{banner, Options};
+
+/// Runs the phase-sensitivity analysis.
+pub fn run(opts: &Options) {
+    banner(
+        "Extension: accuracy under program phase changes (2^16/2^12)",
+        "Two benchmark programs interleaved in bursts; both reuse the same PC space.",
+    );
+    let records = ((opts.scale * 4_000_000.0) as usize).clamp(20_000, 4_000_000);
+    let suite = standard_suite();
+    let ijpeg = suite.iter().find(|b| b.name() == "ijpeg").expect("ijpeg");
+    let li = suite.iter().find(|b| b.name() == "li").expect("li");
+
+    let mut table = TextTable::new(vec!["burst", "FCM", "DFCM", "gain"]);
+    for burst in [100usize, 1_000, 10_000, 100_000] {
+        let run_one = |dfcm: bool| {
+            let mut source = PhasedProgram::new(vec![
+                (ijpeg.program(opts.seed), burst),
+                (li.program(opts.seed), burst),
+            ]);
+            let mut predictor: Box<dyn ValuePredictor> = if dfcm {
+                Box::new(
+                    DfcmPredictor::builder()
+                        .l1_bits(16)
+                        .l2_bits(12)
+                        .build()
+                        .expect("valid"),
+                )
+            } else {
+                Box::new(
+                    FcmPredictor::builder()
+                        .l1_bits(16)
+                        .l2_bits(12)
+                        .build()
+                        .expect("valid"),
+                )
+            };
+            simulate_n(&mut predictor, &mut source, records).accuracy()
+        };
+        let f = run_one(false);
+        let d = run_one(true);
+        table.row(vec![
+            burst.to_string(),
+            fmt_accuracy(f),
+            fmt_accuracy(d),
+            format!("{:+.1}%", 100.0 * (d / f - 1.0)),
+        ]);
+    }
+    print!("{}", table.render());
+    opts.emit(&table, "phases");
+
+    // Accuracy over time at one burst length: the re-learning sawtooth.
+    let burst = 10_000usize;
+    let window = 2_000usize;
+    let timeline_records = records.min(20 * burst);
+    let mut chart = ScatterChart::new(64, 10).y_range(0.0, 1.0);
+    for dfcm in [false, true] {
+        let mut source = PhasedProgram::new(vec![
+            (ijpeg.program(opts.seed), burst),
+            (li.program(opts.seed), burst),
+        ]);
+        let mut predictor: Box<dyn ValuePredictor> = if dfcm {
+            Box::new(
+                DfcmPredictor::builder()
+                    .l1_bits(16)
+                    .l2_bits(12)
+                    .build()
+                    .expect("valid"),
+            )
+        } else {
+            Box::new(
+                FcmPredictor::builder()
+                    .l1_bits(16)
+                    .l2_bits(12)
+                    .build()
+                    .expect("valid"),
+            )
+        };
+        let windows = simulate_timeline(&mut predictor, &mut source, timeline_records, window);
+        let points: Vec<(f64, f64)> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| ((i * window) as f64, w.accuracy()))
+            .collect();
+        chart = chart.series(Series::new(if dfcm { "dfcm" } else { "fcm" }, points));
+    }
+    println!();
+    println!("accuracy over time (burst {burst}, window {window}):");
+    print!("{}", chart.render());
+    println!();
+    println!(
+        "Check: short bursts (frequent phase switches) depress both predictors; \
+         accuracy recovers as bursts lengthen, and the DFCM stays ahead at every \
+         phase granularity."
+    );
+}

@@ -1,0 +1,73 @@
+//! Table 1: description of the benchmarks.
+//!
+//! The paper's Table 1 lists each SPECint95 benchmark with its input and
+//! the number of predicted instructions. Our analogue lists the synthetic
+//! stand-ins (with their block mixes and measured trace statistics) and
+//! the VM kernels.
+
+use dfcm_sim::report::TextTable;
+use dfcm_trace::stats::TraceStats;
+use dfcm_trace::suite::standard_suite;
+use dfcm_trace::TraceSource;
+use dfcm_vm::{assemble, programs, Vm};
+
+use crate::common::{banner, Options};
+
+/// Runs the Table 1 reproduction.
+pub fn run(opts: &Options) {
+    banner(
+        "Table 1: benchmark descriptions",
+        "Synthetic SPECint95 stand-ins (paper: SimpleScalar traces, counts in M; ours scaled by --scale) \
+         plus the VM kernels used for Figures 6 and 9.",
+    );
+
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "predictions",
+        "paper (M)",
+        "statics",
+        "lv-frac",
+        "stride-frac",
+        "reuse-frac",
+    ]);
+    for spec in standard_suite() {
+        let trace = spec.trace(opts.seed, opts.scale);
+        let stats = TraceStats::measure(&trace.trace);
+        let paper_m = spec.predictions(1.0) as f64 / 10_000.0;
+        table.row(vec![
+            spec.name().to_owned(),
+            stats.records.to_string(),
+            format!("{paper_m:.0}"),
+            stats.static_instructions.to_string(),
+            format!("{:.2}", stats.last_value_fraction),
+            format!("{:.2}", stats.stride_fraction),
+            format!("{:.2}", stats.reuse_fraction),
+        ]);
+    }
+    print!("{}", table.render());
+    opts.emit(&table, "table1");
+
+    println!();
+    println!("VM kernels (trace-generating real programs):");
+    let mut vm_table = TextTable::new(vec![
+        "kernel",
+        "records",
+        "statics",
+        "lv-frac",
+        "stride-frac",
+    ]);
+    for (name, src) in programs::all() {
+        let mut vm = Vm::new(assemble(src).expect("bundled kernel assembles"));
+        let trace = vm.take_trace(2_000_000);
+        let stats = TraceStats::measure(&trace);
+        vm_table.row(vec![
+            name.to_owned(),
+            stats.records.to_string(),
+            stats.static_instructions.to_string(),
+            format!("{:.2}", stats.last_value_fraction),
+            format!("{:.2}", stats.stride_fraction),
+        ]);
+    }
+    print!("{}", vm_table.render());
+    opts.emit(&vm_table, "table1_vm");
+}

@@ -1,0 +1,11 @@
+//! Library half of `dfcm-repro`: every experiment as a callable function,
+//! so the test suite can smoke-run each table/figure reproduction.
+//!
+//! The binary (`src/main.rs`) is a thin argument-parsing wrapper over
+//! [`experiments`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;

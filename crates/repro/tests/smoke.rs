@@ -1,0 +1,157 @@
+//! Smoke tests: every experiment runs end to end at a tiny scale and
+//! produces its CSV artifacts. Guards the reproduction binaries against
+//! rot.
+
+use dfcm_repro::common::Options;
+use dfcm_repro::experiments;
+
+fn tiny_options(subdir: &str) -> Options {
+    let opts = Options {
+        scale: 0.004,
+        seed: 99,
+        out_dir: std::env::temp_dir().join("dfcm_repro_smoke").join(subdir),
+        ..Options::default()
+    };
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+    opts
+}
+
+fn produced(opts: &Options, names: &[&str]) {
+    for name in names {
+        let path = opts.csv_path(name);
+        let meta =
+            std::fs::metadata(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        assert!(meta.len() > 0, "{} is empty", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+}
+
+#[test]
+fn table1_runs() {
+    let opts = tiny_options("table1");
+    experiments::table1::run(&opts);
+    produced(&opts, &["table1", "table1_vm"]);
+}
+
+#[test]
+fn fig03_runs() {
+    let opts = tiny_options("fig03");
+    experiments::fig03::run(&opts);
+    produced(&opts, &["fig03"]);
+}
+
+#[test]
+fn fig04_08_runs() {
+    let opts = tiny_options("fig04_08");
+    experiments::fig04_08::run(&opts);
+    produced(&opts, &["fig04", "fig08"]);
+}
+
+#[test]
+fn fig06_09_runs() {
+    let opts = tiny_options("fig06_09");
+    experiments::fig06_09::run(&opts);
+    produced(&opts, &["fig06_09_norm", "fig06_09_queens", "fig06_09_li"]);
+}
+
+#[test]
+fn fig10_runs() {
+    let opts = tiny_options("fig10");
+    experiments::fig10::run_a(&opts);
+    experiments::fig10::run_b(&opts);
+    produced(&opts, &["fig10a", "fig10b"]);
+}
+
+#[test]
+fn fig11_runs() {
+    let opts = tiny_options("fig11");
+    experiments::fig11::run_a(&opts);
+    experiments::fig11::run_b(&opts);
+    produced(&opts, &["fig11a", "fig11b"]);
+}
+
+#[test]
+fn fig12_14_run() {
+    let opts = tiny_options("fig12_14");
+    experiments::fig12_14::run_fig12(&opts);
+    experiments::fig12_14::run_fig13(&opts);
+    experiments::fig12_14::run_fig14(&opts);
+    produced(&opts, &["fig12", "fig13", "fig14"]);
+}
+
+#[test]
+fn fig16_runs() {
+    let opts = tiny_options("fig16");
+    experiments::fig16::run(&opts);
+    produced(&opts, &["fig16"]);
+}
+
+#[test]
+fn fig17_runs() {
+    let opts = tiny_options("fig17");
+    experiments::fig17::run(&opts);
+    produced(&opts, &["fig17"]);
+}
+
+#[test]
+fn sec4_4_runs() {
+    let opts = tiny_options("sec4_4");
+    experiments::sec4_4::run(&opts);
+    produced(&opts, &["sec4_4"]);
+}
+
+#[test]
+fn tags_runs() {
+    let opts = tiny_options("tags");
+    experiments::tags::run(&opts);
+    produced(&opts, &["tags"]);
+}
+
+#[test]
+fn related_runs() {
+    let opts = tiny_options("related");
+    experiments::related::run(&opts);
+    produced(&opts, &["related"]);
+}
+
+#[test]
+fn ideal_runs() {
+    let opts = tiny_options("ideal");
+    experiments::ideal::run(&opts);
+    produced(&opts, &["ideal"]);
+}
+
+#[test]
+fn speedup_runs() {
+    let opts = tiny_options("speedup");
+    experiments::speedup::run(&opts);
+    produced(&opts, &["speedup"]);
+}
+
+#[test]
+fn vmbench_runs() {
+    let opts = tiny_options("vmbench");
+    experiments::vmbench::run(&opts);
+    produced(&opts, &["vmbench"]);
+}
+
+#[test]
+fn phases_runs() {
+    let opts = tiny_options("phases");
+    experiments::phases::run(&opts);
+    produced(&opts, &["phases"]);
+}
+
+#[test]
+fn specupdate_runs() {
+    let opts = tiny_options("specupdate");
+    experiments::specupdate::run(&opts);
+    produced(&opts, &["specupdate"]);
+}
+
+#[test]
+fn order_runs() {
+    let opts = tiny_options("order");
+    experiments::order::run(&opts);
+    produced(&opts, &["order"]);
+}

@@ -1,0 +1,323 @@
+//! Terminal charts: scatter/line plots and bar charts rendered as text.
+//!
+//! The repro binaries print the paper's *figures*, not just their data:
+//! accuracy-vs-size curves render as log-x scatter plots, per-benchmark
+//! comparisons as grouped bars. Pure text, no dependencies, deterministic.
+
+use std::fmt::Write as _;
+
+/// A named series of (x, y) points for a [`ScatterChart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; the first character is used as the plot marker.
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A text scatter/line chart with optional logarithmic x axis.
+///
+/// ```
+/// use dfcm_sim::chart::{ScatterChart, Series};
+///
+/// let chart = ScatterChart::new(40, 10)
+///     .log_x()
+///     .series(Series::new("fcm", vec![(8.0, 0.2), (64.0, 0.5), (512.0, 0.7)]))
+///     .series(Series::new("dfcm", vec![(8.0, 0.5), (64.0, 0.65), (512.0, 0.75)]));
+/// let drawing = chart.render();
+/// assert!(drawing.contains('f'));
+/// assert!(drawing.contains('d'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScatterChart {
+    width: usize,
+    height: usize,
+    log_x: bool,
+    y_range: Option<(f64, f64)>,
+    series: Vec<Series>,
+}
+
+impl ScatterChart {
+    /// Creates a chart with a plot area of `width` × `height` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is smaller than 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "plot area must be at least 2x2");
+        ScatterChart {
+            width,
+            height,
+            log_x: false,
+            y_range: None,
+            series: Vec::new(),
+        }
+    }
+
+    /// Uses a base-2 logarithmic x axis (table sizes, Kbit budgets).
+    #[must_use]
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Fixes the y range instead of auto-scaling.
+    #[must_use]
+    pub fn y_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "empty y range");
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    /// Adds a series; its marker is the first character of the label.
+    #[must_use]
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn x_of(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(f64::MIN_POSITIVE).log2()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the chart, with y labels on the left and a legend below.
+    pub fn render(&self) -> String {
+        let points: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, y)| (self.x_of(x), y)))
+            .collect();
+        if points.is_empty() {
+            return "(empty chart)\n".to_owned();
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, _) in &points {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+        }
+        let (y_lo, y_hi) = self.y_range.unwrap_or_else(|| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &(_, y) in &points {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+            if (hi - lo).abs() < 1e-12 {
+                (lo - 0.5, hi + 0.5)
+            } else {
+                (lo, hi)
+            }
+        });
+        if (x_hi - x_lo).abs() < 1e-12 {
+            x_hi = x_lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            let marker = s.label.chars().next().unwrap_or('*');
+            for &(x, y) in &s.points {
+                let gx = ((self.x_of(x) - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round()
+                    as usize;
+                let gy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round();
+                if gy < 0.0 || gy as usize >= self.height || gx >= self.width {
+                    continue;
+                }
+                let row = self.height - 1 - gy as usize;
+                grid[row][gx] = marker;
+            }
+        }
+
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let y_here = y_hi - (y_hi - y_lo) * i as f64 / (self.height - 1) as f64;
+            let label = if i == 0 || i == self.height - 1 || i == self.height / 2 {
+                format!("{y_here:>6.2}")
+            } else {
+                " ".repeat(6)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(6), "-".repeat(self.width));
+        let x_axis = if self.log_x {
+            format!("2^{:.1} .. 2^{:.1} (log)", x_lo, x_hi)
+        } else {
+            format!("{x_lo:.1} .. {x_hi:.1}")
+        };
+        let _ = writeln!(out, "{} x: {x_axis}", " ".repeat(6));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{}={}", s.label.chars().next().unwrap_or('*'), s.label))
+            .collect();
+        let _ = writeln!(out, "{} {}", " ".repeat(6), legend.join("  "));
+        out
+    }
+}
+
+/// A horizontal grouped bar chart for per-category comparisons.
+///
+/// ```
+/// use dfcm_sim::chart::BarChart;
+///
+/// let mut chart = BarChart::new(30);
+/// chart.bar("fcm", 0.62);
+/// chart.bar("dfcm", 0.73);
+/// let drawing = chart.render();
+/// assert!(drawing.contains("dfcm"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    width: usize,
+    max: Option<f64>,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a bar chart whose longest bar is `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "bar width must be positive");
+        BarChart {
+            width,
+            max: None,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Fixes the full-scale value (default: the largest bar).
+    #[must_use]
+    pub fn max(mut self, max: f64) -> Self {
+        assert!(max > 0.0, "scale must be positive");
+        self.max = Some(max);
+        self
+    }
+
+    /// Appends a bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Renders the bars with right-aligned labels and values.
+    pub fn render(&self) -> String {
+        if self.bars.is_empty() {
+            return "(empty chart)\n".to_owned();
+        }
+        let scale = self
+            .max
+            .unwrap_or_else(|| self.bars.iter().map(|&(_, v)| v).fold(0.0, f64::max))
+            .max(f64::MIN_POSITIVE);
+        let label_width = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.bars {
+            let filled = ((value / scale).clamp(0.0, 1.0) * self.width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{label:>label_width$} |{}{} {value:.3}",
+                "#".repeat(filled),
+                " ".repeat(self.width - filled),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_places_extremes_at_edges() {
+        let chart =
+            ScatterChart::new(20, 5).series(Series::new("a", vec![(0.0, 0.0), (10.0, 1.0)]));
+        let drawing = chart.render();
+        let lines: Vec<&str> = drawing.lines().collect();
+        // Top row holds the max point at the right edge, bottom the min at
+        // the left edge.
+        assert!(lines[0].ends_with('a'), "{drawing}");
+        assert!(lines[4].contains("|a"), "{drawing}");
+    }
+
+    #[test]
+    fn scatter_log_axis_spreads_octaves_evenly() {
+        let chart = ScatterChart::new(21, 3)
+            .log_x()
+            .series(Series::new("x", vec![(1.0, 0.5), (4.0, 0.5), (16.0, 0.5)]));
+        let drawing = chart.render();
+        let mid = drawing.lines().nth(1).expect("mid row");
+        let cols: Vec<usize> = mid
+            .char_indices()
+            .filter(|&(_, c)| c == 'x')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(cols.len(), 3, "{drawing}");
+        assert_eq!(
+            cols[1] - cols[0],
+            cols[2] - cols[1],
+            "log spacing must be even"
+        );
+    }
+
+    #[test]
+    fn scatter_handles_multiple_series_and_empty() {
+        let drawing = ScatterChart::new(10, 3).render();
+        assert!(drawing.contains("empty"));
+        let drawing = ScatterChart::new(10, 3)
+            .series(Series::new("p", vec![(0.0, 1.0)]))
+            .series(Series::new("q", vec![(1.0, 2.0)]))
+            .render();
+        assert!(drawing.contains('p') && drawing.contains('q'));
+        assert!(drawing.contains("p=p") && drawing.contains("q=q"));
+    }
+
+    #[test]
+    fn fixed_y_range_clips_outliers_without_panicking() {
+        let drawing = ScatterChart::new(10, 4)
+            .y_range(0.0, 1.0)
+            .series(Series::new("z", vec![(0.0, 0.5), (1.0, 5.0), (2.0, -3.0)]))
+            .render();
+        // One plotted marker plus the two characters of the "z=z" legend.
+        assert_eq!(drawing.matches('z').count(), 3, "{drawing}");
+    }
+
+    #[test]
+    fn bars_scale_to_longest() {
+        let mut chart = BarChart::new(10);
+        chart.bar("half", 0.5);
+        chart.bar("full", 1.0);
+        let drawing = chart.render();
+        let lines: Vec<&str> = drawing.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 5, "{drawing}");
+        assert_eq!(lines[1].matches('#').count(), 10, "{drawing}");
+    }
+
+    #[test]
+    fn bars_with_fixed_scale() {
+        let mut chart = BarChart::new(10).max(2.0);
+        chart.bar("one", 1.0);
+        let drawing = chart.render();
+        assert_eq!(drawing.lines().next().unwrap().matches('#').count(), 5);
+    }
+
+    #[test]
+    fn empty_bars_safe() {
+        assert!(BarChart::new(5).render().contains("empty"));
+    }
+}

@@ -1,0 +1,123 @@
+use dfcm::ConfidencePredictor;
+use dfcm_trace::Trace;
+
+use crate::run::RunStats;
+
+/// Coverage/accuracy outcome of running a confidence-estimating predictor
+/// over a trace.
+///
+/// A confidence estimator trades *coverage* (the fraction of predictions
+/// it is willing to issue) for *issued accuracy* (the accuracy of the
+/// predictions it does issue) — the trade-off that matters when
+/// mispredictions cost pipeline squashes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfidenceStats {
+    /// Statistics over every prediction, issued or not.
+    pub all: RunStats,
+    /// Statistics over the issued (confident) predictions only.
+    pub issued: RunStats,
+}
+
+impl ConfidenceStats {
+    /// Fraction of predictions the estimator issued.
+    pub fn coverage(&self) -> f64 {
+        if self.all.predictions == 0 {
+            0.0
+        } else {
+            self.issued.predictions as f64 / self.all.predictions as f64
+        }
+    }
+
+    /// Accuracy over issued predictions.
+    pub fn issued_accuracy(&self) -> f64 {
+        self.issued.accuracy()
+    }
+
+    /// Accuracy over all predictions (as if every one were issued).
+    pub fn overall_accuracy(&self) -> f64 {
+        self.all.accuracy()
+    }
+}
+
+/// Runs a confidence-estimating predictor over a buffered trace,
+/// collecting both the unconditional and the issued-only statistics.
+pub fn simulate_confidence<P>(predictor: &mut P, trace: &Trace) -> ConfidenceStats
+where
+    P: ConfidencePredictor + ?Sized,
+{
+    let mut stats = ConfidenceStats::default();
+    for record in trace {
+        let q = predictor.predict_confident(record.pc);
+        let correct = q.value == record.value;
+        stats.all.predictions += 1;
+        stats.all.correct += u64::from(correct);
+        if q.confident {
+            stats.issued.predictions += 1;
+            stats.issued.correct += u64::from(correct);
+        }
+        predictor.update(record.pc, record.value);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcm::TaggedDfcmPredictor;
+    use dfcm_trace::TraceRecord;
+
+    #[test]
+    fn coverage_and_accuracy_on_mixed_trace() {
+        // Half stride (predictable), half random (not).
+        let mut trace = Trace::new();
+        let mut x = 3u64;
+        for i in 0..4000u64 {
+            trace.push(TraceRecord::new(0x10, 5 * i));
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            trace.push(TraceRecord::new(0x20, x >> 30));
+        }
+        let mut p = TaggedDfcmPredictor::builder()
+            .l1_bits(8)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let stats = simulate_confidence(&mut p, &trace);
+        assert_eq!(stats.all.predictions, 8000);
+        assert!(
+            stats.coverage() > 0.3 && stats.coverage() < 0.8,
+            "{}",
+            stats.coverage()
+        );
+        assert!(
+            stats.issued_accuracy() > stats.overall_accuracy() + 0.2,
+            "issued {:.3} vs overall {:.3}",
+            stats.issued_accuracy(),
+            stats.overall_accuracy()
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let mut p = TaggedDfcmPredictor::builder()
+            .l1_bits(4)
+            .l2_bits(6)
+            .build()
+            .unwrap();
+        let stats = simulate_confidence(&mut p, &Trace::new());
+        assert_eq!(stats.coverage(), 0.0);
+        assert_eq!(stats.issued_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn issued_subset_of_all() {
+        let trace: Trace = (0..500).map(|i| TraceRecord::new(0x8, i % 9)).collect();
+        let mut p = TaggedDfcmPredictor::builder()
+            .l1_bits(4)
+            .l2_bits(8)
+            .build()
+            .unwrap();
+        let stats = simulate_confidence(&mut p, &trace);
+        assert!(stats.issued.predictions <= stats.all.predictions);
+        assert!(stats.issued.correct <= stats.all.correct);
+    }
+}

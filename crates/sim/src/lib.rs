@@ -1,0 +1,53 @@
+//! Trace-driven value-predictor evaluation harness.
+//!
+//! Reproduces the paper's methodology (§4): predictors are evaluated in
+//! isolation (no processor model) by folding [`access`] over a value
+//! trace; suite results are reported as the arithmetic mean over all
+//! benchmarks weighted by the number of predicted instructions.
+//!
+//! * [`simulate`] / [`simulate_trace`] — run one predictor over one trace.
+//! * [`run_suite`] — fresh predictor per benchmark, weighted-mean accuracy.
+//! * [`sweep`] — evaluate a family of configurations over a suite.
+//! * [`pareto_front`] — the size/accuracy Pareto points (Figure 11(b)).
+//! * [`simulate_confidence`] — coverage/accuracy of confidence-estimating
+//!   predictors (the §4.2 extension).
+//! * [`speculation`] — a first-order cycles-saved model for issued
+//!   predictions.
+//! * [`report`] — ASCII tables and CSV output for the repro binaries.
+//! * [`chart`] — terminal scatter and bar charts for figure rendering.
+//!
+//! [`access`]: dfcm::ValuePredictor::access
+//!
+//! ```
+//! use dfcm::DfcmPredictor;
+//! use dfcm_sim::simulate_trace;
+//! use dfcm_trace::{Trace, TraceRecord};
+//!
+//! # fn main() -> Result<(), dfcm::ConfigError> {
+//! let trace: Trace = (0..1000).map(|i| TraceRecord::new(0x40, 3 * i)).collect();
+//! let mut p = DfcmPredictor::builder().l1_bits(10).l2_bits(10).build()?;
+//! let stats = simulate_trace(&mut p, &trace);
+//! assert!(stats.accuracy() > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+mod confidence;
+mod pareto;
+pub mod report;
+mod run;
+pub mod speculation;
+mod suite;
+mod sweep;
+mod timeline;
+
+pub use crate::confidence::{simulate_confidence, ConfidenceStats};
+pub use crate::pareto::{pareto_front, ParetoPoint};
+pub use crate::run::{simulate, simulate_n, simulate_trace, RunStats};
+pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};
+pub use crate::sweep::{sweep, sweep_parallel, SweepPoint};
+pub use crate::timeline::simulate_timeline;

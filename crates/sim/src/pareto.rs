@@ -1,0 +1,168 @@
+/// A labelled (size, accuracy) point for Pareto analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Label of the configuration (e.g. the predictor name).
+    pub label: String,
+    /// Total storage in Kbit.
+    pub kbits: f64,
+    /// Weighted suite accuracy.
+    pub accuracy: f64,
+}
+
+/// Computes the Pareto front the paper plots in Figure 11(b): the
+/// configurations with "a higher accuracy than all other configurations
+/// with the same or smaller size".
+///
+/// Returns the surviving points sorted by ascending size. Within a size
+/// tie only the most accurate point survives.
+///
+/// ```
+/// use dfcm_sim::{pareto_front, ParetoPoint};
+///
+/// let p = |k: f64, a: f64| ParetoPoint { label: String::new(), kbits: k, accuracy: a };
+/// let front = pareto_front(&[p(1.0, 0.5), p(2.0, 0.4), p(2.0, 0.6), p(4.0, 0.7)]);
+/// let sizes: Vec<f64> = front.iter().map(|p| p.kbits).collect();
+/// assert_eq!(sizes, vec![1.0, 2.0, 4.0]); // the 0.4-accuracy point is dominated
+/// ```
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted: Vec<&ParetoPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.kbits
+            .total_cmp(&b.kbits)
+            .then(b.accuracy.total_cmp(&a.accuracy))
+    });
+    let mut front = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.accuracy > best {
+            best = p.accuracy;
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(kbits: f64, accuracy: f64) -> ParetoPoint {
+        ParetoPoint {
+            label: format!("{kbits}/{accuracy}"),
+            kbits,
+            accuracy,
+        }
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let front = pareto_front(&[p(10.0, 0.5), p(20.0, 0.45), p(30.0, 0.6)]);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].kbits, 10.0);
+        assert_eq!(front[1].kbits, 30.0);
+    }
+
+    #[test]
+    fn equal_size_keeps_best_only() {
+        let front = pareto_front(&[p(8.0, 0.3), p(8.0, 0.7), p(8.0, 0.5)]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].accuracy, 0.7);
+    }
+
+    #[test]
+    fn monotone_input_survives_whole() {
+        let pts: Vec<ParetoPoint> = (1..=5).map(|i| p(i as f64, 0.1 * i as f64)).collect();
+        assert_eq!(pareto_front(&pts).len(), 5);
+    }
+
+    #[test]
+    fn front_is_sorted_and_strictly_improving() {
+        let pts = vec![
+            p(4.0, 0.4),
+            p(1.0, 0.2),
+            p(3.0, 0.5),
+            p(2.0, 0.2),
+            p(5.0, 0.45),
+        ];
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            assert!(w[0].kbits < w[1].kbits);
+            assert!(w[0].accuracy < w[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points() -> impl Strategy<Value = Vec<ParetoPoint>> {
+        prop::collection::vec((1u32..1000, 0u32..1000), 0..50).prop_map(|v| {
+            v.into_iter()
+                .map(|(k, a)| ParetoPoint {
+                    label: format!("{k}/{a}"),
+                    kbits: f64::from(k),
+                    accuracy: f64::from(a) / 1000.0,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Every front member comes from the input set.
+        #[test]
+        fn front_is_subset(points in arb_points()) {
+            let front = pareto_front(&points);
+            for p in &front {
+                prop_assert!(points.iter().any(|q| q.kbits == p.kbits
+                    && q.accuracy == p.accuracy));
+            }
+        }
+
+        /// No input point dominates a front member (same-or-smaller size
+        /// with strictly higher accuracy).
+        #[test]
+        fn front_members_are_undominated(points in arb_points()) {
+            let front = pareto_front(&points);
+            for f in &front {
+                for q in &points {
+                    prop_assert!(
+                        !(q.kbits <= f.kbits && q.accuracy > f.accuracy),
+                        "{}/{} dominates front member {}/{}",
+                        q.kbits, q.accuracy, f.kbits, f.accuracy
+                    );
+                }
+            }
+        }
+
+        /// Every input point is dominated-or-equalled by some front member.
+        #[test]
+        fn front_covers_input(points in arb_points()) {
+            let front = pareto_front(&points);
+            for q in &points {
+                prop_assert!(
+                    front.iter().any(|f| f.kbits <= q.kbits && f.accuracy >= q.accuracy),
+                    "{}/{} not covered",
+                    q.kbits,
+                    q.accuracy
+                );
+            }
+        }
+
+        /// The front is strictly increasing in both coordinates.
+        #[test]
+        fn front_strictly_increases(points in arb_points()) {
+            let front = pareto_front(&points);
+            for w in front.windows(2) {
+                prop_assert!(w[0].kbits < w[1].kbits);
+                prop_assert!(w[0].accuracy < w[1].accuracy);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! A first-order speculation benefit model.
+//!
+//! The paper evaluates predictors by accuracy only (§4: embedding effects
+//! are "only partially understood"), but its motivation is ILP: a correct
+//! value prediction lets dependent instructions execute early, a wrong one
+//! costs a squash. This module provides the standard first-order account:
+//! each issued correct prediction saves `benefit` cycles, each issued
+//! misprediction costs `penalty` cycles, unissued predictions are neutral.
+//! The break-even accuracy is `penalty / (benefit + penalty)` — with a
+//! benefit of 1 and a penalty of 10, a predictor must exceed ~91%
+//! accuracy on the predictions it issues, which is why the confidence
+//! estimation of §4.2 matters.
+
+use dfcm::{ConfidencePredictor, ValuePredictor};
+use dfcm_trace::Trace;
+
+use crate::confidence::ConfidenceStats;
+use crate::run::RunStats;
+
+/// Cycle cost model for issued predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationModel {
+    /// Cycles saved by a correct issued prediction.
+    pub benefit: f64,
+    /// Cycles lost by an incorrect issued prediction (squash cost).
+    pub penalty: f64,
+}
+
+impl SpeculationModel {
+    /// The issued-accuracy above which speculation is profitable.
+    pub fn break_even_accuracy(&self) -> f64 {
+        self.penalty / (self.benefit + self.penalty)
+    }
+
+    /// Net cycles saved by a set of issued predictions.
+    pub fn net_cycles(&self, issued: RunStats) -> f64 {
+        let wrong = issued.predictions - issued.correct;
+        issued.correct as f64 * self.benefit - wrong as f64 * self.penalty
+    }
+}
+
+impl Default for SpeculationModel {
+    /// A conservative default: 1 cycle saved per hit, 10 cycles of squash
+    /// per miss.
+    fn default() -> Self {
+        SpeculationModel {
+            benefit: 1.0,
+            penalty: 10.0,
+        }
+    }
+}
+
+/// Result of a speculation evaluation over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationOutcome {
+    /// Coverage/accuracy statistics of the run.
+    pub stats: ConfidenceStats,
+    /// Net cycles saved over the whole trace under the model.
+    pub net_cycles: f64,
+}
+
+impl SpeculationOutcome {
+    /// Net cycles saved per 1000 predicted instructions — the comparable
+    /// figure of merit.
+    pub fn net_per_kilo(&self) -> f64 {
+        if self.stats.all.predictions == 0 {
+            0.0
+        } else {
+            1000.0 * self.net_cycles / self.stats.all.predictions as f64
+        }
+    }
+}
+
+/// Evaluates an always-issuing predictor (no confidence estimation) under
+/// the model.
+pub fn speculate_always<P>(
+    model: SpeculationModel,
+    predictor: &mut P,
+    trace: &Trace,
+) -> SpeculationOutcome
+where
+    P: ValuePredictor + ?Sized,
+{
+    let stats = crate::run::simulate_trace(predictor, trace);
+    let outcome = ConfidenceStats {
+        all: stats,
+        issued: stats,
+    };
+    SpeculationOutcome {
+        stats: outcome,
+        net_cycles: model.net_cycles(stats),
+    }
+}
+
+/// Evaluates a confidence-gated predictor under the model: only confident
+/// predictions are issued and scored.
+pub fn speculate_confident<P>(
+    model: SpeculationModel,
+    predictor: &mut P,
+    trace: &Trace,
+) -> SpeculationOutcome
+where
+    P: ConfidencePredictor + ?Sized,
+{
+    let stats = crate::confidence::simulate_confidence(predictor, trace);
+    SpeculationOutcome {
+        stats,
+        net_cycles: model.net_cycles(stats.issued),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcm::{DfcmPredictor, TaggedDfcmPredictor};
+    use dfcm_trace::TraceRecord;
+
+    fn mixed_trace() -> Trace {
+        let mut trace = Trace::new();
+        let mut x = 11u64;
+        for i in 0..5000u64 {
+            trace.push(TraceRecord::new(0x10, 5 * i)); // predictable
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+            trace.push(TraceRecord::new(0x20, x >> 25)); // unpredictable
+        }
+        trace
+    }
+
+    #[test]
+    fn break_even_matches_formula() {
+        let m = SpeculationModel {
+            benefit: 1.0,
+            penalty: 10.0,
+        };
+        assert!((m.break_even_accuracy() - 10.0 / 11.0).abs() < 1e-12);
+        let m = SpeculationModel {
+            benefit: 2.0,
+            penalty: 2.0,
+        };
+        assert_eq!(m.break_even_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn net_cycles_accounting() {
+        let m = SpeculationModel {
+            benefit: 1.0,
+            penalty: 10.0,
+        };
+        let issued = RunStats {
+            predictions: 100,
+            correct: 95,
+        };
+        assert_eq!(m.net_cycles(issued), 95.0 - 50.0);
+    }
+
+    #[test]
+    fn confidence_gating_rescues_harsh_penalties() {
+        // At a 10-cycle squash cost, a ~50%-accurate unconditional DFCM
+        // loses cycles; the tagged estimator turns it profitable.
+        let trace = mixed_trace();
+        let model = SpeculationModel::default();
+        let mut plain = DfcmPredictor::builder()
+            .l1_bits(8)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let always = speculate_always(model, &mut plain, &trace);
+        let mut tagged = TaggedDfcmPredictor::builder()
+            .l1_bits(8)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let gated = speculate_confident(model, &mut tagged, &trace);
+        assert!(
+            always.net_cycles < 0.0,
+            "unconditional issue must lose: {always:?}"
+        );
+        assert!(gated.net_cycles > 0.0, "gated issue must win: {gated:?}");
+        assert!(gated.net_per_kilo() > always.net_per_kilo());
+    }
+
+    #[test]
+    fn mild_penalties_favor_wide_issue() {
+        // With no squash cost, issuing everything dominates gating.
+        let trace = mixed_trace();
+        let model = SpeculationModel {
+            benefit: 1.0,
+            penalty: 0.0,
+        };
+        let mut plain = DfcmPredictor::builder()
+            .l1_bits(8)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let always = speculate_always(model, &mut plain, &trace);
+        let mut tagged = TaggedDfcmPredictor::builder()
+            .l1_bits(8)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let gated = speculate_confident(model, &mut tagged, &trace);
+        assert!(always.net_cycles >= gated.net_cycles);
+    }
+
+    #[test]
+    fn empty_trace_is_neutral() {
+        let mut p = DfcmPredictor::builder()
+            .l1_bits(4)
+            .l2_bits(6)
+            .build()
+            .unwrap();
+        let out = speculate_always(SpeculationModel::default(), &mut p, &Trace::new());
+        assert_eq!(out.net_cycles, 0.0);
+        assert_eq!(out.net_per_kilo(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+use dfcm::ValuePredictor;
+use dfcm_trace::BenchmarkTrace;
+
+use crate::run::{simulate_trace, RunStats};
+
+/// Per-benchmark result of a suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkResult {
+    /// The benchmark's name.
+    pub name: &'static str,
+    /// The run statistics on this benchmark.
+    pub stats: RunStats,
+}
+
+/// Result of running one predictor configuration over a benchmark suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// The predictor's label (from [`ValuePredictor::name`]).
+    pub predictor: String,
+    /// The predictor's storage in Kbit.
+    pub kbits: f64,
+    /// Per-benchmark results, in suite order.
+    pub benchmarks: Vec<BenchmarkResult>,
+}
+
+impl SuiteResult {
+    /// The paper's summary metric: arithmetic mean over all benchmarks,
+    /// weighted by the number of predicted instructions.
+    pub fn weighted_accuracy(&self) -> f64 {
+        let mut total = RunStats::default();
+        for b in &self.benchmarks {
+            total.merge(b.stats);
+        }
+        total.accuracy()
+    }
+
+    /// The accuracy on one benchmark, if present.
+    pub fn benchmark_accuracy(&self, name: &str) -> Option<f64> {
+        self.benchmarks
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.stats.accuracy())
+    }
+}
+
+/// Runs a *fresh* predictor (from `factory`) over each benchmark trace —
+/// the paper's per-benchmark simulation — and aggregates the results.
+pub fn run_suite<P, F>(mut factory: F, traces: &[BenchmarkTrace]) -> SuiteResult
+where
+    P: ValuePredictor,
+    F: FnMut() -> P,
+{
+    let mut benchmarks = Vec::with_capacity(traces.len());
+    let mut label = None;
+    let mut kbits = 0.0;
+    for bench in traces {
+        let mut predictor = factory();
+        if label.is_none() {
+            label = Some(predictor.name());
+            kbits = predictor.storage().kbits();
+        }
+        let stats = simulate_trace(&mut predictor, &bench.trace);
+        benchmarks.push(BenchmarkResult {
+            name: bench.name,
+            stats,
+        });
+    }
+    SuiteResult {
+        predictor: label.unwrap_or_else(|| "(empty suite)".to_owned()),
+        kbits,
+        benchmarks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcm::LastValuePredictor;
+    use dfcm_trace::{Trace, TraceRecord};
+
+    fn bench(name: &'static str, values: &[u64]) -> BenchmarkTrace {
+        BenchmarkTrace {
+            name,
+            trace: values
+                .iter()
+                .map(|&v| TraceRecord::new(8, v))
+                .collect::<Trace>(),
+        }
+    }
+
+    #[test]
+    fn fresh_predictor_per_benchmark() {
+        // If state leaked between benchmarks, the second identical
+        // benchmark would have no cold miss.
+        let traces = vec![bench("a", &[5, 5, 5]), bench("b", &[5, 5, 5])];
+        let result = run_suite(|| LastValuePredictor::new(4), &traces);
+        assert_eq!(result.benchmarks[0].stats.correct, 2);
+        assert_eq!(result.benchmarks[1].stats.correct, 2, "state must not leak");
+    }
+
+    #[test]
+    fn weighted_mean_weights_by_predictions() {
+        // 100 predictions at 99% and 10 predictions at 0%.
+        let traces = vec![
+            bench("big", &[7; 100]),
+            bench("small", &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]),
+        ];
+        let result = run_suite(|| LastValuePredictor::new(4), &traces);
+        let expected = 99.0 / 110.0;
+        assert!((result.weighted_accuracy() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benchmark_accuracy_lookup() {
+        let traces = vec![bench("x", &[3, 3])];
+        let result = run_suite(|| LastValuePredictor::new(4), &traces);
+        assert_eq!(result.benchmark_accuracy("x"), Some(0.5));
+        assert_eq!(result.benchmark_accuracy("y"), None);
+    }
+
+    #[test]
+    fn labels_and_size_reported() {
+        let traces = vec![bench("x", &[1])];
+        let result = run_suite(|| LastValuePredictor::new(6), &traces);
+        assert_eq!(result.predictor, "lvp(2^6)");
+        assert!((result.kbits - 2.0).abs() < 1e-12); // 64 entries * 32 bits
+    }
+}

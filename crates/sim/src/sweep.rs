@@ -1,0 +1,189 @@
+use dfcm::ValuePredictor;
+use dfcm_trace::BenchmarkTrace;
+
+use crate::suite::{run_suite, SuiteResult};
+
+/// One evaluated configuration of a parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint<C> {
+    /// The configuration that was evaluated.
+    pub config: C,
+    /// The suite result at that configuration.
+    pub result: SuiteResult,
+}
+
+impl<C> SweepPoint<C> {
+    /// Shorthand for the weighted suite accuracy at this point.
+    pub fn accuracy(&self) -> f64 {
+        self.result.weighted_accuracy()
+    }
+
+    /// Shorthand for the configuration's storage in Kbit.
+    pub fn kbits(&self) -> f64 {
+        self.result.kbits
+    }
+}
+
+/// Evaluates a family of predictor configurations over a benchmark suite.
+///
+/// `factory` builds a fresh predictor for a configuration; it is invoked
+/// once per (configuration, benchmark) pair so that every benchmark sees
+/// cold tables, as in the paper.
+///
+/// ```
+/// use dfcm::LastValuePredictor;
+/// use dfcm_sim::sweep;
+/// use dfcm_trace::suite::standard_traces;
+///
+/// let traces = standard_traces(1, 0.001);
+/// let points = sweep(&[6u32, 8], |&bits| LastValuePredictor::new(bits), &traces);
+/// assert_eq!(points.len(), 2);
+/// assert!(points[0].accuracy() > 0.0);
+/// ```
+pub fn sweep<C, P, F>(
+    configs: &[C],
+    mut factory: F,
+    traces: &[BenchmarkTrace],
+) -> Vec<SweepPoint<C>>
+where
+    C: Clone,
+    P: ValuePredictor,
+    F: FnMut(&C) -> P,
+{
+    configs
+        .iter()
+        .map(|config| SweepPoint {
+            config: config.clone(),
+            result: run_suite(|| factory(config), traces),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcm::FcmPredictor;
+    use dfcm_trace::{BenchmarkTrace, Trace, TraceRecord};
+
+    fn tiny_suite() -> Vec<BenchmarkTrace> {
+        let trace: Trace = (0..500u64)
+            .map(|i| TraceRecord::new(16 + (i % 4), (i % 7) * 100))
+            .collect();
+        vec![BenchmarkTrace { name: "t", trace }]
+    }
+
+    #[test]
+    fn sweep_evaluates_each_config() {
+        let traces = tiny_suite();
+        let points = sweep(
+            &[(4u32, 8u32), (8, 12)],
+            |&(l1, l2)| {
+                FcmPredictor::builder()
+                    .l1_bits(l1)
+                    .l2_bits(l2)
+                    .build()
+                    .unwrap()
+            },
+            &traces,
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].config, (4, 8));
+        assert!(points[1].kbits() > points[0].kbits());
+    }
+
+    #[test]
+    fn bigger_tables_do_not_hurt_on_context_patterns() {
+        let traces = tiny_suite();
+        let points = sweep(
+            &[8u32, 14],
+            |&l2| {
+                FcmPredictor::builder()
+                    .l1_bits(8)
+                    .l2_bits(l2)
+                    .build()
+                    .unwrap()
+            },
+            &traces,
+        );
+        assert!(points[1].accuracy() >= points[0].accuracy() - 0.02);
+    }
+}
+
+/// Like [`sweep`], but distributes configurations across `threads` worker
+/// threads. Results are identical to the serial version and returned in
+/// configuration order; only wall-clock time differs. Each (configuration,
+/// benchmark) pair still gets a fresh predictor.
+pub fn sweep_parallel<C, P, F>(
+    configs: &[C],
+    factory: F,
+    traces: &[BenchmarkTrace],
+    threads: usize,
+) -> Vec<SweepPoint<C>>
+where
+    C: Clone + Send + Sync,
+    P: ValuePredictor,
+    F: Fn(&C) -> P + Send + Sync,
+{
+    let threads = threads.max(1).min(configs.len().max(1));
+    let mut results: Vec<Option<SweepPoint<C>>> = (0..configs.len()).map(|_| None).collect();
+    let chunk = configs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (configs_chunk, results_chunk) in configs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let factory = &factory;
+            scope.spawn(move || {
+                for (config, slot) in configs_chunk.iter().zip(results_chunk) {
+                    *slot = Some(SweepPoint {
+                        config: config.clone(),
+                        result: run_suite(|| factory(config), traces),
+                    });
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use dfcm::DfcmPredictor;
+    use dfcm_trace::suite::standard_traces;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let traces = standard_traces(5, 0.002);
+        let configs: Vec<(u32, u32)> = vec![(8, 8), (8, 10), (10, 8), (10, 10), (12, 10)];
+        let factory = |&(l1, l2): &(u32, u32)| {
+            DfcmPredictor::builder()
+                .l1_bits(l1)
+                .l2_bits(l2)
+                .build()
+                .unwrap()
+        };
+        let serial = sweep(&configs, factory, &traces);
+        let parallel = sweep_parallel(&configs, factory, &traces, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.config, p.config);
+            assert_eq!(s.result, p.result);
+        }
+    }
+
+    #[test]
+    fn single_thread_and_oversubscription_work() {
+        let traces = standard_traces(5, 0.001);
+        let configs = vec![(8u32, 8u32), (9, 9)];
+        let factory = |&(l1, l2): &(u32, u32)| {
+            DfcmPredictor::builder()
+                .l1_bits(l1)
+                .l2_bits(l2)
+                .build()
+                .unwrap()
+        };
+        assert_eq!(sweep_parallel(&configs, factory, &traces, 1).len(), 2);
+        assert_eq!(sweep_parallel(&configs, factory, &traces, 64).len(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Windowed accuracy over time.
+//!
+//! Aggregate accuracy hides transients: warmup, phase changes, table
+//! churn. [`simulate_timeline`] splits a run into fixed-size windows and
+//! reports per-window statistics, which the phase experiments chart as
+//! accuracy-over-time curves.
+
+use dfcm::ValuePredictor;
+use dfcm_trace::TraceSource;
+
+use crate::run::RunStats;
+
+/// Runs `predictor` over up to `n` records of `source`, returning one
+/// [`RunStats`] per `window` records (the final window may be shorter).
+///
+/// # Panics
+///
+/// Panics if `window` is 0.
+pub fn simulate_timeline<P, S>(
+    predictor: &mut P,
+    source: &mut S,
+    n: usize,
+    window: usize,
+) -> Vec<RunStats>
+where
+    P: ValuePredictor + ?Sized,
+    S: TraceSource + ?Sized,
+{
+    assert!(window > 0, "window must be positive");
+    let mut windows = Vec::with_capacity(n.div_ceil(window));
+    let mut current = RunStats::default();
+    for _ in 0..n {
+        let Some(record) = source.next_record() else {
+            break;
+        };
+        current.predictions += 1;
+        current.correct += u64::from(predictor.access(record.pc, record.value).correct);
+        if current.predictions as usize == window {
+            windows.push(current);
+            current = RunStats::default();
+        }
+    }
+    if current.predictions > 0 {
+        windows.push(current);
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcm::{DfcmPredictor, LastValuePredictor};
+    use dfcm_trace::{Pattern, PhasedProgram, SyntheticProgram, Trace, TraceRecord};
+
+    #[test]
+    fn windows_partition_the_run() {
+        let trace: Trace = (0..95).map(|i| TraceRecord::new(4, i % 3)).collect();
+        let mut p = LastValuePredictor::new(4);
+        let windows = simulate_timeline(&mut p, &mut trace.source(), 95, 10);
+        assert_eq!(windows.len(), 10);
+        assert!(windows[..9].iter().all(|w| w.predictions == 10));
+        assert_eq!(windows[9].predictions, 5);
+        let total: u64 = windows.iter().map(|w| w.predictions).sum();
+        assert_eq!(total, 95);
+    }
+
+    #[test]
+    fn warmup_shows_in_first_window() {
+        // A stride stream: the first window carries the cold misses, later
+        // windows are perfect.
+        let trace: Trace = (0..1000).map(|i| TraceRecord::new(4, 3 * i)).collect();
+        let mut p = DfcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(10)
+            .build()
+            .unwrap();
+        let windows = simulate_timeline(&mut p, &mut trace.source(), 1000, 100);
+        assert!(windows[0].accuracy() < windows[5].accuracy());
+        assert_eq!(windows[5].accuracy(), 1.0);
+    }
+
+    #[test]
+    fn phase_switches_show_as_dips() {
+        let a = SyntheticProgram::builder(1)
+            .inst(Pattern::Periodic(vec![1, 2, 3, 4]), 1)
+            .build();
+        let b = SyntheticProgram::builder(2)
+            .inst(Pattern::Periodic(vec![9, 9, 5, 7, 2]), 1)
+            .build();
+        let mut phased = PhasedProgram::new(vec![(a, 500), (b, 500)]);
+        let mut p = DfcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(12)
+            .build()
+            .unwrap();
+        let windows = simulate_timeline(&mut p, &mut phased, 4000, 100);
+        // Windows right after a switch (indices 5, 10, 15, ...) must be
+        // worse than the settled windows before the next switch.
+        let dip = windows[5].accuracy();
+        let settled = windows[9].accuracy();
+        assert!(
+            dip < settled,
+            "post-switch dip {dip:.3} vs settled {settled:.3}"
+        );
+    }
+
+    #[test]
+    fn truncates_at_source_end() {
+        let trace: Trace = (0..30).map(|i| TraceRecord::new(0, i)).collect();
+        let mut p = LastValuePredictor::new(4);
+        let windows = simulate_timeline(&mut p, &mut trace.source(), 1000, 20);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[1].predictions, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let trace = Trace::new();
+        let mut p = LastValuePredictor::new(4);
+        let _ = simulate_timeline(&mut p, &mut trace.source(), 10, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Library half of `dfcm-tools`: each subcommand as a callable function
+//! returning its output as a `String`, so the test suite can exercise the
+//! tool end to end.
+//!
+//! Subcommands (see `dfcm-tools help`):
+//!
+//! * `gen` — generate a trace (synthetic benchmark or VM kernel) and save
+//!   it in the compact binary format.
+//! * `stats` — trace statistics (Table 1-style) for a saved trace.
+//! * `eval` — run a predictor configuration over a saved trace.
+//! * `disasm` — print the assembly listing of a bundled kernel.
+//! * `profile` — execute a kernel and print its execution profile.
+//! * `kernels` / `benchmarks` — list what `gen` accepts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dfcm::{
+    DfcmPredictor, FcmPredictor, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor,
+    ValuePredictor,
+};
+use dfcm_sim::simulate_trace;
+use dfcm_trace::stats::TraceStats;
+use dfcm_trace::suite::standard_suite;
+use dfcm_trace::{Trace, TraceSource};
+use dfcm_vm::{assemble, disassemble, programs, Vm};
+
+/// Errors surfaced to the command line.
+#[derive(Debug)]
+pub struct ToolError(pub String);
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+fn err(message: impl Into<String>) -> ToolError {
+    ToolError(message.into())
+}
+
+/// `gen <workload> <records> <out.trc> [--seed N]` — generates and saves a
+/// trace. `<workload>` is a synthetic benchmark name (`cc1` … `vortex`) or
+/// a VM kernel name (`norm`, `queens`, …).
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown workloads or I/O failures.
+pub fn generate(
+    workload: &str,
+    records: usize,
+    out: &Path,
+    seed: u64,
+) -> Result<String, ToolError> {
+    let trace = trace_for(workload, records, seed)?;
+    trace
+        .save(out)
+        .map_err(|e| err(format!("writing {}: {e}", out.display())))?;
+    Ok(format!(
+        "wrote {} records to {}",
+        trace.len(),
+        out.display()
+    ))
+}
+
+/// Builds a trace for a named workload (shared by `gen` and tests).
+///
+/// # Errors
+///
+/// Returns [`ToolError`] if the name matches neither a synthetic
+/// benchmark nor a bundled kernel.
+pub fn trace_for(workload: &str, records: usize, seed: u64) -> Result<Trace, ToolError> {
+    if let Some(spec) = standard_suite().into_iter().find(|b| b.name() == workload) {
+        return Ok(spec.program(seed).take_trace(records));
+    }
+    if let Some(src) = programs::by_name(workload) {
+        let mut vm = Vm::new(assemble(src).map_err(|e| err(format!("{workload}: {e}")))?);
+        return Ok(vm.take_trace(records));
+    }
+    Err(err(format!(
+        "unknown workload `{workload}` (see `dfcm-tools benchmarks` and `dfcm-tools kernels`)"
+    )))
+}
+
+/// `stats <trace.trc>` — Table 1-style statistics of a saved trace.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unreadable or malformed files.
+pub fn stats(path: &Path) -> Result<String, ToolError> {
+    let trace = Trace::load(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let s = TraceStats::measure(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", path.display());
+    let _ = writeln!(out, "  records              {}", s.records);
+    let _ = writeln!(out, "  static instructions  {}", s.static_instructions);
+    let _ = writeln!(out, "  last-value fraction  {:.3}", s.last_value_fraction);
+    let _ = writeln!(out, "  stride fraction      {:.3}", s.stride_fraction);
+    let _ = writeln!(out, "  reuse fraction       {:.3}", s.reuse_fraction);
+    Ok(out)
+}
+
+/// Builds a predictor from a spec string like `dfcm:16:12`, `fcm:12:12`,
+/// `stride:14`, `2delta:14` or `lvp:12`.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown predictor names or malformed specs.
+pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bits = |i: usize| -> Result<u32, ToolError> {
+        parts
+            .get(i)
+            .ok_or_else(|| err(format!("`{spec}`: missing table-size field {i}")))?
+            .parse()
+            .map_err(|_| err(format!("`{spec}`: bad table size")))
+    };
+    match parts[0] {
+        "lvp" => Ok(Box::new(LastValuePredictor::new(bits(1)?))),
+        "stride" => Ok(Box::new(StridePredictor::new(bits(1)?))),
+        "2delta" => Ok(Box::new(TwoDeltaStridePredictor::new(bits(1)?))),
+        "fcm" => Ok(Box::new(
+            FcmPredictor::builder()
+                .l1_bits(bits(1)?)
+                .l2_bits(bits(2)?)
+                .build()
+                .map_err(|e| err(e.to_string()))?,
+        )),
+        "dfcm" => Ok(Box::new(
+            DfcmPredictor::builder()
+                .l1_bits(bits(1)?)
+                .l2_bits(bits(2)?)
+                .build()
+                .map_err(|e| err(e.to_string()))?,
+        )),
+        other => Err(err(format!(
+            "unknown predictor `{other}` (use lvp|stride|2delta|fcm|dfcm)"
+        ))),
+    }
+}
+
+/// `eval <trace.trc> <predictor-spec>...` — runs predictors over a saved
+/// trace and reports accuracies.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unreadable traces or bad predictor specs.
+pub fn eval(path: &Path, specs: &[String]) -> Result<String, ToolError> {
+    let trace = Trace::load(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({} records):", path.display(), trace.len());
+    for spec in specs {
+        let mut p = predictor_for(spec)?;
+        let stats = simulate_trace(&mut p, &trace);
+        let _ = writeln!(
+            out,
+            "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
+            p.name(),
+            stats.accuracy(),
+            p.storage().kbits()
+        );
+    }
+    Ok(out)
+}
+
+/// `disasm <kernel>` — assembly listing of a bundled kernel (assembled and
+/// disassembled, so what is printed is exactly what executes).
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown kernel names.
+pub fn disasm(kernel: &str) -> Result<String, ToolError> {
+    let src = programs::by_name(kernel).ok_or_else(|| {
+        err(format!(
+            "unknown kernel `{kernel}` (see `dfcm-tools kernels`)"
+        ))
+    })?;
+    let program = assemble(src).map_err(|e| err(format!("{kernel}: {e}")))?;
+    Ok(disassemble(&program))
+}
+
+/// `profile <kernel> [max_steps]` — executes a kernel and prints its
+/// execution profile.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown kernels or faulting runs.
+pub fn profile(kernel: &str, max_steps: u64) -> Result<String, ToolError> {
+    let src = programs::by_name(kernel).ok_or_else(|| err(format!("unknown kernel `{kernel}`")))?;
+    let mut vm = Vm::new(assemble(src).map_err(|e| err(format!("{kernel}: {e}")))?);
+    let profile = dfcm_vm::profile::run_profiled(&mut vm, max_steps)
+        .map_err(|e| err(format!("{kernel}: {e}")))?;
+    let mut out = format!("{kernel}:\n{profile}\n");
+    let _ = writeln!(out, "\n  hottest static instructions:");
+    for (index, count) in profile.hottest(5) {
+        let inst = vm
+            .inst_at(index)
+            .map(|i| dfcm_vm::render_inst(&i))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    {:#08x}  {count:>10}x  {inst}",
+            dfcm_vm::profile::pc_of_index(index)
+        );
+    }
+    Ok(out)
+}
+
+/// `kernels` — the bundled kernel names.
+pub fn kernels() -> String {
+    programs::all()
+        .iter()
+        .map(|&(n, _)| n)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// `benchmarks` — the synthetic benchmark names.
+pub fn benchmarks() -> String {
+    standard_suite()
+        .iter()
+        .map(|b| b.name())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_specs_parse() {
+        assert!(predictor_for("lvp:10").is_ok());
+        assert!(predictor_for("stride:10").is_ok());
+        assert!(predictor_for("2delta:10").is_ok());
+        assert!(predictor_for("fcm:12:12").is_ok());
+        assert!(predictor_for("dfcm:16:12").is_ok());
+        assert!(predictor_for("magic:3").is_err());
+        assert!(predictor_for("fcm:12").is_err());
+        assert!(predictor_for("dfcm:99:12").is_err());
+        assert!(predictor_for("dfcm:a:12").is_err());
+    }
+
+    #[test]
+    fn trace_for_accepts_both_tiers() {
+        assert_eq!(trace_for("li", 500, 1).unwrap().len(), 500);
+        assert_eq!(trace_for("sieve", 500, 1).unwrap().len(), 500);
+        assert!(trace_for("nothing", 10, 1).is_err());
+    }
+
+    #[test]
+    fn listings_are_nonempty() {
+        assert!(kernels().contains("norm"));
+        assert!(benchmarks().contains("vortex"));
+    }
+
+    #[test]
+    fn disasm_output_reassembles() {
+        let listing = disasm("queens").unwrap();
+        assert!(dfcm_vm::assemble(&listing).is_ok());
+        assert!(disasm("nope").is_err());
+    }
+
+    #[test]
+    fn profile_reports_hot_spots() {
+        let report = profile("sieve", 500_000).unwrap();
+        assert!(report.contains("hottest"));
+        assert!(report.contains("instructions executed"));
+    }
+}

@@ -1,0 +1,92 @@
+//! `dfcm-tools` — command-line front end; see the library crate for the
+//! implementation of each subcommand.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  dfcm-tools gen <workload> <records> <out.trc> [--seed N]
+  dfcm-tools stats <trace.trc>
+  dfcm-tools eval <trace.trc> <predictor>...   (lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2)
+  dfcm-tools disasm <kernel>
+  dfcm-tools profile <kernel> [max_steps]
+  dfcm-tools kernels
+  dfcm-tools benchmarks";
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.to_owned());
+    };
+    match command.as_str() {
+        "gen" => {
+            let mut rest = rest.to_vec();
+            let mut seed = 12345u64;
+            if let Some(pos) = rest.iter().position(|a| a == "--seed") {
+                let value = rest
+                    .get(pos + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad seed".to_owned())?;
+                seed = value;
+                rest.drain(pos..=pos + 1);
+            }
+            let [workload, records, out] = rest.as_slice() else {
+                return Err(USAGE.to_owned());
+            };
+            let records: usize = records.parse().map_err(|_| "bad record count".to_owned())?;
+            dfcm_tools::generate(workload, records, &PathBuf::from(out), seed)
+                .map_err(|e| e.to_string())
+        }
+        "stats" => {
+            let [path] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            dfcm_tools::stats(&PathBuf::from(path)).map_err(|e| e.to_string())
+        }
+        "eval" => {
+            let Some((path, specs)) = rest.split_first() else {
+                return Err(USAGE.to_owned());
+            };
+            if specs.is_empty() {
+                return Err(USAGE.to_owned());
+            }
+            dfcm_tools::eval(&PathBuf::from(path), specs).map_err(|e| e.to_string())
+        }
+        "disasm" => {
+            let [kernel] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            dfcm_tools::disasm(kernel).map_err(|e| e.to_string())
+        }
+        "profile" => {
+            let (kernel, max_steps) = match rest {
+                [kernel] => (kernel, 50_000_000),
+                [kernel, steps] => (
+                    kernel,
+                    steps.parse().map_err(|_| "bad step count".to_owned())?,
+                ),
+                _ => return Err(USAGE.to_owned()),
+            };
+            dfcm_tools::profile(kernel, max_steps).map_err(|e| e.to_string())
+        }
+        "kernels" => Ok(dfcm_tools::kernels()),
+        "benchmarks" => Ok(dfcm_tools::benchmarks()),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end tests of the tool pipeline: generate → stats → eval, plus
+//! disasm/profile, all through the library API the binary wraps.
+
+use std::path::PathBuf;
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dfcm_tools_test");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+#[test]
+fn gen_stats_eval_pipeline() {
+    let path = temp("li.trc");
+    let message = dfcm_tools::generate("li", 20_000, &path, 7).unwrap();
+    assert!(message.contains("20000 records"));
+
+    let stats = dfcm_tools::stats(&path).unwrap();
+    assert!(stats.contains("records              20000"), "{stats}");
+
+    let eval = dfcm_tools::eval(
+        &path,
+        &["lvp:12".into(), "fcm:12:12".into(), "dfcm:12:12".into()],
+    )
+    .unwrap();
+    assert!(eval.contains("lvp(2^12)"), "{eval}");
+    assert!(eval.contains("dfcm(l1=2^12,l2=2^12"), "{eval}");
+    // The DFCM line should report the higher accuracy; parse and compare.
+    let acc_of = |needle: &str| -> f64 {
+        let line = eval.lines().find(|l| l.contains(needle)).expect("line");
+        let idx = line.find("accuracy").expect("accuracy field");
+        line[idx + 8..]
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(acc_of("dfcm(") > acc_of("fcm(l1"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn gen_accepts_vm_kernels() {
+    let path = temp("sieve.trc");
+    dfcm_tools::generate("sieve", 5_000, &path, 1).unwrap();
+    let stats = dfcm_tools::stats(&path).unwrap();
+    assert!(stats.contains("records              5000"), "{stats}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn gen_rejects_unknown_workload() {
+    let path = temp("nope.trc");
+    assert!(dfcm_tools::generate("nope", 10, &path, 1).is_err());
+}
+
+#[test]
+fn eval_rejects_bad_spec_cleanly() {
+    let path = temp("forspec.trc");
+    dfcm_tools::generate("compress", 1_000, &path, 1).unwrap();
+    let e = dfcm_tools::eval(&path, &["warlock:9".into()]).unwrap_err();
+    assert!(e.to_string().contains("unknown predictor"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stats_rejects_garbage_file() {
+    let path = temp("garbage.trc");
+    std::fs::write(&path, b"not a trace").unwrap();
+    assert!(dfcm_tools::stats(&path).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn disasm_lists_whole_kernel() {
+    let listing = dfcm_tools::disasm("norm").unwrap();
+    assert!(
+        listing.lines().count() > 50,
+        "{} lines",
+        listing.lines().count()
+    );
+    assert!(listing.contains("div"));
+}

@@ -1,0 +1,234 @@
+//! Compact binary serialization for value traces.
+//!
+//! Traces regenerate deterministically from seeds, but saving them is
+//! useful for sharing workloads across tools and for freezing a trace
+//! against generator changes. The format is simple and compact:
+//!
+//! ```text
+//! magic   8 bytes  "DFCMTRC1"
+//! count   varint   number of records
+//! records          per record: zigzag-varint delta of pc (vs previous
+//!                  record's pc), then varint value
+//! ```
+//!
+//! PC deltas are small (loops revisit nearby code), so a typical suite
+//! trace compresses to a handful of bytes per record.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::record::{Trace, TraceRecord};
+
+const MAGIC: &[u8; 8] = b"DFCMTRC1";
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+        value |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+impl Trace {
+    /// Writes the trace in the binary format to `w`. Pass `&mut writer`
+    /// to keep using the writer afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_varint(&mut w, self.len() as u64)?;
+        let mut prev_pc = 0i64;
+        for r in self {
+            let pc = r.pc as i64;
+            write_varint(&mut w, zigzag(pc.wrapping_sub(prev_pc)))?;
+            write_varint(&mut w, r.value)?;
+            prev_pc = pc;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace written by [`Trace::write_to`]. Pass `&mut reader`
+    /// to keep using the reader afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic number or truncated data, and
+    /// propagates I/O errors from the reader.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Trace> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a dfcm trace file",
+            ));
+        }
+        let count = read_varint(&mut r)?;
+        if count > (1 << 40) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible record count",
+            ));
+        }
+        let mut trace = Trace::with_capacity(count as usize);
+        let mut prev_pc = 0i64;
+        for _ in 0..count {
+            let pc = prev_pc.wrapping_add(unzigzag(read_varint(&mut r)?));
+            let value = read_varint(&mut r)?;
+            trace.push(TraceRecord::new(pc as u64, value));
+            prev_pc = pc;
+        }
+        Ok(trace)
+    }
+
+    /// Saves the trace to a file (buffered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Loads a trace saved with [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open and read errors; returns `InvalidData` for
+    /// malformed files.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
+        Trace::read_from(BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::program::SyntheticProgram;
+    use crate::record::TraceSource;
+
+    fn sample_trace() -> Trace {
+        SyntheticProgram::builder(9)
+            .inst(
+                Pattern::Stride {
+                    start: 0,
+                    stride: 4,
+                },
+                3,
+            )
+            .inst(Pattern::Random { bits: 32 }, 1)
+            .build()
+            .take_trace(5000)
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        let restored = Trace::read_from(buffer.as_slice()).unwrap();
+        assert_eq!(trace, restored);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let trace = sample_trace();
+        let path = std::env::temp_dir().join("dfcm_io_test.trc");
+        trace.save(&path).unwrap();
+        let restored = Trace::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(trace, restored);
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        // PC deltas are tiny; values vary. Expect well under the 16
+        // bytes/record of a raw dump.
+        assert!(
+            buffer.len() < trace.len() * 8,
+            "{} bytes for {} records",
+            buffer.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Trace::read_from(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        assert!(Trace::read_from(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buffer = Vec::new();
+        Trace::new().write_to(&mut buffer).unwrap();
+        assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        let mut trace = Trace::new();
+        trace.push(TraceRecord::new(u64::MAX, u64::MAX));
+        trace.push(TraceRecord::new(0, 0));
+        trace.push(TraceRecord::new(u64::MAX / 2, 1));
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

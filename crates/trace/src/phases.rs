@@ -1,0 +1,221 @@
+//! Phased workloads: programs whose behaviour shifts over time.
+//!
+//! Real programs move through phases (initialization, steady-state
+//! processing, output), and SPEC benchmarks are famously phasey. A
+//! [`PhasedProgram`] cycles through a list of component programs,
+//! emitting a fixed-length burst from each before switching — modelling
+//! both the re-learning cost a phase change inflicts on history-based
+//! predictors and the table churn it causes.
+
+use crate::program::SyntheticProgram;
+use crate::record::{TraceRecord, TraceSource};
+
+/// A trace source cycling through component programs in fixed-length
+/// bursts.
+///
+/// ```
+/// use dfcm_trace::{Pattern, PhasedProgram, SyntheticProgram, TraceSource};
+///
+/// let compute = SyntheticProgram::builder(1)
+///     .inst(Pattern::Stride { start: 0, stride: 8 }, 1)
+///     .build();
+/// let traverse = SyntheticProgram::builder(2)
+///     .inst(Pattern::PointerChase { nodes: 16, base: 0x9000 }, 1)
+///     .build();
+/// let mut phased = PhasedProgram::new(vec![(compute, 100), (traverse, 50)]);
+/// let trace = phased.take_trace(400);
+/// assert_eq!(trace.len(), 400);
+/// ```
+#[derive(Debug)]
+pub struct PhasedProgram {
+    phases: Vec<(SyntheticProgram, usize)>,
+    current: usize,
+    remaining: usize,
+    switches: u64,
+}
+
+impl PhasedProgram {
+    /// Builds a phased source from `(program, burst length)` pairs; the
+    /// phases repeat in order indefinitely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any burst length is 0.
+    pub fn new(phases: Vec<(SyntheticProgram, usize)>) -> Self {
+        assert!(
+            !phases.is_empty(),
+            "a phased program needs at least one phase"
+        );
+        assert!(
+            phases.iter().all(|&(_, n)| n > 0),
+            "burst lengths must be positive"
+        );
+        let remaining = phases[0].1;
+        PhasedProgram {
+            phases,
+            current: 0,
+            remaining,
+            switches: 0,
+        }
+    }
+
+    /// Index of the phase currently emitting.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Number of phase switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+impl TraceSource for PhasedProgram {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            self.current = (self.current + 1) % self.phases.len();
+            self.remaining = self.phases[self.current].1;
+            self.switches += 1;
+        }
+        self.remaining -= 1;
+        self.phases[self.current].0.next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::program::BASE_PC;
+
+    fn constant_phase(seed: u64, value: u64) -> SyntheticProgram {
+        SyntheticProgram::builder(seed)
+            .inst(Pattern::Constant(value), 1)
+            .build()
+    }
+
+    #[test]
+    fn bursts_alternate_in_order() {
+        let mut p = PhasedProgram::new(vec![
+            (constant_phase(1, 111), 3),
+            (constant_phase(2, 222), 2),
+        ]);
+        let values: Vec<u64> = (0..10).map(|_| p.next_record().unwrap().value).collect();
+        assert_eq!(
+            values,
+            vec![111, 111, 111, 222, 222, 111, 111, 111, 222, 222]
+        );
+        assert_eq!(p.switches(), 3);
+    }
+
+    #[test]
+    fn phase_programs_keep_their_own_state() {
+        // A stride phase must continue where it left off after being
+        // suspended by another phase.
+        let stride = SyntheticProgram::builder(3)
+            .inst(
+                Pattern::Stride {
+                    start: 0,
+                    stride: 1,
+                },
+                1,
+            )
+            .build();
+        let mut p = PhasedProgram::new(vec![(stride, 2), (constant_phase(4, 9), 2)]);
+        let values: Vec<u64> = (0..8).map(|_| p.next_record().unwrap().value).collect();
+        assert_eq!(values, vec![0, 1, 9, 9, 2, 3, 9, 9]);
+    }
+
+    #[test]
+    fn current_phase_tracks_bursts() {
+        let mut p = PhasedProgram::new(vec![
+            (constant_phase(1, 1), 2),
+            (constant_phase(2, 2), 2),
+            (constant_phase(3, 3), 2),
+        ]);
+        assert_eq!(p.current_phase(), 0);
+        for _ in 0..2 {
+            p.next_record();
+        }
+        p.next_record();
+        assert_eq!(p.current_phase(), 1);
+        for _ in 0..2 {
+            p.next_record();
+        }
+        assert_eq!(p.current_phase(), 2);
+    }
+
+    #[test]
+    fn phases_share_the_pc_space() {
+        // Component programs both start at BASE_PC, so a phase change
+        // *reuses* the same table entries with different behaviour —
+        // the worst case for history predictors, by design.
+        let mut p = PhasedProgram::new(vec![(constant_phase(1, 5), 4), (constant_phase(2, 8), 4)]);
+        let pcs: std::collections::HashSet<u64> =
+            (0..16).map(|_| p.next_record().unwrap().pc).collect();
+        assert_eq!(pcs.len(), 1);
+        assert!(pcs.contains(&BASE_PC));
+    }
+
+    #[test]
+    fn predictors_pay_a_relearning_cost_at_switches() {
+        use crate::record::TraceSource as _;
+        // Compare a phased workload against a homogeneous one of the same
+        // length: the phased one must mispredict more.
+        let mk_stride = |seed| {
+            SyntheticProgram::builder(seed)
+                .inst(Pattern::Periodic(vec![7, 1, 3, 9]), 1)
+                .build()
+        };
+        let mk_other = |seed| {
+            SyntheticProgram::builder(seed)
+                .inst(Pattern::Periodic(vec![100, 42, 63, 5, 11]), 1)
+                .build()
+        };
+        let mut phased = PhasedProgram::new(vec![(mk_stride(1), 40), (mk_other(2), 40)]);
+        let phased_trace = phased.take_trace(4000);
+        let mut flat = mk_stride(1);
+        let flat_trace = flat.take_trace(4000);
+
+        let run = |trace: &crate::record::Trace| {
+            let mut last = std::collections::HashMap::new();
+            let mut hist: std::collections::HashMap<u64, Vec<u64>> =
+                std::collections::HashMap::new();
+            let mut table: std::collections::HashMap<Vec<u64>, u64> =
+                std::collections::HashMap::new();
+            let mut correct = 0u64;
+            for r in trace {
+                let h = hist.entry(r.pc).or_default().clone();
+                if table.get(&h) == Some(&r.value) {
+                    correct += 1;
+                }
+                table.insert(h, r.value);
+                let entry = hist.get_mut(&r.pc).expect("entry exists");
+                entry.push(r.value);
+                if entry.len() > 2 {
+                    entry.remove(0);
+                }
+                last.insert(r.pc, r.value);
+            }
+            correct as f64 / trace.len() as f64
+        };
+        let phased_acc = run(&phased_trace);
+        let flat_acc = run(&flat_trace);
+        assert!(
+            phased_acc < flat_acc,
+            "phase switches must cost accuracy: phased {phased_acc:.3} vs flat {flat_acc:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedProgram::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst lengths")]
+    fn zero_burst_rejected() {
+        let _ = PhasedProgram::new(vec![(constant_phase(1, 1), 0)]);
+    }
+}

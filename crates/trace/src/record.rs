@@ -1,0 +1,237 @@
+use std::fmt;
+
+/// One predicted dynamic instruction: its address and the value it produced.
+///
+/// This is the unit of trace-driven evaluation (§4 of the paper): only
+/// integer register-writing instructions appear in a trace, loads included,
+/// branches and jumps excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Address of the static instruction.
+    pub pc: u64,
+    /// The integer value the instruction produced.
+    pub value: u64,
+}
+
+impl TraceRecord {
+    /// Convenience constructor.
+    pub fn new(pc: u64, value: u64) -> Self {
+        TraceRecord { pc, value }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.value)
+    }
+}
+
+/// A stream of trace records.
+///
+/// Sources may be endless (synthetic generators produce records on demand);
+/// callers bound the simulation by the number of records they pull. For a
+/// finite, buffered trace use [`Trace`].
+pub trait TraceSource {
+    /// Produces the next record, or `None` when the source is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Pulls at most `n` records into an owned [`Trace`].
+    fn take_trace(&mut self, n: usize) -> Trace
+    where
+        Self: Sized,
+    {
+        let mut trace = Trace::with_capacity(n);
+        for _ in 0..n {
+            match self.next_record() {
+                Some(r) => trace.push(r),
+                None => break,
+            }
+        }
+        trace
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        (**self).next_record()
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        (**self).next_record()
+    }
+}
+
+/// An owned, finite value trace.
+///
+/// ```
+/// use dfcm_trace::{Trace, TraceRecord};
+///
+/// let trace: Trace = (0..4).map(|i| TraceRecord::new(0x40, i * 3)).collect();
+/// assert_eq!(trace.len(), 4);
+/// assert_eq!(trace.records()[2].value, 6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with preallocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records as a slice.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// A replayable [`TraceSource`] over this trace.
+    pub fn source(&self) -> TraceReplay<'_> {
+        TraceReplay {
+            records: &self.records,
+            position: 0,
+        }
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Replays a borrowed [`Trace`] as a [`TraceSource`]; produced by
+/// [`Trace::source`].
+#[derive(Debug, Clone)]
+pub struct TraceReplay<'a> {
+    records: &'a [TraceRecord],
+    position: usize,
+}
+
+impl TraceSource for TraceReplay<'_> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let record = self.records.get(self.position).copied();
+        self.position += usize::from(record.is_some());
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_trace_bounds_endless_sources() {
+        struct Endless(u64);
+        impl TraceSource for Endless {
+            fn next_record(&mut self) -> Option<TraceRecord> {
+                self.0 += 1;
+                Some(TraceRecord::new(1, self.0))
+            }
+        }
+        let trace = Endless(0).take_trace(10);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.records()[9].value, 10);
+    }
+
+    #[test]
+    fn take_trace_stops_at_exhaustion() {
+        let trace: Trace = (0..3).map(|i| TraceRecord::new(0, i)).collect();
+        let mut replay = trace.source();
+        let taken = replay.take_trace(100);
+        assert_eq!(taken.len(), 3);
+    }
+
+    #[test]
+    fn replay_yields_records_in_order() {
+        let trace: Trace = (0..5).map(|i| TraceRecord::new(i, i * i)).collect();
+        let mut src = trace.source();
+        for i in 0..5 {
+            assert_eq!(src.next_record(), Some(TraceRecord::new(i, i * i)));
+        }
+        assert_eq!(src.next_record(), None);
+        assert_eq!(src.next_record(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.extend((0..2).map(|i| TraceRecord::new(9, i)));
+        assert_eq!(trace.len(), 2);
+        let values: Vec<u64> = (&trace).into_iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![0, 1]);
+        let owned: Vec<TraceRecord> = trace.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+    }
+
+    #[test]
+    fn source_through_reference_and_box() {
+        let trace: Trace = (0..2).map(|i| TraceRecord::new(0, i)).collect();
+        let mut replay = trace.source();
+        let by_ref: &mut dyn TraceSource = &mut replay;
+        let mut boxed: Box<dyn TraceSource + '_> = Box::new(by_ref);
+        assert!(boxed.next_record().is_some());
+    }
+
+    #[test]
+    fn record_display() {
+        assert_eq!(TraceRecord::new(0x400, 12).to_string(), "0x400: 12");
+    }
+}

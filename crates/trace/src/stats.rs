@@ -1,0 +1,145 @@
+//! Descriptive statistics over value traces — the Table 1 analogue.
+
+use std::collections::HashMap;
+
+use crate::record::Trace;
+
+/// Summary statistics of one trace, as reported in the repository's
+/// Table 1 analogue: size, static footprint, and the fractions of the
+/// trace trivially predictable by last-value and stride oracles.
+///
+/// The oracles here are *per-PC unbounded tables* (no aliasing, no capacity
+/// limits): `last_value_fraction` counts records equal to the previous
+/// value of the same PC, and `stride_fraction` counts records equal to the
+/// previous value plus the previous difference. They characterize the
+/// workload itself, independent of any predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of records.
+    pub records: usize,
+    /// Number of distinct static instructions.
+    pub static_instructions: usize,
+    /// Fraction of records equal to the same PC's previous value.
+    pub last_value_fraction: f64,
+    /// Fraction of records continuing the same PC's previous difference.
+    pub stride_fraction: f64,
+    /// Fraction of records whose value was produced before by the same PC
+    /// (within the last 64 values) — an upper-bound locality indicator.
+    pub reuse_fraction: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn measure(trace: &Trace) -> TraceStats {
+        struct PcState {
+            last: u64,
+            stride: u64,
+            seen: Vec<u64>,
+            warm: u8,
+        }
+        let mut per_pc: HashMap<u64, PcState> = HashMap::new();
+        let mut lv_hits = 0usize;
+        let mut stride_hits = 0usize;
+        let mut reuse_hits = 0usize;
+        for r in trace {
+            let state = per_pc.entry(r.pc).or_insert(PcState {
+                last: 0,
+                stride: 0,
+                seen: Vec::new(),
+                warm: 0,
+            });
+            if state.warm >= 1 && r.value == state.last {
+                lv_hits += 1;
+            }
+            if state.warm >= 2 && r.value == state.last.wrapping_add(state.stride) {
+                stride_hits += 1;
+            }
+            if state.seen.contains(&r.value) {
+                reuse_hits += 1;
+            }
+            state.stride = r.value.wrapping_sub(state.last);
+            state.last = r.value;
+            state.warm = state.warm.saturating_add(1);
+            if state.seen.len() == 64 {
+                state.seen.remove(0);
+            }
+            state.seen.push(r.value);
+        }
+        let n = trace.len().max(1);
+        TraceStats {
+            records: trace.len(),
+            static_instructions: per_pc.len(),
+            last_value_fraction: lv_hits as f64 / n as f64,
+            stride_fraction: stride_hits as f64 / n as f64,
+            reuse_fraction: reuse_hits as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn constant_trace_is_fully_last_value_predictable() {
+        let trace: Trace = (0..100).map(|_| TraceRecord::new(1, 7)).collect();
+        let s = TraceStats::measure(&trace);
+        assert!(s.last_value_fraction > 0.98);
+        assert!(s.stride_fraction > 0.97);
+        assert_eq!(s.static_instructions, 1);
+        assert_eq!(s.records, 100);
+    }
+
+    #[test]
+    fn stride_trace_is_stride_but_not_lv_predictable() {
+        let trace: Trace = (0..100).map(|i| TraceRecord::new(1, 5 * i)).collect();
+        let s = TraceStats::measure(&trace);
+        assert!(s.last_value_fraction < 0.01);
+        assert!(s.stride_fraction > 0.97);
+    }
+
+    #[test]
+    fn random_trace_is_unpredictable() {
+        let mut rng = crate::rng::SplitMix64::new(1);
+        let trace: Trace = (0..500)
+            .map(|_| TraceRecord::new(1, rng.next_u64()))
+            .collect();
+        let s = TraceStats::measure(&trace);
+        assert!(s.last_value_fraction < 0.01);
+        assert!(s.stride_fraction < 0.01);
+        assert!(s.reuse_fraction < 0.01);
+    }
+
+    #[test]
+    fn reuse_detects_periodic_values() {
+        let pattern = [3u64, 9, 27];
+        let trace: Trace = (0..90)
+            .map(|i| TraceRecord::new(2, pattern[i % 3]))
+            .collect();
+        let s = TraceStats::measure(&trace);
+        assert!(s.reuse_fraction > 0.95);
+        assert!(s.last_value_fraction < 0.01);
+    }
+
+    #[test]
+    fn multiple_pcs_tracked_independently() {
+        let mut trace = Trace::new();
+        for i in 0..50u64 {
+            trace.push(TraceRecord::new(1, 7)); // constant
+            trace.push(TraceRecord::new(2, 3 * i)); // stride
+        }
+        let s = TraceStats::measure(&trace);
+        assert_eq!(s.static_instructions, 2);
+        assert!(s.last_value_fraction > 0.45 && s.last_value_fraction < 0.55);
+        assert!(s.stride_fraction > 0.95);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let s = TraceStats::measure(&Trace::new());
+        assert_eq!(s.records, 0);
+        assert_eq!(s.static_instructions, 0);
+        assert_eq!(s.last_value_fraction, 0.0);
+    }
+}

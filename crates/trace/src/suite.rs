@@ -1,0 +1,528 @@
+//! The eight-benchmark synthetic workload suite standing in for SPECint95.
+//!
+//! The paper's traces come from SimpleScalar running the SPECint95 suite
+//! (Table 1). This module provides statistical stand-ins: each benchmark is
+//! a [`SyntheticProgram`] whose mix of basic-block archetypes (loop nests
+//! full of stride patterns, pointer/context blocks, constant-producing
+//! blocks, unpredictable blocks) is chosen so the per-benchmark
+//! predictability ordering matches the paper's Figure 10(b) — m88ksim the
+//! most constant-heavy (smallest DFCM gain), ijpeg the most stride-heavy
+//! (largest gain), go the least predictable. The number of predictions per
+//! benchmark is proportional to the paper's Table 1 counts (scaled down by
+//! 100 at `scale = 1.0`).
+//!
+//! All randomness derives from the caller's seed; the same seed always
+//! yields byte-identical traces.
+
+use crate::pattern::Pattern;
+use crate::program::{ProgramBuilder, SyntheticProgram};
+use crate::record::{Trace, TraceSource};
+use crate::rng::SplitMix64;
+
+/// Block-archetype counts and frequencies describing one benchmark.
+///
+/// The archetypes are:
+/// * **loop** — a loop body: induction variables, scaled indices, array
+///   address streams (stride patterns with reset), loop-exit comparisons.
+/// * **context** — repeating non-stride patterns: pointer-chase walks over
+///   stable data structures and short periodic value sequences.
+/// * **constant** — constants and rarely-switching loop invariants.
+/// * **random** — values unpredictable by any of the paper's predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Number of loop-body blocks.
+    pub loop_blocks: u32,
+    /// Relative selection weight of each loop block.
+    pub loop_weight: u64,
+    /// Inclusive range of loop trip counts (stride-pattern lengths).
+    pub loop_period: (u64, u64),
+    /// Number of context (pointer/periodic) blocks.
+    pub context_blocks: u32,
+    /// Relative selection weight of each context block.
+    pub context_weight: u64,
+    /// Inclusive range of pointer-structure sizes.
+    pub context_nodes: (u64, u64),
+    /// Number of constant-producing blocks.
+    pub constant_blocks: u32,
+    /// Relative selection weight of each constant block.
+    pub constant_weight: u64,
+    /// Number of unpredictable blocks.
+    pub random_blocks: u32,
+    /// Relative selection weight of each random block.
+    pub random_weight: u64,
+}
+
+/// One benchmark of the synthetic suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    name: &'static str,
+    /// Predictions at `scale = 1.0`, proportional to the paper's Table 1
+    /// (paper count / 100).
+    base_predictions: u64,
+    mix: MixSpec,
+}
+
+impl BenchmarkSpec {
+    /// The benchmark's name (a SPECint95 program name).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The block mix describing this benchmark.
+    pub fn mix(&self) -> &MixSpec {
+        &self.mix
+    }
+
+    /// Number of predictions this benchmark contributes at the given
+    /// scale (`scale = 1.0` ≈ paper count ÷ 100).
+    pub fn predictions(&self, scale: f64) -> usize {
+        assert!(scale > 0.0, "scale must be positive");
+        ((self.base_predictions as f64 * scale) as usize).max(1)
+    }
+
+    /// Instantiates the benchmark's synthetic program.
+    ///
+    /// The program seed combines the caller's `seed` with the benchmark
+    /// name, so benchmarks are mutually independent but individually
+    /// reproducible.
+    pub fn program(&self, seed: u64) -> SyntheticProgram {
+        let mut rng = SplitMix64::new(seed ^ name_hash(self.name));
+        let mut builder = SyntheticProgram::builder(rng.next_u64());
+        let m = &self.mix;
+        for _ in 0..m.loop_blocks {
+            add_loop_block(&mut builder, &mut rng, m.loop_weight, m.loop_period);
+        }
+        for _ in 0..m.context_blocks {
+            add_context_block(&mut builder, &mut rng, m.context_weight, m.context_nodes);
+        }
+        for _ in 0..m.constant_blocks {
+            add_constant_block(&mut builder, &mut rng, m.constant_weight);
+        }
+        for _ in 0..m.random_blocks {
+            add_random_block(&mut builder, &mut rng, m.random_weight);
+        }
+        // A long tail of big-footprint context patterns (large but stable
+        // data structures). Individually cold, collectively they are why
+        // growing the level-2 table keeps paying off up to 2^20 entries
+        // (paper §2.4) — no small table can hold them all.
+        let tail_blocks = (m.context_blocks / 2).max(6);
+        for _ in 0..tail_blocks {
+            add_context_block(
+                &mut builder,
+                &mut rng,
+                m.context_weight.div_ceil(2),
+                (512, 8192),
+            );
+        }
+        // A handful of ultra-hot constant producers (the `slt`-style
+        // instructions of the paper's Figure 6 "high peak at the left
+        // side"): a few static instructions covering a large share of the
+        // dynamic stream. Their sheer access frequency keeps their level-2
+        // entries effectively resident even in tiny tables, which is what
+        // holds the FCM's floor up at 2^8 entries.
+        let hot_blocks = (m.constant_blocks / 10).max(2);
+        for _ in 0..hot_blocks {
+            let mut patterns = vec![Pattern::Constant(rng.next_below(1 << 16))];
+            if rng.chance(1, 2) {
+                patterns.push(Pattern::Constant(rng.next_below(4)));
+            }
+            builder.block((m.constant_weight * 45).max(1), patterns);
+        }
+        // Never-repeating strides: global counters and bump allocators. An
+        // FCM sees a fresh history on every occurrence and cannot predict
+        // them at any table size; a DFCM predicts them after warmup — this
+        // class sustains the DFCM's edge even at 2^20 entries. Fixed
+        // (unspread) weights keep their share of the dynamic stream stable.
+        let monotone_blocks = (m.loop_blocks / 3).max(2);
+        for _ in 0..monotone_blocks {
+            let stride = [1u64, 4, 8, 16, 24][rng.next_below(5) as usize];
+            let start = 0x4000_0000 + (rng.next_below(1 << 28) << 3);
+            builder.block(
+                (m.loop_weight * 6).max(1),
+                vec![Pattern::Stride { start, stride }],
+            );
+        }
+        builder.build()
+    }
+
+    /// Generates the benchmark's trace at the given seed and scale.
+    pub fn trace(&self, seed: u64, scale: f64) -> BenchmarkTrace {
+        let n = self.predictions(scale);
+        let trace = self.program(seed).take_trace(n);
+        BenchmarkTrace {
+            name: self.name,
+            trace,
+        }
+    }
+}
+
+/// A generated benchmark trace, tagged with its benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkTrace {
+    /// The benchmark's name.
+    pub name: &'static str,
+    /// The generated records.
+    pub trace: Trace,
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a, stable across platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Picks a weight spread over several octaves around `base`, giving the
+/// power-law block hotness of real programs: a few blocks dominate the
+/// dynamic stream while a long tail executes rarely. The hot blocks keep
+/// small tables useful; the tail keeps very large tables improving.
+fn spread_weight(rng: &mut SplitMix64, base: u64) -> u64 {
+    (base << rng.next_below(6)).max(1)
+}
+
+fn add_loop_block(
+    builder: &mut ProgramBuilder,
+    rng: &mut SplitMix64,
+    weight: u64,
+    period_range: (u64, u64),
+) {
+    let period = rng.next_range(period_range.0, period_range.1) as u32;
+    let mut patterns = Vec::new();
+    // Induction variable i.
+    patterns.push(Pattern::StrideReset {
+        start: 0,
+        stride: 1,
+        period,
+    });
+    // A scaled index (j*4 or j*8) half the time.
+    if rng.chance(1, 2) {
+        let scale = [4u64, 8][rng.next_below(2) as usize];
+        patterns.push(Pattern::StrideReset {
+            start: 0,
+            stride: scale,
+            period,
+        });
+    }
+    // One to three array address streams with element sizes 4/8/16.
+    for _ in 0..rng.next_range(1, 3) {
+        let elem = [4u64, 8, 16][rng.next_below(3) as usize];
+        let base = 0x1000_0000 + (rng.next_below(1 << 24) << 4);
+        patterns.push(Pattern::StrideReset {
+            start: base,
+            stride: elem,
+            period,
+        });
+    }
+    // A loaded value: sometimes predictable, sometimes not.
+    patterns.push(match rng.next_below(3) {
+        0 => Pattern::SwitchingConstant {
+            mean_run: 64,
+            bits: 16,
+        },
+        1 => Pattern::Periodic(random_alphabet(rng, 4, 12)),
+        _ => Pattern::Random { bits: 16 },
+    });
+    // The loop-exit comparison (slt): 1 for all but the last iteration.
+    let p = period as usize;
+    let mut slt = vec![1u64; p.min(4096)];
+    *slt.last_mut().expect("period >= 1") = 0;
+    patterns.push(Pattern::Periodic(slt));
+    builder.block(spread_weight(rng, weight), patterns);
+}
+
+fn add_context_block(
+    builder: &mut ProgramBuilder,
+    rng: &mut SplitMix64,
+    weight: u64,
+    nodes_range: (u64, u64),
+) {
+    let mut patterns = Vec::new();
+    let nodes = rng.next_range(nodes_range.0, nodes_range.1) as u32;
+    // A third of the context blocks are pointer walks over heap-like node
+    // sets (address-shaped values whose *differences* are structurally
+    // similar across walks — the pattern class where the paper notes the
+    // DFCM can interfere more than the FCM). The rest are repeating value
+    // sequences with diverse alphabets (table lookups, decoded fields).
+    if rng.chance(1, 3) {
+        let base = 0x2000_0000 + (rng.next_below(1 << 24) << 4);
+        patterns.push(Pattern::PointerChase { nodes, base });
+        // A field loaded from each visited node: periodic, same period.
+        if rng.chance(2, 3) {
+            patterns.push(Pattern::Periodic(random_alphabet(
+                rng,
+                nodes as u64,
+                nodes as u64,
+            )));
+        }
+    } else {
+        patterns.push(Pattern::Periodic(random_alphabet(
+            rng,
+            nodes as u64,
+            nodes as u64,
+        )));
+        if rng.chance(1, 2) {
+            patterns.push(Pattern::Periodic(random_alphabet(
+                rng,
+                nodes as u64,
+                nodes as u64,
+            )));
+        }
+    }
+    // A short repeating control sequence.
+    if rng.chance(1, 2) {
+        patterns.push(Pattern::Periodic(random_alphabet(rng, 2, 6)));
+    }
+    builder.block(spread_weight(rng, weight), patterns);
+}
+
+fn add_constant_block(builder: &mut ProgramBuilder, rng: &mut SplitMix64, weight: u64) {
+    let mut patterns = Vec::new();
+    patterns.push(Pattern::Constant(rng.next_below(1 << 20)));
+    if rng.chance(1, 2) {
+        patterns.push(Pattern::SwitchingConstant {
+            mean_run: 128,
+            bits: 24,
+        });
+    }
+    builder.block(spread_weight(rng, weight), patterns);
+}
+
+fn add_random_block(builder: &mut ProgramBuilder, rng: &mut SplitMix64, weight: u64) {
+    let bits = rng.next_range(12, 28) as u32;
+    builder.block(spread_weight(rng, weight), vec![Pattern::Random { bits }]);
+}
+
+fn random_alphabet(rng: &mut SplitMix64, lo: u64, hi: u64) -> Vec<u64> {
+    let len = rng.next_range(lo.max(1), hi.max(1));
+    (0..len).map(|_| rng.next_below(1 << 16)).collect()
+}
+
+/// The standard eight-benchmark suite mirroring the paper's Table 1.
+///
+/// Base prediction counts are the paper's, divided by 100 (so `scale = 1.0`
+/// runs about 10.9 M predictions across the suite; the paper ran 1.09 G).
+pub fn standard_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // cc1: big code footprint, balanced mix of everything.
+        BenchmarkSpec {
+            name: "cc1",
+            base_predictions: 1_330_000,
+            mix: MixSpec {
+                loop_blocks: 120,
+                loop_weight: 4,
+                loop_period: (8, 120),
+                context_blocks: 220,
+                context_weight: 6,
+                context_nodes: (4, 48),
+                constant_blocks: 240,
+                constant_weight: 12,
+                random_blocks: 90,
+                random_weight: 3,
+            },
+        },
+        // compress: small kernel, hash-table lookups (unpredictable) plus
+        // a few hot strides.
+        BenchmarkSpec {
+            name: "compress",
+            base_predictions: 1_400_000,
+            mix: MixSpec {
+                loop_blocks: 12,
+                loop_weight: 6,
+                loop_period: (24, 300),
+                context_blocks: 10,
+                context_weight: 4,
+                context_nodes: (8, 64),
+                constant_blocks: 16,
+                constant_weight: 10,
+                random_blocks: 24,
+                random_weight: 7,
+            },
+        },
+        // go: branchy, data-dependent — the least predictable benchmark.
+        BenchmarkSpec {
+            name: "go",
+            base_predictions: 1_570_000,
+            mix: MixSpec {
+                loop_blocks: 40,
+                loop_weight: 3,
+                loop_period: (4, 48),
+                context_blocks: 120,
+                context_weight: 5,
+                context_nodes: (16, 96),
+                constant_blocks: 110,
+                constant_weight: 8,
+                random_blocks: 100,
+                random_weight: 5,
+            },
+        },
+        // ijpeg: dense nested loops over pixel arrays — stride paradise,
+        // the paper's biggest DFCM gain (+46%).
+        BenchmarkSpec {
+            name: "ijpeg",
+            base_predictions: 1_550_000,
+            mix: MixSpec {
+                loop_blocks: 120,
+                loop_weight: 6,
+                loop_period: (8, 100),
+                context_blocks: 60,
+                context_weight: 3,
+                context_nodes: (4, 24),
+                constant_blocks: 90,
+                constant_weight: 9,
+                random_blocks: 60,
+                random_weight: 8,
+            },
+        },
+        // li: lisp interpreter — pointer chasing over small stable
+        // structures plus interpreter loops.
+        BenchmarkSpec {
+            name: "li",
+            base_predictions: 1_230_000,
+            mix: MixSpec {
+                loop_blocks: 45,
+                loop_weight: 6,
+                loop_period: (4, 100),
+                context_blocks: 110,
+                context_weight: 7,
+                context_nodes: (3, 24),
+                constant_blocks: 90,
+                constant_weight: 9,
+                random_blocks: 25,
+                random_weight: 3,
+            },
+        },
+        // m88ksim: simulator main loop — dominated by constants and
+        // near-constants; already highly predictable (smallest DFCM gain).
+        BenchmarkSpec {
+            name: "m88ksim",
+            base_predictions: 1_390_000,
+            mix: MixSpec {
+                loop_blocks: 25,
+                loop_weight: 4,
+                loop_period: (8, 100),
+                context_blocks: 40,
+                context_weight: 4,
+                context_nodes: (3, 16),
+                constant_blocks: 160,
+                constant_weight: 12,
+                random_blocks: 20,
+                random_weight: 2,
+            },
+        },
+        // perl: interpreter dispatch plus string hashing.
+        BenchmarkSpec {
+            name: "perl",
+            base_predictions: 1_260_000,
+            mix: MixSpec {
+                loop_blocks: 40,
+                loop_weight: 5,
+                loop_period: (4, 150),
+                context_blocks: 90,
+                context_weight: 7,
+                context_nodes: (4, 32),
+                constant_blocks: 110,
+                constant_weight: 9,
+                random_blocks: 40,
+                random_weight: 3,
+            },
+        },
+        // vortex: OO database — highly repetitive object traversals and
+        // constants.
+        BenchmarkSpec {
+            name: "vortex",
+            base_predictions: 1_220_000,
+            mix: MixSpec {
+                loop_blocks: 35,
+                loop_weight: 4,
+                loop_period: (8, 120),
+                context_blocks: 130,
+                context_weight: 7,
+                context_nodes: (3, 20),
+                constant_blocks: 170,
+                constant_weight: 11,
+                random_blocks: 25,
+                random_weight: 2,
+            },
+        },
+    ]
+}
+
+/// Generates the full suite of traces at one seed and scale.
+pub fn standard_traces(seed: u64, scale: f64) -> Vec<BenchmarkTrace> {
+    standard_suite()
+        .iter()
+        .map(|spec| spec.trace(seed, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_paper_benchmarks() {
+        let names: Vec<&str> = standard_suite().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["cc1", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]
+        );
+    }
+
+    #[test]
+    fn prediction_counts_proportional_to_table1() {
+        let suite = standard_suite();
+        let compress = suite.iter().find(|b| b.name() == "compress").unwrap();
+        // Paper: 140M predictions → 1.4M at scale 1, 14k at scale 0.01.
+        assert_eq!(compress.predictions(1.0), 1_400_000);
+        assert_eq!(compress.predictions(0.01), 14_000);
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let spec = &standard_suite()[4]; // li
+        let a = spec.trace(7, 0.005);
+        let b = spec.trace(7, 0.005);
+        assert_eq!(a, b);
+        let c = spec.trace(8, 0.005);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn benchmarks_differ_from_each_other() {
+        let suite = standard_suite();
+        let a = suite[0].trace(1, 0.002);
+        let b = suite[1].trace(1, 0.002);
+        assert_ne!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn trace_lengths_match_scale() {
+        let suite = standard_suite();
+        for spec in &suite {
+            let t = spec.trace(3, 0.001);
+            assert_eq!(t.trace.len(), spec.predictions(0.001), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn programs_have_plausible_static_footprints() {
+        for spec in standard_suite() {
+            let p = spec.program(1);
+            let n = p.num_static_instructions();
+            assert!(
+                (50..20_000).contains(&n),
+                "{}: {n} static instructions",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        standard_suite()[0].predictions(0.0);
+    }
+}

@@ -1,0 +1,66 @@
+; bubble — bubble sort of 256 pseudo-random values (go/m88ksim-style
+; mixture: tight compare-and-swap loops whose branch outcomes become
+; progressively more constant as the array sorts).
+;
+; After sorting, a verification scan leaves 1 in r25 if the array is
+; non-decreasing.
+
+.data
+arr: .space 256
+
+.text
+main:
+    li   r10, 0
+    li   r11, 555555            ; LCG state
+    la   r20, arr
+fill:
+    li   r2, 1103515245
+    mul  r11, r11, r2
+    addi r11, r11, 12345
+    li   r2, 0x7fffffff
+    and  r11, r11, r2
+    srl  r3, r11, 11
+    andi r3, r3, 0xffff
+    add  r4, r20, r10
+    sw   r3, 0(r4)
+    addi r10, r10, 1
+    slti r7, r10, 256
+    bne  r7, r0, fill
+
+    li   r12, 255               ; limit
+sort_pass:
+    li   r10, 0
+    li   r15, 0                 ; swapped flag
+inner:
+    add  r4, r20, r10
+    lw   r5, 0(r4)
+    lw   r6, 1(r4)
+    slt  r7, r6, r5             ; out of order?
+    beq  r7, r0, no_swap
+    sw   r6, 0(r4)
+    sw   r5, 1(r4)
+    li   r15, 1
+no_swap:
+    addi r10, r10, 1
+    slt  r7, r10, r12
+    bne  r7, r0, inner
+    addi r12, r12, -1
+    beq  r15, r0, verify        ; early exit when already sorted
+    slti r7, r12, 1
+    beq  r7, r0, sort_pass
+
+verify:
+    li   r10, 0
+    li   r25, 1
+vloop:
+    add  r4, r20, r10
+    lw   r5, 0(r4)
+    lw   r6, 1(r4)
+    slt  r7, r6, r5
+    beq  r7, r0, vnext
+    li   r25, 0                 ; out of order
+vnext:
+    addi r10, r10, 1
+    slti r7, r10, 255
+    bne  r7, r0, vloop
+    halt

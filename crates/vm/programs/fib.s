@@ -1,0 +1,38 @@
+; fib — naive recursive Fibonacci of 20 (call-stack-heavy workload:
+; deep jal/jr recursion, stack loads and stores whose addresses form
+; short up/down stride bursts, and data-dependent branching).
+;
+; Calling convention: argument in r4, result in r3, sp (r30) points to the
+; next free stack slot, growing downward. The result (6765) is left in r25.
+
+.text
+main:
+    li   r4, 20
+    jal  fib
+    mov  r25, r3
+    halt
+
+fib:
+    slti r2, r4, 2
+    beq  r2, r0, recurse
+    mov  r3, r4                 ; fib(0) = 0, fib(1) = 1
+    jr   ra
+recurse:
+    sw   ra, 0(sp)              ; push return address
+    addi sp, sp, -1
+    sw   r4, 0(sp)              ; push n
+    addi sp, sp, -1
+    addi r4, r4, -1
+    jal  fib                    ; r3 = fib(n-1)
+    sw   r3, 0(sp)              ; push fib(n-1)
+    addi sp, sp, -1
+    lw   r4, 2(sp)              ; reload n
+    addi r4, r4, -2
+    jal  fib                    ; r3 = fib(n-2)
+    addi sp, sp, 1              ; pop fib(n-1)
+    lw   r5, 0(sp)
+    add  r3, r3, r5
+    addi sp, sp, 1              ; drop n
+    addi sp, sp, 1              ; pop return address
+    lw   ra, 0(sp)
+    jr   ra

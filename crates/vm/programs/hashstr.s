@@ -1,0 +1,71 @@
+; hashstr — word hashing over a text buffer (stand-in for perl's
+; scrabble workload: string scans, rolling polynomial hashes, bucket
+; updates; later passes over the same buffer are highly repetitive).
+;
+; A 2048-"character" buffer (separator every 8th position) is hashed
+; word-by-word into 256 buckets, 20 passes. The last word's hash is left
+; in r25.
+
+.data
+buf: .space 2048
+bkt: .space 256
+
+.text
+main:
+    li   r10, 0
+    li   r11, 987654321         ; LCG state
+    la   r20, buf
+fill:
+    li   r2, 1103515245
+    mul  r11, r11, r2
+    addi r11, r11, 12345
+    li   r2, 0x7fffffff
+    and  r11, r11, r2
+    srl  r3, r11, 13
+    andi r4, r10, 7
+    li   r2, 7
+    beq  r4, r2, sep
+    li   r2, 26
+    rem  r3, r3, r2
+    addi r3, r3, 1              ; letter 1..26
+    j    store
+sep:
+    li   r3, 0                  ; word separator
+store:
+    add  r5, r20, r10
+    sw   r3, 0(r5)
+    addi r10, r10, 1
+    slti r7, r10, 2048
+    bne  r7, r0, fill
+
+    la   r21, bkt
+    li   r22, 0                 ; pass
+pass:
+    li   r10, 0
+    li   r12, 0                 ; rolling hash
+scan:
+    add  r5, r20, r10
+    lw   r3, 0(r5)
+    beq  r3, r0, word_end
+    li   r2, 131
+    mul  r12, r12, r2
+    add  r12, r12, r3
+    li   r2, 0xffffff
+    and  r12, r12, r2
+    j    next
+word_end:
+    andi r6, r12, 255
+    add  r7, r21, r6
+    lw   r8, 0(r7)
+    addi r8, r8, 1
+    sw   r8, 0(r7)              ; bucket[hash & 255]++
+    mov  r25, r12
+    li   r12, 0
+next:
+    addi r10, r10, 1
+    slti r2, r10, 2048
+    bne  r2, r0, scan
+    addi r22, r22, 1
+    slti r2, r22, 20
+    bne  r2, r0, pass
+    halt

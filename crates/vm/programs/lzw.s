@@ -1,0 +1,48 @@
+; lzw — dictionary-coder kernel (stand-in for compress: a hot loop of
+; hash-table probes keyed by data-dependent values, interleaved with the
+; LCG input generator's stride-free value stream).
+;
+; For each generated input byte, the (previous, current) pair is hashed
+; into a 4096-entry table; a hit bumps the match counter (left in r25),
+; a miss installs the pair.
+
+.data
+table: .space 4096
+
+.text
+main:
+    li   r10, 0                 ; i = 0
+    li   r11, 12345             ; LCG state
+    li   r12, 0                 ; prev byte
+    li   r14, 0                 ; hits
+    la   r20, table
+    li   r21, 30000             ; iterations
+loop:
+    li   r2, 1103515245
+    mul  r11, r11, r2
+    addi r11, r11, 12345
+    li   r2, 0x7fffffff
+    and  r11, r11, r2
+    srl  r3, r11, 16
+    andi r3, r3, 0xff           ; input byte
+    li   r2, 31
+    mul  r4, r12, r2
+    add  r4, r4, r3
+    andi r4, r4, 0xfff          ; hash index
+    add  r5, r20, r4
+    lw   r6, 0(r5)              ; probe
+    sll  r8, r12, 8
+    add  r8, r8, r3
+    addi r8, r8, 1              ; key = prev*256 + byte + 1 (0 = empty)
+    bne  r6, r8, miss
+    addi r14, r14, 1
+    j    cont
+miss:
+    sw   r8, 0(r5)
+cont:
+    mov  r12, r3
+    addi r10, r10, 1
+    slt  r7, r10, r21
+    bne  r7, r0, loop
+    mov  r25, r14
+    halt

@@ -1,0 +1,75 @@
+; matmul — 32x32 integer matrix multiply (stand-in for ijpeg: dense
+; nested loops over arrays, the stride-dominated workload with the
+; paper's largest DFCM gain).
+;
+; A and B are filled with small deterministic patterns; C = A*B. The
+; checksum of C is left in r25.
+
+.data
+mat_a: .space 1024
+mat_b: .space 1024
+mat_c: .space 1024
+
+.text
+main:
+    li   r10, 0
+    la   r20, mat_a
+    la   r21, mat_b
+init:
+    li   r2, 97
+    rem  r3, r10, r2
+    add  r4, r20, r10
+    sw   r3, 0(r4)              ; A[i] = i % 97
+    li   r2, 7
+    mul  r3, r10, r2
+    li   r2, 89
+    rem  r3, r3, r2
+    add  r4, r21, r10
+    sw   r3, 0(r4)              ; B[i] = (7i) % 89
+    addi r10, r10, 1
+    slti r7, r10, 1024
+    bne  r7, r0, init
+
+    la   r22, mat_c
+    li   r10, 0                 ; i
+mi:
+    li   r11, 0                 ; j
+mj:
+    li   r15, 0                 ; acc
+    li   r12, 0                 ; k
+    sll  r5, r10, 5             ; i*32
+mk:
+    add  r6, r5, r12
+    add  r6, r20, r6
+    lw   r7, 0(r6)              ; A[i][k]
+    sll  r8, r12, 5
+    add  r8, r8, r11
+    add  r8, r21, r8
+    lw   r9, 0(r8)              ; B[k][j]
+    mul  r9, r7, r9
+    add  r15, r15, r9
+    addi r12, r12, 1
+    slti r2, r12, 32
+    bne  r2, r0, mk
+    sll  r5, r10, 5
+    add  r6, r5, r11
+    add  r6, r22, r6
+    sw   r15, 0(r6)             ; C[i][j] = acc
+    addi r11, r11, 1
+    slti r2, r11, 32
+    bne  r2, r0, mj
+    addi r10, r10, 1
+    slti r2, r10, 32
+    bne  r2, r0, mi
+
+    ; checksum C
+    li   r10, 0
+    li   r25, 0
+sum:
+    add  r2, r22, r10
+    lw   r3, 0(r2)
+    add  r25, r25, r3
+    addi r10, r10, 1
+    slti r2, r10, 1024
+    bne  r2, r0, sum
+    halt

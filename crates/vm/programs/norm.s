@@ -1,0 +1,85 @@
+; norm — the paper's Figure 5 kernel (integer variant).
+;
+; Scales each row of a 200x100 matrix by the largest absolute value in the
+; row. The compiler-generated internal variables the paper discusses (the
+; induction variables i and j, the scaled index, the row and element
+; addresses, and the slt loop-exit comparisons) all appear here explicitly,
+; producing the stride and near-constant patterns of Figures 5 and 6.
+;
+; The matrix is first filled with a deterministic pseudo-pattern
+; ((i*31 + j*7) mod 1000) - 500 so the max-scan takes data-dependent
+; branches; the normalization pass then runs twice.
+
+.data
+matrix: .space 20000            ; 200 rows x 100 cols
+
+.text
+main:
+    li   r10, 0                 ; i = 0
+init_i:
+    li   r2, 100
+    mul  r12, r10, r2           ; i*100
+    la   r3, matrix
+    add  r12, r12, r3           ; &matrix[i][0]
+    li   r11, 0                 ; j = 0
+init_j:
+    li   r4, 31
+    mul  r5, r10, r4            ; i*31
+    li   r4, 7
+    mul  r6, r11, r4            ; j*7
+    add  r5, r5, r6
+    li   r4, 1000
+    rem  r5, r5, r4
+    addi r5, r5, -500           ; value in [-500, 499]
+    add  r13, r12, r11          ; &matrix[i][j]
+    sw   r5, 0(r13)
+    addi r11, r11, 1
+    slti r7, r11, 100
+    bne  r7, r0, init_j
+    addi r10, r10, 1
+    slti r7, r10, 200
+    bne  r7, r0, init_i
+
+    li   r21, 0                 ; pass = 0
+pass:
+    li   r10, 0                 ; i = 0
+row:
+    li   r2, 100
+    mul  r12, r10, r2
+    la   r3, matrix
+    add  r12, r12, r3           ; row base
+    lw   r15, 99(r12)           ; max = matrix[i][99]
+    li   r11, 0                 ; j = 0
+scan:
+    add  r13, r12, r11
+    lw   r14, 0(r13)            ; v = matrix[i][j]
+    slt  r7, r14, r0
+    beq  r7, r0, no_neg
+    sub  r14, r0, r14           ; v = |v|
+no_neg:
+    slt  r7, r15, r14           ; max < |v| ?
+    beq  r7, r0, no_new_max
+    mov  r15, r14
+no_new_max:
+    addi r11, r11, 1
+    slti r7, r11, 99
+    bne  r7, r0, scan
+    bne  r15, r0, divide
+    li   r15, 1                 ; if (max == 0) max = 1
+divide:
+    li   r11, 0
+div_j:
+    add  r13, r12, r11
+    lw   r14, 0(r13)
+    div  r14, r14, r15
+    sw   r14, 0(r13)
+    addi r11, r11, 1
+    slti r7, r11, 100
+    bne  r7, r0, div_j
+    addi r10, r10, 1
+    slti r7, r10, 200
+    bne  r7, r0, row
+    addi r21, r21, 1
+    slti r7, r21, 2
+    bne  r7, r0, pass
+    halt

@@ -1,0 +1,65 @@
+; queens — iterative 8-queens solution counter (stand-in for li's
+; 7queens.lsp workload: heavy backtracking, small-array loads and
+; comparison chains).
+;
+; Counts all 92 solutions three times; the final per-run count is left in
+; r25 for verification.
+
+.data
+pos: .space 8                   ; queen column per row, -1 = unplaced
+
+.text
+main:
+    li   r26, 0                 ; repetition counter
+again:
+    li   r12, 0                 ; count = 0
+    li   r10, 0                 ; row = 0
+    la   r20, pos
+    li   r2, -1
+    sw   r2, 0(r20)             ; pos[0] = -1
+outer:
+    slt  r7, r10, r0            ; row < 0 -> done
+    bne  r7, r0, done_run
+    add  r3, r20, r10
+    lw   r11, 0(r3)             ; col = pos[row]
+next_col:
+    addi r11, r11, 1
+    slti r7, r11, 8
+    beq  r7, r0, backtrack      ; col out of columns
+    li   r13, 0                 ; r = 0
+safe:
+    slt  r7, r13, r10           ; r < row ?
+    beq  r7, r0, is_safe
+    add  r4, r20, r13
+    lw   r5, 0(r4)              ; pc = pos[r]
+    beq  r5, r11, next_col      ; same column
+    sub  r6, r5, r13
+    sub  r8, r11, r10
+    beq  r6, r8, next_col       ; same rising diagonal
+    add  r6, r5, r13
+    add  r8, r11, r10
+    beq  r6, r8, next_col       ; same falling diagonal
+    addi r13, r13, 1
+    j    safe
+is_safe:
+    add  r3, r20, r10
+    sw   r11, 0(r3)             ; pos[row] = col
+    slti r7, r10, 7
+    beq  r7, r0, solution
+    addi r10, r10, 1            ; descend
+    add  r3, r20, r10
+    li   r2, -1
+    sw   r2, 0(r3)
+    j    outer
+solution:
+    addi r12, r12, 1
+    j    next_col               ; keep scanning the last row
+backtrack:
+    addi r10, r10, -1
+    j    outer
+done_run:
+    mov  r25, r12               ; expose the solution count
+    addi r26, r26, 1
+    slti r7, r26, 3
+    bne  r7, r0, again
+    halt

@@ -1,0 +1,48 @@
+; sieve — sieve of Eratosthenes up to 10000, two passes (a classic mix of
+; unit-stride scans and p-stride marking loops with many distinct
+; strides, exactly the "different stride patterns all require their own
+; level-2 entries" situation of the paper's section 2.4).
+;
+; The prime count (1229) is left in r25.
+
+.data
+flags: .space 10000
+
+.text
+main:
+    li   r22, 0                 ; pass
+spass:
+    li   r10, 0
+    la   r20, flags
+clear:
+    add  r2, r20, r10
+    sw   r0, 0(r2)
+    addi r10, r10, 1
+    slti r3, r10, 10000
+    bne  r3, r0, clear
+
+    li   r10, 2                 ; candidate
+    li   r12, 0                 ; prime count
+outer:
+    add  r2, r20, r10
+    lw   r3, 0(r2)
+    bne  r3, r0, not_prime
+    addi r12, r12, 1
+    add  r11, r10, r10          ; first multiple
+mark:
+    slti r4, r11, 10000
+    beq  r4, r0, not_prime
+    add  r2, r20, r11
+    li   r5, 1
+    sw   r5, 0(r2)
+    add  r11, r11, r10          ; stride = the prime
+    j    mark
+not_prime:
+    addi r10, r10, 1
+    slti r4, r10, 10000
+    bne  r4, r0, outer
+    mov  r25, r12
+    addi r22, r22, 1
+    slti r4, r22, 2
+    bne  r4, r0, spass
+    halt

@@ -1,0 +1,61 @@
+; strsearch — naive substring search (go-like: tight compare loops with
+; data-dependent early exits over a small alphabet, so partial matches
+; abound).
+;
+; A 4096-character text over the alphabet {0,1,2,3} is generated with an
+; LCG, then three fixed 5-character patterns are searched naively; the
+; total number of occurrences is left in r25. The text stays in memory at
+; `text` so a host-side oracle can verify the count.
+
+.data
+text: .space 4096
+pats: .word 0, 1, 0, 2, 1,  1, 1, 0, 3, 2,  2, 0, 0, 1, 3
+
+.text
+main:
+    li   r10, 0                 ; i
+    li   r11, 74755             ; LCG state
+    la   r20, text
+fill:
+    li   r2, 1103515245
+    mul  r11, r11, r2
+    addi r11, r11, 12345
+    li   r2, 0x7fffffff
+    and  r11, r11, r2
+    srl  r3, r11, 9
+    andi r3, r3, 3              ; 2-bit symbol
+    add  r4, r20, r10
+    sw   r3, 0(r4)
+    addi r10, r10, 1
+    slti r7, r10, 4096
+    bne  r7, r0, fill
+
+    li   r25, 0                 ; total occurrences
+    li   r15, 0                 ; pattern index (0, 1, 2)
+pat_loop:
+    la   r21, pats
+    li   r2, 5
+    mul  r3, r15, r2
+    add  r21, r21, r3           ; &pats[p][0]
+    li   r10, 0                 ; start position
+pos_loop:
+    li   r12, 0                 ; offset within pattern
+cmp_loop:
+    add  r4, r20, r10
+    add  r4, r4, r12
+    lw   r5, 0(r4)              ; text[i + k]
+    add  r6, r21, r12
+    lw   r7, 0(r6)              ; pattern[k]
+    bne  r5, r7, mismatch
+    addi r12, r12, 1
+    slti r2, r12, 5
+    bne  r2, r0, cmp_loop
+    addi r25, r25, 1            ; full match
+mismatch:
+    addi r10, r10, 1
+    slti r2, r10, 4092          ; 4096 - 5 + 1
+    bne  r2, r0, pos_loop
+    addi r15, r15, 1
+    slti r2, r15, 3
+    bne  r2, r0, pat_loop
+    halt

@@ -1,0 +1,106 @@
+; treeins — binary search tree build and lookup (stand-in for vortex and
+; cc1: pointer-structure traversal, data-dependent branching, repeated
+; walks over a stable structure).
+;
+; 800 pseudo-random keys are inserted into a BST backed by a node pool
+; (key, left, right; -1 = null); two lookup passes replay the same key
+; stream. The per-pass hit count (always 800) is left in r25.
+
+.data
+pool: .space 12288              ; 4096 nodes x 3 words
+
+.text
+main:
+    li   r21, 3                 ; node size in words
+    la   r20, pool
+    li   r11, 424242            ; LCG state
+    jal  lcg
+    sw   r3, 0(r20)             ; root key
+    li   r2, -1
+    sw   r2, 1(r20)
+    sw   r2, 2(r20)
+    li   r10, 1                 ; next free node index
+    li   r12, 0                 ; keys inserted
+ins_loop:
+    jal  lcg
+    mov  r13, r3                ; key
+    li   r14, 0                 ; cur = root
+walk:
+    mul  r4, r14, r21
+    add  r4, r20, r4            ; node address
+    lw   r5, 0(r4)              ; cur key
+    beq  r5, r13, ins_done      ; duplicate
+    slt  r6, r13, r5
+    beq  r6, r0, go_right
+    lw   r7, 1(r4)              ; left child
+    li   r8, 1
+    j    have_child
+go_right:
+    lw   r7, 2(r4)              ; right child
+    li   r8, 2
+have_child:
+    li   r2, -1
+    bne  r7, r2, descend
+    mul  r5, r10, r21           ; allocate new node
+    add  r5, r20, r5
+    sw   r13, 0(r5)
+    li   r2, -1
+    sw   r2, 1(r5)
+    sw   r2, 2(r5)
+    add  r6, r4, r8             ; link parent slot
+    sw   r10, 0(r6)
+    addi r10, r10, 1
+    j    ins_done
+descend:
+    mov  r14, r7
+    j    walk
+ins_done:
+    addi r12, r12, 1
+    slti r2, r12, 800
+    bne  r2, r0, ins_loop
+
+    li   r22, 0                 ; lookup pass
+lk_pass:
+    li   r11, 424242            ; replay the key stream
+    li   r12, 0
+    li   r15, 0                 ; found count
+lk_loop:
+    jal  lcg
+    mov  r13, r3
+    li   r14, 0
+lk_walk:
+    li   r2, -1
+    beq  r14, r2, lk_next       ; fell off: not found
+    mul  r4, r14, r21
+    add  r4, r20, r4
+    lw   r5, 0(r4)
+    beq  r5, r13, lk_found
+    slt  r6, r13, r5
+    beq  r6, r0, lk_right
+    lw   r14, 1(r4)
+    j    lk_walk
+lk_right:
+    lw   r14, 2(r4)
+    j    lk_walk
+lk_found:
+    addi r15, r15, 1
+lk_next:
+    addi r12, r12, 1
+    slti r2, r12, 800
+    bne  r2, r0, lk_loop
+    mov  r25, r15
+    addi r22, r22, 1
+    slti r2, r22, 2
+    bne  r2, r0, lk_pass
+    halt
+
+lcg:
+    li   r2, 1103515245
+    mul  r11, r11, r2
+    addi r11, r11, 12345
+    li   r2, 0x7fffffff
+    and  r11, r11, r2
+    srl  r3, r11, 12
+    li   r2, 4000
+    rem  r3, r3, r2
+    jr   ra

@@ -1,0 +1,601 @@
+//! A small two-pass assembler for the mini RISC ISA.
+//!
+//! Syntax overview (see `programs/` for full kernels):
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! .data
+//! table:  .word 1, 2, 3      ; initialized words
+//! buf:    .space 64          ; zeroed words
+//! .text
+//! main:   li   r1, 10
+//!         la   r2, buf       ; r2 = address of buf
+//! loop:   lw   r3, 0(r2)     ; offsets are in words
+//!         add  r3, r3, r1
+//!         sw   r3, 1(r2)
+//!         addi r1, r1, -1
+//!         bne  r1, r0, loop
+//!         halt
+//! ```
+//!
+//! Registers are `r0`–`r31` (aliases: `zero` = r0, `sp` = r30, `ra` =
+//! r31). Pseudo-instructions: `la` (load address), `mov rd, rs`, `bgt` and
+//! `ble` (operand-swapped `blt`/`bge`), `j`/`jal`/`jr` for calls.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::Inst;
+
+/// First data-memory word address; `la` resolves data labels relative to
+/// this base so that low addresses stay free for sentinels.
+pub const DATA_BASE: i64 = 0x1000;
+
+/// An assembled program: instructions, initialized data image and the
+/// resolved symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Decoded instructions; execution starts at index 0 (or at `main` if
+    /// the label exists).
+    pub insts: Vec<Inst>,
+    /// Initial contents of data memory, loaded at [`DATA_BASE`].
+    pub data: Vec<i64>,
+    /// Text labels → instruction index.
+    pub text_labels: HashMap<String, usize>,
+    /// Data labels → absolute word address.
+    pub data_labels: HashMap<String, i64>,
+    /// Entry instruction index (the `main` label, or 0).
+    pub entry: usize,
+}
+
+/// An assembly error, with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on any syntax error, unknown mnemonic or register,
+/// duplicate or undefined label, or malformed directive. The error carries
+/// the offending line number.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect label addresses and data image.
+    let mut segment = Segment::Text;
+    let mut inst_count = 0usize;
+    let mut text_labels: HashMap<String, usize> = HashMap::new();
+    let mut data_labels: HashMap<String, i64> = HashMap::new();
+    let mut data: Vec<i64> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = strip_comment(raw).trim();
+        // Peel leading labels (there may be several on one line).
+        while let Some(colon) = find_label(text) {
+            let label = text[..colon].trim();
+            validate_label(label, line)?;
+            let dup = match segment {
+                Segment::Text => text_labels.insert(label.to_owned(), inst_count).is_some(),
+                Segment::Data => data_labels
+                    .insert(label.to_owned(), DATA_BASE + data.len() as i64)
+                    .is_some(),
+            };
+            if dup {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            let mut parts = directive.split_whitespace();
+            match parts.next() {
+                Some("text") => segment = Segment::Text,
+                Some("data") => segment = Segment::Data,
+                Some("word") => {
+                    if segment != Segment::Data {
+                        return Err(err(line, ".word outside .data"));
+                    }
+                    let rest = directive["word".len()..].trim();
+                    for tok in rest.split(',') {
+                        let tok = tok.trim();
+                        if tok.is_empty() {
+                            continue;
+                        }
+                        data.push(parse_imm(tok, line)?);
+                    }
+                }
+                Some("space") => {
+                    if segment != Segment::Data {
+                        return Err(err(line, ".space outside .data"));
+                    }
+                    let rest = directive["space".len()..].trim();
+                    let n = parse_imm(rest, line)?;
+                    if n < 0 {
+                        return Err(err(line, "negative .space size"));
+                    }
+                    data.extend(std::iter::repeat_n(0, n as usize));
+                }
+                other => {
+                    return Err(err(
+                        line,
+                        format!("unknown directive `.{}`", other.unwrap_or("")),
+                    ))
+                }
+            }
+            continue;
+        }
+        if segment != Segment::Text {
+            return Err(err(line, "instruction outside .text"));
+        }
+        inst_count += 1;
+    }
+
+    // Pass 2: encode instructions.
+    let mut insts = Vec::with_capacity(inst_count);
+    segment = Segment::Text;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = strip_comment(raw).trim();
+        while let Some(colon) = find_label(text) {
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            match directive.split_whitespace().next() {
+                Some("text") => segment = Segment::Text,
+                Some("data") => segment = Segment::Data,
+                _ => {}
+            }
+            continue;
+        }
+        if segment != Segment::Text {
+            continue;
+        }
+        insts.push(encode(text, line, &text_labels, &data_labels)?);
+    }
+
+    let entry = text_labels.get("main").copied().unwrap_or(0);
+    Ok(Program {
+        insts,
+        data,
+        text_labels,
+        data_labels,
+        entry,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Finds the colon terminating a leading label, if the line starts with one.
+fn find_label(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let head = &text[..colon];
+    if !head.is_empty() && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn validate_label(label: &str, line: usize) -> Result<(), AsmError> {
+    if label.is_empty() || label.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Err(err(line, format!("invalid label `{label}`")));
+    }
+    Ok(())
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let tok = tok.trim();
+    match tok {
+        "zero" => return Ok(0),
+        "sp" => return Ok(30),
+        "ra" => return Ok(31),
+        _ => {}
+    }
+    let number = tok
+        .strip_prefix('r')
+        .or_else(|| tok.strip_prefix('$'))
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    let n: u32 = number
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register `{tok}` out of range")));
+    }
+    Ok(n as u8)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        let value = i64::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+        return Ok(if neg { value.wrapping_neg() } else { value });
+    }
+    // Parse with the sign attached so that i64::MIN (whose magnitude does
+    // not fit in a positive i64) round-trips.
+    tok.parse()
+        .map_err(|_| err(line, format!("bad immediate `{tok}`")))
+}
+
+fn parse_shamt(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let v = parse_imm(tok, line)?;
+    if !(0..64).contains(&v) {
+        return Err(err(line, format!("shift amount `{tok}` out of range")));
+    }
+    Ok(v as u8)
+}
+
+/// Parses a `offset(base)` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, u8), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(reg), got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("unclosed memory operand `{tok}`")))?;
+    let offset_text = tok[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        parse_imm(offset_text, line)?
+    };
+    let base = parse_reg(&tok[open + 1..close], line)?;
+    Ok((offset, base))
+}
+
+fn lookup_text(labels: &HashMap<String, usize>, tok: &str, line: usize) -> Result<usize, AsmError> {
+    labels
+        .get(tok.trim())
+        .copied()
+        .ok_or_else(|| err(line, format!("undefined label `{}`", tok.trim())))
+}
+
+fn encode(
+    text: &str,
+    line: usize,
+    text_labels: &HashMap<String, usize>,
+    data_labels: &HashMap<String, i64>,
+) -> Result<Inst, AsmError> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let r3 = |f: fn(u8, u8, u8) -> Inst| -> Result<Inst, AsmError> {
+        want(3)?;
+        Ok(f(
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_reg(ops[2], line)?,
+        ))
+    };
+    let ri = |f: fn(u8, u8, i64) -> Inst| -> Result<Inst, AsmError> {
+        want(3)?;
+        Ok(f(
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_imm(ops[2], line)?,
+        ))
+    };
+    let sh = |f: fn(u8, u8, u8) -> Inst| -> Result<Inst, AsmError> {
+        want(3)?;
+        Ok(f(
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_shamt(ops[2], line)?,
+        ))
+    };
+    let branch = |f: fn(u8, u8, usize) -> Inst, swap: bool| -> Result<Inst, AsmError> {
+        want(3)?;
+        let a = parse_reg(ops[0], line)?;
+        let b = parse_reg(ops[1], line)?;
+        let target = lookup_text(text_labels, ops[2], line)?;
+        Ok(if swap {
+            f(b, a, target)
+        } else {
+            f(a, b, target)
+        })
+    };
+
+    match mnemonic {
+        "add" => r3(Inst::Add),
+        "sub" => r3(Inst::Sub),
+        "mul" => r3(Inst::Mul),
+        "div" => r3(Inst::Div),
+        "rem" => r3(Inst::Rem),
+        "and" => r3(Inst::And),
+        "or" => r3(Inst::Or),
+        "xor" => r3(Inst::Xor),
+        "slt" => r3(Inst::Slt),
+        "addi" => ri(Inst::Addi),
+        "andi" => ri(Inst::Andi),
+        "ori" => ri(Inst::Ori),
+        "xori" => ri(Inst::Xori),
+        "slti" => ri(Inst::Slti),
+        "sll" => sh(Inst::Sll),
+        "srl" => sh(Inst::Srl),
+        "sra" => sh(Inst::Sra),
+        "li" => {
+            want(2)?;
+            Ok(Inst::Li(parse_reg(ops[0], line)?, parse_imm(ops[1], line)?))
+        }
+        "la" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let addr = data_labels
+                .get(ops[1])
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined data label `{}`", ops[1])))?;
+            Ok(Inst::Li(rd, addr))
+        }
+        "mov" => {
+            want(2)?;
+            Ok(Inst::Addi(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                0,
+            ))
+        }
+        "lw" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let (offset, base) = parse_mem(ops[1], line)?;
+            Ok(Inst::Lw(rd, offset, base))
+        }
+        "sw" => {
+            want(2)?;
+            let rt = parse_reg(ops[0], line)?;
+            let (offset, base) = parse_mem(ops[1], line)?;
+            Ok(Inst::Sw(rt, offset, base))
+        }
+        "beq" => branch(Inst::Beq, false),
+        "bne" => branch(Inst::Bne, false),
+        "blt" => branch(Inst::Blt, false),
+        "bge" => branch(Inst::Bge, false),
+        "bgt" => branch(Inst::Blt, true),
+        "ble" => branch(Inst::Bge, true),
+        "j" => {
+            want(1)?;
+            Ok(Inst::J(lookup_text(text_labels, ops[0], line)?))
+        }
+        "jal" => {
+            want(1)?;
+            Ok(Inst::Jal(lookup_text(text_labels, ops[0], line)?))
+        }
+        "jr" => {
+            want(1)?;
+            Ok(Inst::Jr(parse_reg(ops[0], line)?))
+        }
+        "nop" => {
+            want(0)?;
+            Ok(Inst::Nop)
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Inst::Halt)
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "
+            .text
+            main: li r1, 5
+                  addi r2, r1, -1
+                  add  r3, r1, r2
+                  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Li(1, 5),
+                Inst::Addi(2, 1, -1),
+                Inst::Add(3, 1, 2),
+                Inst::Halt
+            ]
+        );
+        assert_eq!(p.entry, 0);
+    }
+
+    #[test]
+    fn data_directives_and_la() {
+        let p = assemble(
+            "
+            .data
+            a: .word 10, 20, 30
+            b: .space 5
+            c: .word 0x7f
+            .text
+            main: la r1, b
+                  la r2, c
+                  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.data, vec![10, 20, 30, 0, 0, 0, 0, 0, 127]);
+        assert_eq!(p.insts[0], Inst::Li(1, DATA_BASE + 3));
+        assert_eq!(p.insts[1], Inst::Li(2, DATA_BASE + 8));
+    }
+
+    #[test]
+    fn branches_resolve_labels() {
+        let p = assemble(
+            "
+            .text
+            main: li r1, 3
+            loop: addi r1, r1, -1
+                  bne r1, r0, loop
+                  bgt r1, r2, main
+                  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.insts[2], Inst::Bne(1, 0, 1));
+        // bgt r1, r2 == blt r2, r1
+        assert_eq!(p.insts[3], Inst::Blt(2, 1, 0));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "
+            .text
+            main: lw r1, 4(r2)
+                  lw r3, (r4)
+                  sw r1, -2(r5)
+                  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.insts[0], Inst::Lw(1, 4, 2));
+        assert_eq!(p.insts[1], Inst::Lw(3, 0, 4));
+        assert_eq!(p.insts[2], Inst::Sw(1, -2, 5));
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble(".text\nmain: add sp, ra, zero\nhalt\n").unwrap();
+        assert_eq!(p.insts[0], Inst::Add(30, 31, 0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; leading comment
+            .text
+            main: nop   # trailing comment
+                  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.insts, vec![Inst::Nop, Inst::Halt]);
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_without_main() {
+        let p = assemble(".text\nstart: halt\n").unwrap();
+        assert_eq!(p.entry, 0);
+    }
+
+    #[test]
+    fn entry_is_main_when_present() {
+        let p = assemble(".text\nhelper: nop\nmain: halt\n").unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".text\nmain: frob r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn rejects_bad_register_and_label() {
+        assert!(assemble(".text\nmain: add r1, r2, r99\n")
+            .unwrap_err()
+            .message
+            .contains("r99"));
+        assert!(assemble(".text\nmain: j nowhere\n")
+            .unwrap_err()
+            .message
+            .contains("nowhere"));
+        assert!(assemble(".text\nmain: la r1, nothing\nhalt\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let e = assemble(".text\nx: nop\nx: halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_word_outside_data() {
+        assert!(assemble(".text\n.word 5\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_operand_count() {
+        let e = assemble(".text\nmain: add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble(".text\nmain: li r1, 0x10\nli r2, -0x10\nli r3, -7\nhalt\n").unwrap();
+        assert_eq!(p.insts[0], Inst::Li(1, 16));
+        assert_eq!(p.insts[1], Inst::Li(2, -16));
+        assert_eq!(p.insts[2], Inst::Li(3, -7));
+    }
+
+    #[test]
+    fn shift_amounts_validated() {
+        assert!(assemble(".text\nmain: sll r1, r2, 64\n").is_err());
+        let p = assemble(".text\nmain: sll r1, r2, 3\nhalt\n").unwrap();
+        assert_eq!(p.insts[0], Inst::Sll(1, 2, 3));
+    }
+}

@@ -1,0 +1,170 @@
+//! Disassembler: renders decoded instructions and whole programs back to
+//! assembly text that [`assemble`](crate::assemble) accepts.
+//!
+//! Useful for inspecting assembled kernels, for diffing program
+//! transformations, and as a test oracle (disassemble-then-reassemble must
+//! reproduce the instruction stream exactly).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::asm::Program;
+use crate::isa::Inst;
+
+fn reg(r: u8) -> String {
+    format!("r{r}")
+}
+
+/// Renders one instruction, with branch/jump targets as `L<index>` labels.
+pub fn render_inst(inst: &Inst) -> String {
+    match *inst {
+        Inst::Add(d, s, t) => format!("add {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Sub(d, s, t) => format!("sub {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Mul(d, s, t) => format!("mul {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Div(d, s, t) => format!("div {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Rem(d, s, t) => format!("rem {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Addi(d, s, imm) => format!("addi {}, {}, {}", reg(d), reg(s), imm),
+        Inst::And(d, s, t) => format!("and {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Or(d, s, t) => format!("or {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Xor(d, s, t) => format!("xor {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Andi(d, s, imm) => format!("andi {}, {}, {}", reg(d), reg(s), imm),
+        Inst::Ori(d, s, imm) => format!("ori {}, {}, {}", reg(d), reg(s), imm),
+        Inst::Xori(d, s, imm) => format!("xori {}, {}, {}", reg(d), reg(s), imm),
+        Inst::Sll(d, s, sh) => format!("sll {}, {}, {}", reg(d), reg(s), sh),
+        Inst::Srl(d, s, sh) => format!("srl {}, {}, {}", reg(d), reg(s), sh),
+        Inst::Sra(d, s, sh) => format!("sra {}, {}, {}", reg(d), reg(s), sh),
+        Inst::Slt(d, s, t) => format!("slt {}, {}, {}", reg(d), reg(s), reg(t)),
+        Inst::Slti(d, s, imm) => format!("slti {}, {}, {}", reg(d), reg(s), imm),
+        Inst::Li(d, imm) => format!("li {}, {}", reg(d), imm),
+        Inst::Lw(d, offset, base) => format!("lw {}, {}({})", reg(d), offset, reg(base)),
+        Inst::Sw(t, offset, base) => format!("sw {}, {}({})", reg(t), offset, reg(base)),
+        Inst::Beq(s, t, target) => format!("beq {}, {}, L{target}", reg(s), reg(t)),
+        Inst::Bne(s, t, target) => format!("bne {}, {}, L{target}", reg(s), reg(t)),
+        Inst::Blt(s, t, target) => format!("blt {}, {}, L{target}", reg(s), reg(t)),
+        Inst::Bge(s, t, target) => format!("bge {}, {}, L{target}", reg(s), reg(t)),
+        Inst::J(target) => format!("j L{target}"),
+        Inst::Jal(target) => format!("jal L{target}"),
+        Inst::Jr(s) => format!("jr {}", reg(s)),
+        Inst::Nop => "nop".to_owned(),
+        Inst::Halt => "halt".to_owned(),
+    }
+}
+
+/// Targets referenced by branches and jumps in an instruction stream.
+fn branch_targets(insts: &[Inst]) -> BTreeSet<usize> {
+    insts
+        .iter()
+        .filter_map(|inst| match *inst {
+            Inst::Beq(_, _, t)
+            | Inst::Bne(_, _, t)
+            | Inst::Blt(_, _, t)
+            | Inst::Bge(_, _, t)
+            | Inst::J(t)
+            | Inst::Jal(t) => Some(t),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Disassembles a whole program to assembleable text.
+///
+/// Data is emitted as one `.word` block under the label `data`; branch
+/// targets get labels `L<index>`, and the entry instruction is labelled
+/// `main`. Symbolic names from the original source are not preserved
+/// (the assembler discards them), but reassembling the output yields an
+/// identical instruction stream and data image.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.data.is_empty() {
+        out.push_str(".data\n");
+        out.push_str("data:");
+        for (i, word) in program.data.iter().enumerate() {
+            if i % 8 == 0 {
+                out.push_str("\n    .word ");
+            } else {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{word}");
+        }
+        out.push('\n');
+    }
+    out.push_str(".text\n");
+    let targets = branch_targets(&program.insts);
+    for (i, inst) in program.insts.iter().enumerate() {
+        if i == program.entry {
+            out.push_str("main:\n");
+        }
+        if targets.contains(&i) {
+            let _ = writeln!(out, "L{i}:");
+        }
+        let _ = writeln!(out, "    {}", render_inst(inst));
+    }
+    // A trailing label may point one past the last instruction.
+    if targets.contains(&program.insts.len()) {
+        let _ = writeln!(out, "L{}:", program.insts.len());
+        out.push_str("    halt\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::programs;
+
+    #[test]
+    fn renders_each_form() {
+        assert_eq!(render_inst(&Inst::Add(1, 2, 3)), "add r1, r2, r3");
+        assert_eq!(render_inst(&Inst::Addi(1, 2, -5)), "addi r1, r2, -5");
+        assert_eq!(render_inst(&Inst::Lw(4, 2, 5)), "lw r4, 2(r5)");
+        assert_eq!(render_inst(&Inst::Sw(4, -1, 5)), "sw r4, -1(r5)");
+        assert_eq!(render_inst(&Inst::Beq(1, 0, 7)), "beq r1, r0, L7");
+        assert_eq!(render_inst(&Inst::Jr(31)), "jr r31");
+        assert_eq!(render_inst(&Inst::Halt), "halt");
+    }
+
+    #[test]
+    fn every_kernel_roundtrips() {
+        for (name, src) in programs::all() {
+            let original = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let text = disassemble(&original);
+            let reassembled =
+                assemble(&text).unwrap_or_else(|e| panic!("{name} roundtrip: {e}\n{text}"));
+            assert_eq!(
+                original.insts, reassembled.insts,
+                "{name}: instruction mismatch"
+            );
+            assert_eq!(original.data, reassembled.data, "{name}: data mismatch");
+            assert_eq!(original.entry, reassembled.entry, "{name}: entry mismatch");
+        }
+    }
+
+    #[test]
+    fn roundtripped_kernel_still_runs_correctly() {
+        use crate::vm::Vm;
+        let original = assemble(programs::QUEENS).unwrap();
+        let text = disassemble(&original);
+        let mut vm = Vm::new(assemble(&text).unwrap());
+        vm.run(50_000_000).unwrap();
+        assert_eq!(vm.reg(25), 92, "queens must still find 92 solutions");
+    }
+
+    #[test]
+    fn branch_targets_become_labels() {
+        let p = assemble(".text\nmain: li r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n")
+            .unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("L1:"), "{text}");
+        assert!(text.contains("bne r1, r0, L1"), "{text}");
+    }
+
+    #[test]
+    fn data_image_emitted() {
+        let p = assemble(".data\nx: .word 1, 2, 3\n.text\nmain: la r1, x\nhalt\n").unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains(".word 1, 2, 3"), "{text}");
+        // `la` was lowered to `li` with the absolute address.
+        assert!(text.contains("li r1, 4096"), "{text}");
+    }
+}

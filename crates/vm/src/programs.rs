@@ -1,0 +1,204 @@
+//! The bundled benchmark kernels (assembly sources).
+//!
+//! Each kernel is a real program whose value trace exhibits the pattern
+//! classes the paper studies. `norm` is a faithful integer translation of
+//! the paper's Figure 5 function; the others stand in for the SPECint95
+//! behaviours described in DESIGN.md:
+//!
+//! | kernel    | behaviour it contributes |
+//! |-----------|--------------------------|
+//! | `norm`    | the paper's motivating stride-rich kernel (Figures 5, 6, 9) |
+//! | `queens`  | backtracking search (li's 7queens workload) |
+//! | `lzw`     | hash-table probing on data-dependent keys (compress) |
+//! | `matmul`  | dense nested array loops (ijpeg) |
+//! | `hashstr` | string scanning and bucket updates (perl) |
+//! | `treeins` | pointer-structure build and traversal (vortex, cc1) |
+//! | `sieve`   | many concurrent distinct-stride patterns (§2.4) |
+//! | `bubble`  | compare-and-swap loops with drifting branch bias (go) |
+//! | `fib`     | deep jal/jr recursion with stack traffic (m88ksim-ish call mix) |
+//! | `strsearch` | inner compare loops with early exits (go) |
+
+/// The paper's Figure 5 `norm` kernel (integer variant).
+pub const NORM: &str = include_str!("../programs/norm.s");
+/// Iterative 8-queens solution counter.
+pub const QUEENS: &str = include_str!("../programs/queens.s");
+/// Dictionary-coder hash-probing kernel.
+pub const LZW: &str = include_str!("../programs/lzw.s");
+/// 32×32 integer matrix multiplication.
+pub const MATMUL: &str = include_str!("../programs/matmul.s");
+/// Word-hashing text scan.
+pub const HASHSTR: &str = include_str!("../programs/hashstr.s");
+/// Binary-search-tree build and lookup.
+pub const TREEINS: &str = include_str!("../programs/treeins.s");
+/// Sieve of Eratosthenes up to 10 000.
+pub const SIEVE: &str = include_str!("../programs/sieve.s");
+/// Bubble sort of 256 values.
+pub const BUBBLE: &str = include_str!("../programs/bubble.s");
+/// Naive recursive Fibonacci (call-stack-heavy).
+pub const FIB: &str = include_str!("../programs/fib.s");
+/// Naive substring search over a small alphabet.
+pub const STRSEARCH: &str = include_str!("../programs/strsearch.s");
+
+/// All bundled kernels as `(name, source)` pairs, in a stable order.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("norm", NORM),
+        ("queens", QUEENS),
+        ("lzw", LZW),
+        ("matmul", MATMUL),
+        ("hashstr", HASHSTR),
+        ("treeins", TREEINS),
+        ("sieve", SIEVE),
+        ("bubble", BUBBLE),
+        ("fib", FIB),
+        ("strsearch", STRSEARCH),
+    ]
+}
+
+/// Looks up a bundled kernel's source by name.
+pub fn by_name(name: &str) -> Option<&'static str> {
+    all()
+        .into_iter()
+        .find(|&(n, _)| n == name)
+        .map(|(_, src)| src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::vm::Vm;
+
+    /// Assembles and runs a kernel to completion, returning the machine.
+    fn run(name: &str) -> Vm {
+        let src = by_name(name).expect("kernel exists");
+        let program = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut vm = Vm::new(program);
+        let result = vm.run(50_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(result.halted, "{name} did not halt");
+        vm
+    }
+
+    #[test]
+    fn every_kernel_assembles() {
+        for (name, src) in all() {
+            assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert!(by_name("norm").is_some());
+        assert!(by_name("nope").is_none());
+        assert_eq!(all().len(), 10);
+    }
+
+    #[test]
+    fn queens_finds_92_solutions() {
+        let vm = run("queens");
+        assert_eq!(vm.reg(25), 92);
+    }
+
+    #[test]
+    fn sieve_counts_primes_below_10000() {
+        let vm = run("sieve");
+        assert_eq!(vm.reg(25), 1229);
+    }
+
+    #[test]
+    fn treeins_lookups_all_hit() {
+        let vm = run("treeins");
+        assert_eq!(vm.reg(25), 800);
+    }
+
+    #[test]
+    fn bubble_sorts_correctly() {
+        let vm = run("bubble");
+        assert_eq!(vm.reg(25), 1, "verification scan found unsorted elements");
+    }
+
+    #[test]
+    fn lzw_finds_matches() {
+        let vm = run("lzw");
+        // The hit count is data-dependent but must be nonzero and below
+        // the iteration count.
+        let hits = vm.reg(25);
+        assert!(hits > 0 && hits < 30_000, "hits = {hits}");
+    }
+
+    #[test]
+    fn hashstr_produces_hash() {
+        let vm = run("hashstr");
+        assert!(vm.reg(25) > 0);
+    }
+
+    #[test]
+    fn matmul_checksum_stable() {
+        let a = run("matmul").reg(25);
+        let b = run("matmul").reg(25);
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn norm_normalizes_rows() {
+        let vm = run("norm");
+        // After two normalization passes every element is in [-1, 1].
+        let base = crate::asm::DATA_BASE;
+        for i in [0i64, 50, 199] {
+            for j in [0i64, 17, 99] {
+                let v = vm.mem(base + i * 100 + j).unwrap();
+                assert!((-1..=1).contains(&v), "matrix[{i}][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_halt_within_budget_and_emit_plenty() {
+        for (name, src) in all() {
+            let mut vm = Vm::new(assemble(src).unwrap());
+            let result = vm.run(50_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(result.halted, "{name} exceeded step budget");
+            assert!(
+                result.trace.len() > 50_000,
+                "{name}: only {} records",
+                result.trace.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_kernel_tests {
+    use super::*;
+    use crate::asm::{assemble, DATA_BASE};
+    use crate::vm::Vm;
+
+    #[test]
+    fn fib_computes_6765() {
+        let mut vm = Vm::new(assemble(FIB).unwrap());
+        let result = vm.run(50_000_000).unwrap();
+        assert!(result.halted);
+        assert_eq!(vm.reg(25), 6765);
+    }
+
+    #[test]
+    fn strsearch_count_matches_host_oracle() {
+        let mut vm = Vm::new(assemble(STRSEARCH).unwrap());
+        let result = vm.run(50_000_000).unwrap();
+        assert!(result.halted);
+        // Read back the generated text and recount on the host.
+        let text: Vec<i64> = (0..4096).map(|i| vm.mem(DATA_BASE + i).unwrap()).collect();
+        let patterns = [[0i64, 1, 0, 2, 1], [1, 1, 0, 3, 2], [2, 0, 0, 1, 3]];
+        let mut expected = 0i64;
+        for pat in &patterns {
+            // The kernel scans start positions 0..=4091 — exactly the
+            // 4092 five-wide windows of a 4096-character text.
+            for window in text.windows(5) {
+                expected += i64::from(window == pat);
+            }
+        }
+        assert!(expected > 0, "degenerate text: no occurrences at all");
+        assert_eq!(vm.reg(25), expected);
+    }
+}

@@ -1,0 +1,82 @@
+//! The VM kernels packaged as a benchmark suite for the evaluation
+//! harness.
+//!
+//! Where `dfcm_trace::suite` provides statistically-calibrated synthetic
+//! stand-ins, this module provides the *Tier A* workloads of DESIGN.md:
+//! real programs executing on the interpreter. Both produce
+//! [`BenchmarkTrace`]s, so every harness function (suite runs, sweeps,
+//! aliasing analysis) works unchanged on either tier.
+
+use dfcm_trace::{BenchmarkTrace, TraceSource};
+
+use crate::asm::assemble;
+use crate::programs;
+use crate::vm::Vm;
+
+/// Generates traces for every bundled kernel, each capped at
+/// `max_records` records (kernels that halt earlier contribute their full
+/// run).
+///
+/// # Panics
+///
+/// Panics if a bundled kernel fails to assemble or faults — both indicate
+/// a broken build, not a caller error.
+pub fn kernel_traces(max_records: usize) -> Vec<BenchmarkTrace> {
+    programs::all()
+        .into_iter()
+        .map(|(name, src)| {
+            let program = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut vm = Vm::new(program);
+            let trace = vm.take_trace(max_records);
+            assert!(vm.error().is_none(), "{name} faulted: {:?}", vm.error());
+            BenchmarkTrace { name, trace }
+        })
+        .collect()
+}
+
+/// Generates a trace for one bundled kernel by name.
+pub fn kernel_trace(name: &str, max_records: usize) -> Option<BenchmarkTrace> {
+    let src = programs::by_name(name)?;
+    let program = assemble(src).expect("bundled kernel assembles");
+    let mut vm = Vm::new(program);
+    Some(BenchmarkTrace {
+        name: programs::all().iter().find(|&&(n, _)| n == name)?.0,
+        trace: vm.take_trace(max_records),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_produce_traces() {
+        let traces = kernel_traces(20_000);
+        assert_eq!(traces.len(), programs::all().len());
+        for t in &traces {
+            assert!(!t.trace.is_empty(), "{}", t.name);
+            assert!(t.trace.len() <= 20_000);
+        }
+    }
+
+    #[test]
+    fn single_kernel_lookup() {
+        let t = kernel_trace("sieve", 5_000).expect("sieve exists");
+        assert_eq!(t.name, "sieve");
+        assert_eq!(t.trace.len(), 5_000);
+        assert!(kernel_trace("missing", 10).is_none());
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(kernel_traces(3_000), kernel_traces(3_000));
+    }
+
+    #[test]
+    fn names_match_kernel_registry() {
+        let traces = kernel_traces(1_000);
+        let names: Vec<&str> = traces.iter().map(|t| t.name).collect();
+        let expected: Vec<&str> = programs::all().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, expected);
+    }
+}

@@ -1,0 +1,538 @@
+//! The interpreter: executes an assembled [`Program`] and emits a value
+//! trace.
+//!
+//! Following the paper's methodology (§4), a trace record is emitted for
+//! every executed instruction that writes an integer register — loads
+//! included — while branches, jumps and stores produce nothing. This is
+//! exactly the prediction-eligible instruction set of the paper's
+//! SimpleScalar `sim-safe` traces.
+
+use std::error::Error;
+use std::fmt;
+
+use dfcm_trace::{Trace, TraceRecord, TraceSource};
+
+use crate::asm::{Program, DATA_BASE};
+use crate::isa::{Inst, NUM_REGS};
+
+/// Address of instruction index 0 in emitted trace records; instructions
+/// are 4 bytes apart, like MIPS.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// Default data-memory size in words.
+pub const DEFAULT_MEMORY_WORDS: usize = 1 << 20;
+
+/// A runtime error: the program accessed memory or jumped out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A load or store touched an address outside data memory.
+    MemoryOutOfBounds {
+        /// Instruction index that faulted.
+        pc: usize,
+        /// The offending word address.
+        addr: i64,
+    },
+    /// Control transferred outside the instruction array.
+    PcOutOfRange {
+        /// The invalid target instruction index.
+        target: i64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::MemoryOutOfBounds { pc, addr } => {
+                write!(
+                    f,
+                    "memory access out of bounds at instruction {pc}: address {addr}"
+                )
+            }
+            VmError::PcOutOfRange { target } => {
+                write!(f, "jump target {target} outside program")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// Outcome of a bounded [`Vm::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The emitted value trace.
+    pub trace: Trace,
+    /// True if the program executed `halt` (false: the step limit hit).
+    pub halted: bool,
+    /// Instructions executed during this run call.
+    pub steps: u64,
+}
+
+/// The virtual machine: registers, data memory and a program.
+///
+/// ```
+/// use dfcm_vm::{assemble, Vm};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble(
+///     ".text
+///      main: li   r1, 0
+///            li   r2, 10
+///      loop: addi r1, r1, 1
+///            bne  r1, r2, loop
+///            halt",
+/// )?;
+/// let mut vm = Vm::new(program);
+/// let result = vm.run(10_000)?;
+/// assert!(result.halted);
+/// assert_eq!(vm.reg(1), 10);
+/// // Two `li` records plus ten loop-counter records.
+/// assert_eq!(result.trace.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vm {
+    insts: Vec<Inst>,
+    regs: [i64; NUM_REGS],
+    mem: Vec<i64>,
+    pc: usize,
+    halted: bool,
+    steps: u64,
+    error: Option<VmError>,
+}
+
+impl Vm {
+    /// Creates a machine with the default data-memory size and the
+    /// program's data image loaded at [`DATA_BASE`]. The stack pointer
+    /// (`sp` = r30) starts at the top of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's data image does not fit in memory.
+    pub fn new(program: Program) -> Self {
+        Self::with_memory(program, DEFAULT_MEMORY_WORDS)
+    }
+
+    /// As [`new`](Vm::new) with an explicit memory size in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data image does not fit below `words`.
+    pub fn with_memory(program: Program, words: usize) -> Self {
+        let needed = DATA_BASE as usize + program.data.len();
+        assert!(
+            needed <= words,
+            "data image needs {needed} words, memory has {words}"
+        );
+        let mut mem = vec![0i64; words];
+        mem[DATA_BASE as usize..needed].copy_from_slice(&program.data);
+        let mut regs = [0i64; NUM_REGS];
+        regs[30] = words as i64 - 1; // sp
+        Vm {
+            insts: program.insts,
+            regs,
+            mem,
+            pc: program.entry,
+            halted: false,
+            steps: 0,
+            error: None,
+        }
+    }
+
+    /// Current value of register `r` (0..=31).
+    pub fn reg(&self, r: usize) -> i64 {
+        self.regs[r]
+    }
+
+    /// The word at data address `addr`, if in range.
+    pub fn mem(&self, addr: i64) -> Option<i64> {
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.mem.get(a))
+            .copied()
+    }
+
+    /// True once `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The first runtime error encountered, if any.
+    pub fn error(&self) -> Option<&VmError> {
+        self.error.as_ref()
+    }
+
+    /// The instruction index the machine will execute next.
+    pub fn pc_index(&self) -> usize {
+        self.pc
+    }
+
+    /// The decoded instruction at `index`, if within the program.
+    pub fn inst_at(&self, index: usize) -> Option<Inst> {
+        self.insts.get(index).copied()
+    }
+
+    fn write_reg(&mut self, r: u8, value: i64) {
+        if r != 0 {
+            self.regs[r as usize] = value;
+        }
+    }
+
+    fn load(&self, pc: usize, addr: i64) -> Result<i64, VmError> {
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.mem.get(a))
+            .copied()
+            .ok_or(VmError::MemoryOutOfBounds { pc, addr })
+    }
+
+    fn store(&mut self, pc: usize, addr: i64, value: i64) -> Result<(), VmError> {
+        let slot = usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.mem.get_mut(a))
+            .ok_or(VmError::MemoryOutOfBounds { pc, addr })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Executes one instruction. Returns the emitted trace record, if the
+    /// instruction produced a register value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] on out-of-bounds memory access or control
+    /// transfer; the machine also latches the error (see [`Vm::error`]).
+    pub fn step(&mut self) -> Result<Option<TraceRecord>, VmError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let Some(&inst) = self.insts.get(pc) else {
+            let e = VmError::PcOutOfRange { target: pc as i64 };
+            self.error = Some(e.clone());
+            self.halted = true;
+            return Err(e);
+        };
+        self.steps += 1;
+        let mut next = pc + 1;
+        let mut result: Option<i64> = None;
+        // A macro rather than a closure: a closure would hold a borrow of
+        // the register file across the mutable memory operations below.
+        macro_rules! r {
+            ($n:expr) => {
+                self.regs[$n as usize]
+            };
+        }
+        match inst {
+            Inst::Add(rd, rs, rt) => result = Some(r!(rs).wrapping_add(r!(rt))).filter(|_| rd != 0),
+            Inst::Sub(rd, rs, rt) => result = Some(r!(rs).wrapping_sub(r!(rt))).filter(|_| rd != 0),
+            Inst::Mul(rd, rs, rt) => result = Some(r!(rs).wrapping_mul(r!(rt))).filter(|_| rd != 0),
+            Inst::Div(rd, rs, rt) => {
+                let d = r!(rt);
+                let v = if d == 0 { 0 } else { r!(rs).wrapping_div(d) };
+                result = Some(v).filter(|_| rd != 0);
+            }
+            Inst::Rem(rd, rs, rt) => {
+                let d = r!(rt);
+                let v = if d == 0 { 0 } else { r!(rs).wrapping_rem(d) };
+                result = Some(v).filter(|_| rd != 0);
+            }
+            Inst::Addi(rd, rs, imm) => result = Some(r!(rs).wrapping_add(imm)).filter(|_| rd != 0),
+            Inst::And(rd, rs, rt) => result = Some(r!(rs) & r!(rt)).filter(|_| rd != 0),
+            Inst::Or(rd, rs, rt) => result = Some(r!(rs) | r!(rt)).filter(|_| rd != 0),
+            Inst::Xor(rd, rs, rt) => result = Some(r!(rs) ^ r!(rt)).filter(|_| rd != 0),
+            Inst::Andi(rd, rs, imm) => result = Some(r!(rs) & imm).filter(|_| rd != 0),
+            Inst::Ori(rd, rs, imm) => result = Some(r!(rs) | imm).filter(|_| rd != 0),
+            Inst::Xori(rd, rs, imm) => result = Some(r!(rs) ^ imm).filter(|_| rd != 0),
+            Inst::Sll(rd, rs, sh) => result = Some(r!(rs) << sh).filter(|_| rd != 0),
+            Inst::Srl(rd, rs, sh) => {
+                result = Some((r!(rs) as u64 >> sh) as i64).filter(|_| rd != 0)
+            }
+            Inst::Sra(rd, rs, sh) => result = Some(r!(rs) >> sh).filter(|_| rd != 0),
+            Inst::Slt(rd, rs, rt) => result = Some(i64::from(r!(rs) < r!(rt))).filter(|_| rd != 0),
+            Inst::Slti(rd, rs, imm) => result = Some(i64::from(r!(rs) < imm)).filter(|_| rd != 0),
+            Inst::Li(rd, imm) => result = Some(imm).filter(|_| rd != 0),
+            Inst::Lw(rd, offset, rs) => {
+                let addr = r!(rs).wrapping_add(offset);
+                match self.load(pc, addr) {
+                    Ok(v) => result = Some(v).filter(|_| rd != 0),
+                    Err(e) => {
+                        self.error = Some(e.clone());
+                        self.halted = true;
+                        return Err(e);
+                    }
+                }
+            }
+            Inst::Sw(rt, offset, rs) => {
+                let addr = r!(rs).wrapping_add(offset);
+                let value = r!(rt);
+                if let Err(e) = self.store(pc, addr, value) {
+                    self.error = Some(e.clone());
+                    self.halted = true;
+                    return Err(e);
+                }
+            }
+            Inst::Beq(rs, rt, target) => {
+                if r!(rs) == r!(rt) {
+                    next = target;
+                }
+            }
+            Inst::Bne(rs, rt, target) => {
+                if r!(rs) != r!(rt) {
+                    next = target;
+                }
+            }
+            Inst::Blt(rs, rt, target) => {
+                if r!(rs) < r!(rt) {
+                    next = target;
+                }
+            }
+            Inst::Bge(rs, rt, target) => {
+                if r!(rs) >= r!(rt) {
+                    next = target;
+                }
+            }
+            Inst::J(target) => next = target,
+            Inst::Jal(target) => {
+                // The link register is written but jumps are not value-
+                // prediction eligible (paper §4), so nothing is emitted.
+                self.regs[31] = (pc + 1) as i64;
+                next = target;
+            }
+            Inst::Jr(rs) => {
+                let target = r!(rs);
+                if target < 0 || target as usize > self.insts.len() {
+                    let e = VmError::PcOutOfRange { target };
+                    self.error = Some(e.clone());
+                    self.halted = true;
+                    return Err(e);
+                }
+                next = target as usize;
+            }
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+                return Ok(None);
+            }
+        }
+        self.pc = next;
+        match result {
+            Some(value) => {
+                let (rd, record_value) = (inst.dest().expect("result implies dest"), value);
+                self.write_reg(rd, value);
+                Ok(Some(TraceRecord::new(
+                    TEXT_BASE + 4 * pc as u64,
+                    record_value as u64,
+                )))
+            }
+            None => {
+                // Writes to r0 are ignored and emit nothing.
+                Ok(None)
+            }
+        }
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions have executed,
+    /// collecting the emitted trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] if the program faults.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, VmError> {
+        let start = self.steps;
+        let mut trace = Trace::new();
+        while !self.halted && self.steps - start < max_steps {
+            if let Some(record) = self.step()? {
+                trace.push(record);
+            }
+        }
+        Ok(RunResult {
+            trace,
+            halted: self.halted,
+            steps: self.steps - start,
+        })
+    }
+}
+
+impl TraceSource for Vm {
+    /// Steps the machine until the next value-producing instruction.
+    /// Returns `None` at `halt` or on a fault (check [`Vm::error`]).
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        while !self.halted {
+            match self.step() {
+                Ok(Some(record)) => return Some(record),
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_source(src: &str) -> (Vm, RunResult) {
+        let mut vm = Vm::new(assemble(src).expect("assembles"));
+        let result = vm.run(1_000_000).expect("runs");
+        (vm, result)
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let (vm, _) = run_source(
+            ".text
+             main: li r1, 6
+                   li r2, 7
+                   mul r3, r1, r2
+                   sub r4, r3, r1
+                   div r5, r3, r2
+                   rem r6, r3, r4
+                   and r7, r1, r2
+                   or  r8, r1, r2
+                   xor r9, r1, r2
+                   sll r10, r1, 2
+                   sra r11, r1, 1
+                   halt",
+        );
+        assert_eq!(vm.reg(3), 42);
+        assert_eq!(vm.reg(4), 36);
+        assert_eq!(vm.reg(5), 6);
+        assert_eq!(vm.reg(6), 42 % 36);
+        assert_eq!(vm.reg(7), 6 & 7);
+        assert_eq!(vm.reg(8), 6 | 7);
+        assert_eq!(vm.reg(9), 6 ^ 7);
+        assert_eq!(vm.reg(10), 24);
+        assert_eq!(vm.reg(11), 3);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let (vm, _) = run_source(".text\nmain: li r1, 9\ndiv r2, r1, r0\nrem r3, r1, r0\nhalt");
+        assert_eq!(vm.reg(2), 0);
+        assert_eq!(vm.reg(3), 0);
+    }
+
+    #[test]
+    fn loads_stores_and_data_image() {
+        let (vm, _) = run_source(
+            ".data
+             v: .word 11, 22, 33
+             .text
+             main: la r1, v
+                   lw r2, 1(r1)
+                   addi r2, r2, 100
+                   sw r2, 2(r1)
+                   lw r3, 2(r1)
+                   halt",
+        );
+        assert_eq!(vm.reg(2), 122);
+        assert_eq!(vm.reg(3), 122);
+        assert_eq!(vm.mem(DATA_BASE + 2), Some(122));
+    }
+
+    #[test]
+    fn loop_and_branches() {
+        let (vm, _) = run_source(
+            ".text
+             main: li r1, 0
+                   li r2, 0
+             loop: addi r2, r2, 5
+                   addi r1, r1, 1
+                   slti r3, r1, 10
+                   bne r3, r0, loop
+                   halt",
+        );
+        assert_eq!(vm.reg(2), 50);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (vm, _) = run_source(
+            ".text
+             main: li r1, 4
+                   jal double
+                   jal double
+                   halt
+             double: add r1, r1, r1
+                   jr ra",
+        );
+        assert_eq!(vm.reg(1), 16);
+    }
+
+    #[test]
+    fn trace_excludes_control_and_stores() {
+        let (_, result) = run_source(
+            ".data
+             x: .word 0
+             .text
+             main: li r1, 1       ; emits
+                   la r2, x       ; emits (li)
+                   sw r1, 0(r2)   ; no
+                   lw r3, 0(r2)   ; emits
+                   beq r0, r0, next ; no
+             next: halt",
+        );
+        assert_eq!(result.trace.len(), 3);
+    }
+
+    #[test]
+    fn writes_to_r0_are_ignored_and_unemitted() {
+        let (vm, result) = run_source(".text\nmain: li r0, 9\nadd r0, r0, r0\nhalt");
+        assert_eq!(vm.reg(0), 0);
+        assert_eq!(result.trace.len(), 0);
+    }
+
+    #[test]
+    fn trace_pcs_follow_text_layout() {
+        let (_, result) = run_source(".text\nmain: li r1, 1\nli r2, 2\nhalt");
+        let pcs: Vec<u64> = result.trace.iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![TEXT_BASE, TEXT_BASE + 4]);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut vm = Vm::new(assemble(".text\nmain: j main").unwrap());
+        let result = vm.run(1000).unwrap();
+        assert!(!result.halted);
+        assert_eq!(result.steps, 1000);
+    }
+
+    #[test]
+    fn memory_fault_reported_with_pc() {
+        let mut vm = Vm::new(assemble(".text\nmain: li r1, -5\nlw r2, 0(r1)\nhalt").unwrap());
+        let e = vm.run(100).unwrap_err();
+        assert_eq!(e, VmError::MemoryOutOfBounds { pc: 1, addr: -5 });
+        assert!(vm.halted());
+        assert_eq!(vm.error(), Some(&e));
+    }
+
+    #[test]
+    fn bad_jump_reported() {
+        let mut vm = Vm::new(assemble(".text\nmain: li r1, -1\njr r1").unwrap());
+        assert!(matches!(vm.run(100), Err(VmError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn trace_source_streams_records() {
+        let mut vm = Vm::new(assemble(".text\nmain: li r1, 7\nnop\nli r2, 8\nhalt").unwrap());
+        assert_eq!(vm.next_record().map(|r| r.value), Some(7));
+        assert_eq!(vm.next_record().map(|r| r.value), Some(8));
+        assert_eq!(vm.next_record(), None);
+        assert!(vm.halted());
+    }
+
+    #[test]
+    fn stack_pointer_initialized_to_top() {
+        let vm = Vm::with_memory(assemble(".text\nmain: halt").unwrap(), 1 << 14);
+        assert_eq!(vm.reg(30), (1 << 14) - 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Stress and property tests for the assembler/disassembler pair and the
+//! interpreter's structural invariants.
+
+use dfcm_vm::{assemble, disassemble, Inst, Vm};
+use proptest::prelude::*;
+
+/// Strategy for a random (but well-formed) instruction that is safe to
+/// disassemble and reassemble. Branch targets are chosen inside the
+/// program later.
+fn arb_linear_inst() -> impl Strategy<Value = Inst> {
+    let r = || 0u8..32;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Add(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Sub(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Mul(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Div(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Rem(a, b, c)),
+        (r(), r(), any::<i32>()).prop_map(|(a, b, i)| Inst::Addi(a, b, i64::from(i))),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::And(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Or(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Xor(a, b, c)),
+        (r(), r(), any::<i32>()).prop_map(|(a, b, i)| Inst::Andi(a, b, i64::from(i))),
+        (r(), r(), any::<i32>()).prop_map(|(a, b, i)| Inst::Ori(a, b, i64::from(i))),
+        (r(), r(), 0u8..64).prop_map(|(a, b, s)| Inst::Sll(a, b, s)),
+        (r(), r(), 0u8..64).prop_map(|(a, b, s)| Inst::Srl(a, b, s)),
+        (r(), r(), 0u8..64).prop_map(|(a, b, s)| Inst::Sra(a, b, s)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Inst::Slt(a, b, c)),
+        (r(), r(), any::<i32>()).prop_map(|(a, b, i)| Inst::Slti(a, b, i64::from(i))),
+        (r(), any::<i32>()).prop_map(|(a, i)| Inst::Li(a, i64::from(i))),
+        (r(), -64i64..64, r()).prop_map(|(a, o, b)| Inst::Lw(a, o, b)),
+        (r(), -64i64..64, r()).prop_map(|(a, o, b)| Inst::Sw(a, o, b)),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    /// Disassembling and reassembling an arbitrary straight-line program
+    /// reproduces the exact instruction stream.
+    #[test]
+    fn linear_programs_roundtrip(insts in prop::collection::vec(arb_linear_inst(), 1..60)) {
+        let program = dfcm_vm::Program {
+            insts: {
+                let mut v = insts.clone();
+                v.push(Inst::Halt);
+                v
+            },
+            data: vec![],
+            text_labels: Default::default(),
+            data_labels: Default::default(),
+            entry: 0,
+        };
+        let text = disassemble(&program);
+        let reassembled = assemble(&text).expect("disassembler output must assemble");
+        prop_assert_eq!(program.insts, reassembled.insts);
+    }
+
+    /// Programs with random (valid) branches also roundtrip.
+    #[test]
+    fn branchy_programs_roundtrip(
+        insts in prop::collection::vec(arb_linear_inst(), 4..40),
+        branch_seeds in prop::collection::vec((any::<u16>(), any::<u16>()), 1..8),
+    ) {
+        let mut body = insts;
+        let len = body.len();
+        for (pos, target) in branch_seeds {
+            let at = pos as usize % len;
+            let to = target as usize % (len + 1);
+            body[at] = Inst::Bne(1, 0, to);
+        }
+        body.push(Inst::Halt);
+        let program = dfcm_vm::Program {
+            insts: body,
+            data: vec![],
+            text_labels: Default::default(),
+            data_labels: Default::default(),
+            entry: 0,
+        };
+        let text = disassemble(&program);
+        let reassembled = assemble(&text).expect("disassembler output must assemble");
+        prop_assert_eq!(program.insts, reassembled.insts);
+    }
+
+    /// Arbitrary straight-line programs execute without panicking, and
+    /// either halt or run out of budget; register 0 stays 0 throughout.
+    #[test]
+    fn linear_programs_execute_safely(insts in prop::collection::vec(arb_linear_inst(), 1..60)) {
+        let mut body = insts;
+        body.push(Inst::Halt);
+        let program = dfcm_vm::Program {
+            insts: body,
+            data: vec![],
+            text_labels: Default::default(),
+            data_labels: Default::default(),
+            entry: 0,
+        };
+        let mut vm = Vm::with_memory(program, 1 << 16);
+        // Loads/stores may fault on wild addresses: that is a defined,
+        // clean error, not a panic.
+        let _ = vm.run(10_000);
+        prop_assert_eq!(vm.reg(0), 0);
+    }
+
+    /// The assembler never panics on arbitrary input text.
+    #[test]
+    fn assembler_is_total_on_garbage(text in "[ -~\n]{0,300}") {
+        let _ = assemble(&text);
+    }
+
+    /// Whitespace and comment placement do not change the assembly.
+    #[test]
+    fn whitespace_insensitivity(pad_a in " {0,4}", pad_b in " {0,4}") {
+        let compact = ".text\nmain: addi r1, r0, 7\nhalt\n";
+        let padded =
+            format!(".text\nmain:{pad_a}addi r1,{pad_b}r0, 7 ; c\n{pad_a}halt{pad_b}\n");
+        let a = assemble(compact).unwrap();
+        let b = assemble(&padded).unwrap();
+        prop_assert_eq!(a.insts, b.insts);
+    }
+}
+
+#[test]
+fn deeply_nested_calls_do_not_overflow_host_stack() {
+    // The interpreter is iterative: guest recursion depth must not consume
+    // host stack. 100k-deep guest recursion via a countdown.
+    let src = "
+        .text
+        main: li r4, 100000
+              jal down
+              halt
+        down: slti r2, r4, 1
+              bne  r2, r0, base
+              sw   ra, 0(sp)
+              addi sp, sp, -1
+              addi r4, r4, -1
+              jal  down
+              addi sp, sp, 1
+              lw   ra, 0(sp)
+        base: jr   ra
+    ";
+    let mut vm = Vm::with_memory(assemble(src).unwrap(), 1 << 18);
+    let result = vm.run(10_000_000).unwrap();
+    assert!(result.halted);
+}
+
+#[test]
+fn label_heavy_source_assembles() {
+    // Hundreds of labels, all on their own lines and stacked.
+    let mut src = String::from(".text\nmain:\n");
+    for i in 0..300 {
+        src.push_str(&format!("lab{i}:\n    addi r1, r1, 1\n"));
+    }
+    src.push_str("    j lab299\n");
+    src.push_str("    halt\n");
+    let program = assemble(&src).unwrap();
+    assert_eq!(program.insts.len(), 302);
+}
+
+#[test]
+fn max_registers_and_immediates() {
+    let p = assemble(".text\nmain: li r31, 0x7fffffffffffffff\naddi r1, r31, -1\nhalt\n").unwrap();
+    assert_eq!(p.insts[0], Inst::Li(31, i64::MAX));
+    let mut vm = Vm::new(p);
+    vm.run(10).unwrap();
+    assert_eq!(vm.reg(1), i64::MAX - 1);
+}

@@ -1,0 +1,146 @@
+//! Edge-case and failure-injection tests for the VM and assembler.
+
+use dfcm_trace::TraceSource;
+use dfcm_vm::{assemble, Inst, Vm, VmError, DATA_BASE, DEFAULT_MEMORY_WORDS, TEXT_BASE};
+
+#[test]
+fn load_at_exact_memory_boundary() {
+    // Address == memory size is out of bounds; size-1 is the last valid.
+    let words = 1usize << 14;
+    let src = format!(".text\nmain: li r1, {}\nlw r2, 0(r1)\nhalt\n", words - 1);
+    let mut vm = Vm::with_memory(assemble(&src).unwrap(), words);
+    assert!(vm.run(100).unwrap().halted);
+
+    let src = format!(".text\nmain: li r1, {words}\nlw r2, 0(r1)\nhalt\n");
+    let mut vm = Vm::with_memory(assemble(&src).unwrap(), words);
+    let e = vm.run(100).unwrap_err();
+    assert!(matches!(e, VmError::MemoryOutOfBounds { addr, .. } if addr == words as i64));
+}
+
+#[test]
+fn store_fault_reports_instruction_index() {
+    let mut vm = Vm::new(assemble(".text\nmain: li r1, -1\nsw r1, 0(r1)\nhalt\n").unwrap());
+    let e = vm.run(100).unwrap_err();
+    assert_eq!(e, VmError::MemoryOutOfBounds { pc: 1, addr: -1 });
+}
+
+#[test]
+fn jr_to_one_past_end_faults_on_next_step() {
+    let p = assemble(".text\nmain: li r1, 2\njr r1\n").unwrap();
+    assert_eq!(p.insts.len(), 2);
+    let mut vm = Vm::new(p);
+    // The jump itself is in range (== len is tolerated as a target), but
+    // fetching from there faults.
+    let e = vm.run(10).unwrap_err();
+    assert!(matches!(e, VmError::PcOutOfRange { target: 2 }));
+}
+
+#[test]
+fn faulted_machine_stays_halted_and_emits_nothing() {
+    let mut vm =
+        Vm::new(assemble(".text\nmain: li r1, -9\nlw r2, 0(r1)\nli r3, 5\nhalt\n").unwrap());
+    assert!(vm.run(100).is_err());
+    assert!(vm.halted());
+    // Stepping after a fault is a quiet no-op.
+    assert_eq!(vm.step().unwrap(), None);
+    assert_eq!(vm.next_record(), None);
+    // r3 was never reached.
+    assert_eq!(vm.reg(3), 0);
+}
+
+#[test]
+fn data_image_larger_than_memory_rejected() {
+    let src = ".data\nbig: .space 100\n.text\nmain: halt\n";
+    let program = assemble(src).unwrap();
+    let result = std::panic::catch_unwind(|| Vm::with_memory(program, 64));
+    assert!(result.is_err(), "oversized data image must be rejected");
+}
+
+#[test]
+fn empty_space_and_word_directives() {
+    let p = assemble(".data\nempty: .space 0\nafter: .word 5\n.text\nmain: la r1, after\nhalt\n")
+        .unwrap();
+    assert_eq!(p.data, vec![5]);
+    assert_eq!(p.insts[0], Inst::Li(1, DATA_BASE));
+}
+
+#[test]
+fn program_without_halt_runs_off_the_end() {
+    let mut vm = Vm::new(assemble(".text\nmain: li r1, 1\n").unwrap());
+    let e = vm.run(10).unwrap_err();
+    assert!(matches!(e, VmError::PcOutOfRange { .. }));
+    // The one instruction still executed and emitted.
+    assert_eq!(vm.reg(1), 1);
+}
+
+#[test]
+fn zero_step_budget_is_a_noop() {
+    let mut vm = Vm::new(assemble(".text\nmain: li r1, 1\nhalt\n").unwrap());
+    let result = vm.run(0).unwrap();
+    assert_eq!(result.steps, 0);
+    assert!(!result.halted);
+    assert_eq!(vm.reg(1), 0);
+}
+
+#[test]
+fn run_can_be_resumed_across_budgets() {
+    let src =
+        ".text\nmain: li r1, 0\nloop: addi r1, r1, 1\nslti r2, r1, 100\nbne r2, r0, loop\nhalt\n";
+    let mut vm = Vm::new(assemble(src).unwrap());
+    let mut all_records = 0;
+    loop {
+        let result = vm.run(37).unwrap();
+        all_records += result.trace.len();
+        if result.halted {
+            break;
+        }
+    }
+    assert_eq!(vm.reg(1), 100);
+    // li + 100x addi + 100x slti.
+    assert_eq!(all_records, 201);
+}
+
+#[test]
+fn default_memory_fits_all_kernels() {
+    // DEFAULT_MEMORY_WORDS must hold the largest bundled data image with
+    // room for stacks.
+    for (name, src) in dfcm_vm::programs::all() {
+        let p = assemble(src).unwrap();
+        assert!(
+            (DATA_BASE as usize + p.data.len()) * 4 < DEFAULT_MEMORY_WORDS,
+            "{name} data image too large for defaults"
+        );
+    }
+}
+
+#[test]
+fn trace_pcs_are_stable_across_reruns_and_resume() {
+    let src = ".text\nmain: li r1, 7\nadd r2, r1, r1\nhalt\n";
+    let mut a = Vm::new(assemble(src).unwrap());
+    let ra = a.run(100).unwrap();
+    let mut b = Vm::new(assemble(src).unwrap());
+    b.run(1).unwrap();
+    let rb = b.run(100).unwrap();
+    let pcs_a: Vec<u64> = ra.trace.iter().map(|r| r.pc).collect();
+    let pcs_b: Vec<u64> = rb.trace.iter().map(|r| r.pc).collect();
+    assert_eq!(pcs_a, vec![TEXT_BASE, TEXT_BASE + 4]);
+    assert_eq!(pcs_b, vec![TEXT_BASE + 4]);
+}
+
+#[test]
+fn negative_space_rejected_at_assembly() {
+    let e = assemble(".data\nx: .space -4\n.text\nmain: halt\n").unwrap_err();
+    assert!(e.message.contains("negative"));
+}
+
+#[test]
+fn division_extremes_are_defined() {
+    let src = format!(
+        ".text\nmain: li r1, {}\nli r2, -1\ndiv r3, r1, r2\nrem r4, r1, r2\nhalt\n",
+        i64::MIN
+    );
+    let mut vm = Vm::new(assemble(&src).unwrap());
+    // i64::MIN / -1 overflows in two's complement; the VM must not panic.
+    let outcome = vm.run(100);
+    assert!(outcome.is_ok(), "{outcome:?}");
+}

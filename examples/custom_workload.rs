@@ -1,0 +1,129 @@
+//! Build a custom synthetic workload and study how the predictors cope
+//! with each value-pattern class in isolation and combined.
+//!
+//! Demonstrates the `dfcm-trace` generator API: per-instruction patterns,
+//! loop-structured blocks, and deterministic seeding — and reproduces in
+//! miniature the paper's core claim: FCM wastes its level-2 table on
+//! strides, DFCM does not.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use dfcm_suite::predictors::{DfcmPredictor, FcmPredictor, StridePredictor};
+use dfcm_suite::sim::simulate_trace;
+use dfcm_suite::trace::{Pattern, SyntheticProgram, Trace, TraceSource};
+
+fn workload(patterns: Vec<(Pattern, u64)>, n: usize) -> Trace {
+    let mut builder = SyntheticProgram::builder(99);
+    for (pattern, weight) in patterns {
+        builder.inst(pattern, weight);
+    }
+    builder.build().take_trace(n)
+}
+
+fn accuracies(trace: &Trace) -> Result<(f64, f64, f64), Box<dyn std::error::Error>> {
+    let mut stride = StridePredictor::new(10);
+    let mut fcm = FcmPredictor::builder().l1_bits(10).l2_bits(12).build()?;
+    let mut dfcm = DfcmPredictor::builder().l1_bits(10).l2_bits(12).build()?;
+    Ok((
+        simulate_trace(&mut stride, trace).accuracy(),
+        simulate_trace(&mut fcm, trace).accuracy(),
+        simulate_trace(&mut dfcm, trace).accuracy(),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<28} {:>8} {:>8} {:>8}",
+        "workload (4096-entry L2)", "stride", "fcm", "dfcm"
+    );
+    println!("{}", "-".repeat(56));
+
+    let cases: Vec<(&str, Vec<(Pattern, u64)>)> = vec![
+        (
+            "pure strides (16 streams)",
+            (0..16)
+                .map(|i| {
+                    (
+                        Pattern::StrideReset {
+                            start: 1000 * i,
+                            stride: 4 + i,
+                            period: 300,
+                        },
+                        1,
+                    )
+                })
+                .collect(),
+        ),
+        (
+            "pure contexts (16 walks)",
+            (0..16)
+                .map(|i| {
+                    (
+                        Pattern::PointerChase {
+                            nodes: 24,
+                            base: 0x1000 * i,
+                        },
+                        1,
+                    )
+                })
+                .collect(),
+        ),
+        (
+            "strides + contexts",
+            (0..8)
+                .map(|i| {
+                    (
+                        Pattern::StrideReset {
+                            start: 1000 * i,
+                            stride: 4 + i,
+                            period: 300,
+                        },
+                        1,
+                    )
+                })
+                .chain((0..8).map(|i| {
+                    (
+                        Pattern::PointerChase {
+                            nodes: 24,
+                            base: 0x9000 + 0x1000 * i,
+                        },
+                        1,
+                    )
+                }))
+                .collect(),
+        ),
+        (
+            "monotone counters",
+            (0..8)
+                .map(|i| {
+                    (
+                        Pattern::Stride {
+                            start: i << 32,
+                            stride: 8,
+                        },
+                        1,
+                    )
+                })
+                .collect(),
+        ),
+    ];
+
+    for (label, patterns) in cases {
+        let trace = workload(patterns, 200_000);
+        let (s, f, d) = accuracies(&trace)?;
+        println!(
+            "{label:<28} {:>7.1}% {:>7.1}% {:>7.1}%",
+            100.0 * s,
+            100.0 * f,
+            100.0 * d
+        );
+    }
+
+    println!(
+        "\nRow 1+3: stride streams crowd the FCM's level-2 table; the DFCM collapses\
+         \neach to one entry. Row 2 shows the paper's caveat in the other direction:\
+         \ndifference histories of non-stride patterns can be more ambiguous than value\
+         \nhistories. Row 4 is unpredictable for the FCM at any size, trivial for DFCM."
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the DFCM reproduction workspace.
+//!
+//! Re-exports the four library crates under one roof so that the
+//! repository-level examples and integration tests (and downstream users
+//! who want everything) need a single dependency:
+//!
+//! * [`predictors`] (`dfcm`) — the value predictors and instrumentation.
+//! * [`trace`] (`dfcm-trace`) — the trace model and synthetic workloads.
+//! * [`vm`] (`dfcm-vm`) — the RISC virtual machine and benchmark kernels.
+//! * [`sim`] (`dfcm-sim`) — the trace-driven evaluation harness.
+//!
+//! See the repository README for a tour and `dfcm-repro` for the
+//! binaries that regenerate every table and figure of the paper.
+//!
+//! ```
+//! use dfcm_suite::predictors::{DfcmPredictor, ValuePredictor};
+//! use dfcm_suite::sim::simulate_trace;
+//! use dfcm_suite::trace::suite::standard_suite;
+//!
+//! # fn main() -> Result<(), dfcm_suite::predictors::ConfigError> {
+//! let li = standard_suite()[4].trace(7, 0.01);
+//! let mut p = DfcmPredictor::builder().l1_bits(12).l2_bits(12).build()?;
+//! let stats = simulate_trace(&mut p, &li.trace);
+//! assert!(stats.accuracy() > 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dfcm as predictors;
+pub use dfcm_sim as sim;
+pub use dfcm_trace as trace;
+pub use dfcm_vm as vm;

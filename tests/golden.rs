@@ -1,0 +1,74 @@
+//! Golden regression tests: exact accuracy counts for pinned seeds.
+//!
+//! Everything in this repository is deterministic — workload generation,
+//! predictor state, evaluation order — so these exact values must never
+//! drift silently. If a test here fails after an *intentional* change to
+//! the workload generator or a predictor, re-derive the constants with
+//! the printed actual values and record the change in CHANGELOG.md; any
+//! other failure is a real regression.
+
+use dfcm_suite::predictors::{DfcmPredictor, FcmPredictor, StridePredictor, ValuePredictor};
+use dfcm_suite::sim::simulate_trace;
+use dfcm_suite::trace::suite::standard_suite;
+use dfcm_suite::trace::TraceSource;
+use dfcm_suite::vm::{assemble, programs, Vm};
+
+const SEED: u64 = 0xD15EA5E;
+
+fn suite_correct<P: ValuePredictor>(mut make: impl FnMut() -> P) -> u64 {
+    let mut total = 0;
+    for spec in standard_suite() {
+        let bench = spec.trace(SEED, 0.01);
+        let mut p = make();
+        total += simulate_trace(&mut p, &bench.trace).correct;
+    }
+    total
+}
+
+#[test]
+fn suite_length_is_pinned() {
+    let total: usize = standard_suite().iter().map(|b| b.predictions(0.01)).sum();
+    assert_eq!(total, 109_500);
+}
+
+#[test]
+fn golden_fcm_suite_accuracy() {
+    let correct = suite_correct(|| {
+        FcmPredictor::builder()
+            .l1_bits(12)
+            .l2_bits(12)
+            .build()
+            .expect("valid")
+    });
+    assert_eq!(correct, 59_364, "FCM golden value drifted");
+}
+
+#[test]
+fn golden_dfcm_suite_accuracy() {
+    let correct = suite_correct(|| {
+        DfcmPredictor::builder()
+            .l1_bits(12)
+            .l2_bits(12)
+            .build()
+            .expect("valid")
+    });
+    assert_eq!(correct, 72_725, "DFCM golden value drifted");
+}
+
+#[test]
+fn golden_stride_suite_accuracy() {
+    let correct = suite_correct(|| StridePredictor::new(12));
+    assert_eq!(correct, 67_724, "stride golden value drifted");
+}
+
+#[test]
+fn golden_vm_kernel_trace() {
+    // The norm kernel's trace is a pure function of the program.
+    let mut vm = Vm::new(assemble(programs::NORM).unwrap());
+    let trace = vm.take_trace(50_000);
+    assert_eq!(trace.len(), 50_000);
+    let checksum: u64 = trace.iter().fold(0u64, |acc, r| {
+        acc.wrapping_mul(1099511628211).wrapping_add(r.pc ^ r.value)
+    });
+    assert_eq!(checksum, 4356654817494445748, "VM trace checksum drifted");
+}

@@ -1,0 +1,207 @@
+//! Property-based tests over the whole stack: predictors never misbehave
+//! on arbitrary inputs, wrappers preserve semantics, and generation is
+//! deterministic.
+
+use dfcm_suite::predictors::{
+    DelayedUpdate, DfcmPredictor, FcmPredictor, HashFunction, HybridPredictor, L2Indexed,
+    LastValuePredictor, PerfectMeta, SaturatingCounter, StridePredictor, StrideWidth,
+    TwoDeltaStridePredictor, ValuePredictor,
+};
+use dfcm_suite::trace::{Pattern, SyntheticProgram, Trace, TraceRecord, TraceSource};
+use proptest::prelude::*;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..0x1_0000u64, any::<u64>()), 1..400)
+        .prop_map(|v| v.into_iter().map(|(pc, value)| (pc * 4, value)).collect())
+}
+
+fn all_predictors() -> Vec<Box<dyn ValuePredictor>> {
+    vec![
+        Box::new(LastValuePredictor::new(6)),
+        Box::new(StridePredictor::new(6)),
+        Box::new(TwoDeltaStridePredictor::new(6)),
+        Box::new(
+            FcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(8)
+                .build()
+                .unwrap(),
+        ),
+        Box::new(
+            DfcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(8)
+                .build()
+                .unwrap(),
+        ),
+        Box::new(
+            DfcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(8)
+                .stride_width(StrideWidth::Bits(8))
+                .build()
+                .unwrap(),
+        ),
+        Box::new(HybridPredictor::new(
+            StridePredictor::new(6),
+            FcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(8)
+                .build()
+                .unwrap(),
+            PerfectMeta,
+        )),
+        Box::new(DelayedUpdate::new(
+            DfcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(8)
+                .build()
+                .unwrap(),
+            7,
+        )),
+    ]
+}
+
+proptest! {
+    /// No predictor panics, and `access` reports exactly whether its own
+    /// `predicted` equals the actual value, on arbitrary streams.
+    #[test]
+    fn predictors_are_total_and_consistent(stream in arb_stream()) {
+        for mut p in all_predictors() {
+            for &(pc, value) in &stream {
+                let out = p.access(pc, value);
+                prop_assert_eq!(out.correct, out.predicted == value);
+            }
+            prop_assert!(p.storage().total_bits() < u64::MAX / 2);
+        }
+    }
+
+    /// predict-then-update equals access for non-oracle predictors.
+    #[test]
+    fn split_protocol_matches_access(stream in arb_stream()) {
+        let mut a = DfcmPredictor::builder().l1_bits(6).l2_bits(8).build().unwrap();
+        let mut b = DfcmPredictor::builder().l1_bits(6).l2_bits(8).build().unwrap();
+        for &(pc, value) in &stream {
+            let predicted = a.predict(pc);
+            a.update(pc, value);
+            prop_assert_eq!(b.access(pc, value).predicted, predicted);
+        }
+    }
+
+    /// A zero-delay wrapper is observationally identical to the bare
+    /// predictor on any stream.
+    #[test]
+    fn zero_delay_is_identity(stream in arb_stream()) {
+        let mut bare = FcmPredictor::builder().l1_bits(6).l2_bits(8).build().unwrap();
+        let mut wrapped = DelayedUpdate::new(
+            FcmPredictor::builder().l1_bits(6).l2_bits(8).build().unwrap(),
+            0,
+        );
+        for &(pc, value) in &stream {
+            prop_assert_eq!(bare.access(pc, value), wrapped.access(pc, value));
+        }
+    }
+
+    /// Level-2 indices stay in range for every reachable state.
+    #[test]
+    fn l2_indices_stay_in_range(stream in arb_stream()) {
+        let mut fcm = FcmPredictor::builder().l1_bits(5).l2_bits(7).build().unwrap();
+        let mut dfcm = DfcmPredictor::builder().l1_bits(5).l2_bits(7).build().unwrap();
+        for &(pc, value) in &stream {
+            prop_assert!(fcm.l2_index(pc) < fcm.l2_entries());
+            prop_assert!(dfcm.l2_index(pc) < dfcm.l2_entries());
+            fcm.access(pc, value);
+            dfcm.access(pc, value);
+        }
+    }
+
+    /// The FS R-5 hash always produces indices within the table for any
+    /// history evolution.
+    #[test]
+    fn hash_stays_in_range(values in prop::collection::vec(any::<u64>(), 1..200),
+                           bits in 1u32..30) {
+        let mut h = 0u64;
+        for v in values {
+            h = HashFunction::FsR5.fold_update(h, v, bits);
+            prop_assert!(h < (1u64 << bits));
+        }
+    }
+
+    /// Truncated stride storage round-trips any difference that fits the
+    /// width (as a signed quantity).
+    #[test]
+    fn stride_width_roundtrips_in_range(diff in -127i64..=127) {
+        let w = StrideWidth::Bits(8);
+        let mut p = DfcmPredictor::builder()
+            .l1_bits(4)
+            .l2_bits(6)
+            .stride_width(w)
+            .build()
+            .unwrap();
+        // Drive a stride pattern with the given difference; after warmup
+        // the predictor must track it exactly.
+        let mut value = 1_000_000u64;
+        let mut correct_after_warmup = 0;
+        for i in 0..40 {
+            let out = p.access(0x40, value);
+            if i >= 6 {
+                correct_after_warmup += u64::from(out.correct);
+            }
+            value = value.wrapping_add(diff as u64);
+        }
+        prop_assert_eq!(correct_after_warmup, 34);
+    }
+
+    /// A saturating counter never leaves its range.
+    #[test]
+    fn counter_stays_in_range(ops in prop::collection::vec(any::<bool>(), 0..500),
+                              bits in 1u32..8, inc in 1u16..4, dec in 1u16..4) {
+        let mut c = SaturatingCounter::new(bits, inc, dec);
+        for up in ops {
+            if up { c.increment() } else { c.decrement() }
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    /// Synthetic programs are reproducible and respect requested lengths.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>(), n in 1usize..2000) {
+        let build = |seed| {
+            SyntheticProgram::builder(seed)
+                .inst(Pattern::Stride { start: 5, stride: 3 }, 2)
+                .inst(Pattern::Random { bits: 20 }, 1)
+                .build()
+        };
+        let a = build(seed).take_trace(n);
+        let b = build(seed).take_trace(n);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+    }
+
+    /// Replaying a buffered trace yields the identical record sequence.
+    #[test]
+    fn trace_replay_is_faithful(stream in arb_stream()) {
+        let trace: Trace = stream.iter().map(|&(pc, v)| TraceRecord::new(pc, v)).collect();
+        let replayed: Vec<TraceRecord> = {
+            let mut src = trace.source();
+            std::iter::from_fn(move || src.next_record()).collect()
+        };
+        prop_assert_eq!(replayed.len(), trace.len());
+        prop_assert!(replayed.iter().zip(trace.iter()).all(|(a, b)| a == b));
+    }
+
+    /// Two predictors fed the same stream through different access paths
+    /// (trace replay vs direct) agree.
+    #[test]
+    fn replay_and_direct_feeding_agree(stream in arb_stream()) {
+        let trace: Trace = stream.iter().map(|&(pc, v)| TraceRecord::new(pc, v)).collect();
+        let mut direct = StridePredictor::new(6);
+        let direct_correct: u64 = stream
+            .iter()
+            .map(|&(pc, v)| u64::from(direct.access(pc, v).correct))
+            .sum();
+        let mut replayed = StridePredictor::new(6);
+        let stats = dfcm_suite::sim::simulate_trace(&mut replayed, &trace);
+        prop_assert_eq!(stats.correct, direct_correct);
+    }
+}
