@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal std-only benchmark harness with the same surface the
+//! bench files use: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: one warm-up call estimates the per-iteration cost,
+//! then the routine runs for a fixed sampling window (default 300 ms,
+//! `CRITERION_SAMPLE_MS` overrides) and the mean time per iteration is
+//! reported, with throughput when the group declared one. No statistics,
+//! plots, or baselines — numbers print to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state, one per bench binary.
+pub struct Criterion {
+    sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(300);
+        Criterion {
+            sample: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work so results include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample: self.criterion.sample,
+            measured: None,
+        };
+        f(&mut bencher);
+        let Some((iters, total)) = bencher.measured else {
+            println!(
+                "  {}/{}: no measurement (iter was never called)",
+                self.name, id.0
+            );
+            return self;
+        };
+        let per_iter = total.as_secs_f64() / iters as f64;
+        let mut line = format!(
+            "  {}/{:<40} time: {:>12}  ({} iters)",
+            self.name,
+            id.0,
+            format_seconds(per_iter),
+            iters
+        );
+        if let Some(t) = &self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (*n, "elem/s"),
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (*n, "B/s"),
+            };
+            let rate = count as f64 / per_iter;
+            line.push_str(&format!("  thrpt: {}", format_rate(rate, unit)));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing is eager).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    sample: Duration,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `routine` over a sampling window and records the result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup = Instant::now();
+        black_box(routine());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.sample.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units in real criterion).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units in real criterion).
+    BytesDecimal(u64),
+}
+
+/// A benchmark's name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.3} {unit}")
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // shim has no options, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            sample: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim_test");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(format_seconds(2.0), "2.0000 s");
+        assert_eq!(format_seconds(0.0025), "2.5000 ms");
+        assert!(format_seconds(2.5e-6).ends_with("µs"));
+        assert!(format_seconds(3.0e-9).ends_with("ns"));
+        assert_eq!(format_rate(2_500_000.0, "elem/s"), "2.500 Melem/s");
+    }
+}

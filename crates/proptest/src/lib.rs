@@ -1,0 +1,121 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a small std-only implementation of the `proptest` subset its
+//! test suites use: the [`strategy::Strategy`] trait over a deterministic RNG, the
+//! `proptest!`, `prop_assert*` and `prop_oneof!` macros, numeric-range /
+//! tuple / collection / simple-regex strategies, and `any::<T>()`.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a seed derived from the test name (reproducible without
+//! a persisted failure file), and failing cases are reported but not
+//! shrunk. Set `PROPTEST_CASES` to change the number of cases per test
+//! (default 64).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection_impl;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors `proptest::prelude` for the subset this workspace uses.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Mirrors the `prop` module paths (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection_impl as collection;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut rng = $crate::test_runner::TestRng::new(seed);
+                    let guard = $crate::test_runner::CaseGuard::new(stringify!($name), case, seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks uniformly among the listed strategies (all must share a value
+/// type). Real proptest supports weights; this subset does not need them.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and tuples/maps compose.
+        #[test]
+        fn ranges_and_maps(x in 3u32..10, y in -5i64..=5, s in (0u64..4, any::<bool>()).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!(s.0 <= 6 && s.0 % 2 == 0);
+        }
+
+        /// Collections respect their length range.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        /// Simple regex-like patterns produce conforming strings.
+        #[test]
+        fn patterns(text in "[a-c]{1,4}", pad in " {0,3}") {
+            prop_assert!((1..=4).contains(&text.len()));
+            prop_assert!(text.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(pad.len() <= 3 && pad.chars().all(|c| c == ' '));
+        }
+
+        /// prop_oneof picks only from the listed strategies.
+        #[test]
+        fn oneof_members(v in prop_oneof![Just(1u32), Just(5u32), 10u32..12]) {
+            prop_assert!(v == 1 || v == 5 || v == 10 || v == 11);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = crate::collection_impl::vec(0u64..1000, 5..20);
+        let mut a = crate::test_runner::TestRng::new(crate::test_runner::case_seed("x", 0));
+        let mut b = crate::test_runner::TestRng::new(crate::test_runner::case_seed("x", 0));
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,144 @@
+//! A tiny regex-like string generator.
+//!
+//! Real proptest treats string literals as regexes. This shim supports
+//! the subset the workspace's tests use: a sequence of atoms, where an
+//! atom is a literal character, an escape (`\n`, `\t`, `\\`), or a
+//! character class `[...]` (with `a-b` ranges and the same escapes), each
+//! optionally followed by a `{m,n}` repetition.
+
+use crate::test_runner::TestRng;
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// One parsed atom: the characters it may produce and its repetition.
+struct Atom {
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // `a-b` range (a trailing `-` is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "bad pattern range `{c}-{hi}`");
+                        set.extend(c..=hi);
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                i += 1; // past ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition");
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad repetition"),
+                    hi.parse().expect("bad repetition"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in `{pattern}`");
+        assert!(!choices.is_empty(), "empty class in `{pattern}`");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates one string conforming to `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_escape() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate_pattern("[ -~\n]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_repetition() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            let s = generate_pattern(" {0,4}", &mut rng);
+            assert!(s.len() <= 4);
+            assert!(s.chars().all(|c| c == ' '));
+        }
+    }
+
+    #[test]
+    fn plain_literals_pass_through() {
+        let mut rng = TestRng::new(3);
+        assert_eq!(generate_pattern("abc", &mut rng), "abc");
+        assert_eq!(generate_pattern("a\\nb", &mut rng), "a\nb");
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::new(4);
+        assert_eq!(generate_pattern("x{3}", &mut rng), "xxx");
+    }
+}

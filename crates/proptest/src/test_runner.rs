@@ -1,0 +1,88 @@
+//! Deterministic RNG and case bookkeeping for the `proptest!` macro.
+
+/// Splitmix64 — small, fast, and good enough to drive test-case
+/// generation. Deterministic across platforms and runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound` must be nonzero). The modulo
+    /// bias is irrelevant at test-generation quality.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Number of cases per property test (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The seed of one case: an FNV-1a hash of the test name mixed with the
+/// case index, so every test walks its own reproducible sequence.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1_0000_01B3);
+    }
+    hash ^ (u64::from(case) << 32) ^ u64::from(case)
+}
+
+/// Prints which case failed when a property test panics (this shim does
+/// not shrink; the seed makes the case reproducible).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: u32, seed: u64) -> Self {
+        CaseGuard {
+            name,
+            case,
+            seed,
+            armed: true,
+        }
+    }
+
+    /// Disarms after the case body passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest (offline shim): `{}` failed at case {} (seed {:#018x})",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}

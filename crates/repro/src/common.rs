@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use dfcm_sim::{EngineConfig, EngineReport};
 use dfcm_trace::suite::standard_traces;
 use dfcm_trace::BenchmarkTrace;
 
@@ -18,6 +19,10 @@ pub struct Options {
     pub out_dir: PathBuf,
     /// Also write a JSON copy of every table.
     pub json: bool,
+    /// Engine worker threads; `0` picks one per hardware thread.
+    pub threads: usize,
+    /// Print engine progress counts on stderr.
+    pub progress: bool,
 }
 
 impl Default for Options {
@@ -28,6 +33,8 @@ impl Default for Options {
             full: false,
             out_dir: PathBuf::from("results"),
             json: false,
+            threads: 0,
+            progress: false,
         }
     }
 }
@@ -65,6 +72,27 @@ impl Options {
                 .write_json(self.out_dir.join(format!("{name}.json")))
                 .unwrap_or_else(|e| panic!("writing {name}.json: {e}"));
         }
+    }
+
+    /// The engine configuration these options select.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.threads,
+            progress: self.progress,
+        }
+    }
+
+    /// Writes an experiment's engine metrics as JSON lines under
+    /// `<out_dir>/metrics/<name>.jsonl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, like [`Options::emit`].
+    pub fn emit_metrics(&self, report: &EngineReport, name: &str) {
+        let path = self.out_dir.join("metrics").join(format!("{name}.jsonl"));
+        report
+            .write_jsonl(&path)
+            .unwrap_or_else(|e| panic!("writing metrics/{name}.jsonl: {e}"));
     }
 }
 

@@ -10,9 +10,9 @@
 
 use dfcm::{FcmPredictor, LastValuePredictor, StridePredictor};
 use dfcm_sim::report::{fmt_accuracy, fmt_kbits, TextTable};
-use dfcm_sim::sweep_parallel;
+use dfcm_sim::sweep_engine;
 
-use crate::common::{banner, workers, Options};
+use crate::common::{banner, Options};
 
 /// Runs the Figure 3 reproduction.
 pub fn run(opts: &Options) {
@@ -24,13 +24,14 @@ pub fn run(opts: &Options) {
     let mut table = TextTable::new(vec!["predictor", "l1", "l2", "kbit", "accuracy"]);
 
     let entry_sweep: Vec<u32> = (6..=16).step_by(2).collect();
-    let threads = workers();
-    for point in sweep_parallel(
+    let engine = opts.engine_config();
+    let (points, mut metrics) = sweep_engine(
         &entry_sweep,
         |&bits| LastValuePredictor::new(bits),
         &traces,
-        threads,
-    ) {
+        &engine,
+    );
+    for point in points {
         table.row(vec![
             "lvp".into(),
             format!("2^{}", point.config),
@@ -39,12 +40,14 @@ pub fn run(opts: &Options) {
             fmt_accuracy(point.accuracy()),
         ]);
     }
-    for point in sweep_parallel(
+    let (points, stride_metrics) = sweep_engine(
         &entry_sweep,
         |&bits| StridePredictor::new(bits),
         &traces,
-        threads,
-    ) {
+        &engine,
+    );
+    metrics.merge(stride_metrics);
+    for point in points {
         table.row(vec![
             "stride".into(),
             format!("2^{}", point.config),
@@ -60,7 +63,7 @@ pub fn run(opts: &Options) {
         .iter()
         .flat_map(|&l1| l2_sweep.iter().map(move |&l2| (l1, l2)))
         .collect();
-    for point in sweep_parallel(
+    let (points, fcm_metrics) = sweep_engine(
         &grid,
         |&(l1, l2)| {
             FcmPredictor::builder()
@@ -70,8 +73,10 @@ pub fn run(opts: &Options) {
                 .expect("valid")
         },
         &traces,
-        threads,
-    ) {
+        &engine,
+    );
+    metrics.merge(fcm_metrics);
+    for point in points {
         let (l1, l2) = point.config;
         table.row(vec![
             "fcm".into(),
@@ -84,6 +89,7 @@ pub fn run(opts: &Options) {
 
     print!("{}", table.render());
     opts.emit(&table, "fig03");
+    opts.emit_metrics(&metrics, "fig03");
     println!();
     println!(
         "Check (paper): FCM beats LVP and stride for all but the smallest sizes; \

@@ -9,7 +9,7 @@
 use dfcm::{DfcmPredictor, FcmPredictor};
 use dfcm_sim::chart::{ScatterChart, Series};
 use dfcm_sim::report::{fmt_accuracy, TextTable};
-use dfcm_sim::run_suite;
+use dfcm_sim::{run_suite_engine, sweep_engine};
 
 use crate::common::{banner, Options};
 
@@ -23,29 +23,36 @@ pub fn run_a(opts: &Options) {
     let mut table = TextTable::new(vec!["l2", "FCM", "DFCM", "gain"]);
     let mut fcm_curve = Vec::new();
     let mut dfcm_curve = Vec::new();
-    for l2 in opts.l2_sweep() {
-        let fcm = run_suite(
-            || {
-                FcmPredictor::builder()
-                    .l1_bits(16)
-                    .l2_bits(l2)
-                    .build()
-                    .expect("valid")
-            },
-            &traces,
-        )
-        .weighted_accuracy();
-        let dfcm = run_suite(
-            || {
-                DfcmPredictor::builder()
-                    .l1_bits(16)
-                    .l2_bits(l2)
-                    .build()
-                    .expect("valid")
-            },
-            &traces,
-        )
-        .weighted_accuracy();
+    let l2s = opts.l2_sweep();
+    let engine = opts.engine_config();
+    let (fcm_points, mut metrics) = sweep_engine(
+        &l2s,
+        |&l2| {
+            FcmPredictor::builder()
+                .l1_bits(16)
+                .l2_bits(l2)
+                .build()
+                .expect("valid")
+        },
+        &traces,
+        &engine,
+    );
+    let (dfcm_points, dfcm_metrics) = sweep_engine(
+        &l2s,
+        |&l2| {
+            DfcmPredictor::builder()
+                .l1_bits(16)
+                .l2_bits(l2)
+                .build()
+                .expect("valid")
+        },
+        &traces,
+        &engine,
+    );
+    metrics.merge(dfcm_metrics);
+    for (f, d) in fcm_points.iter().zip(&dfcm_points) {
+        let l2 = f.config;
+        let (fcm, dfcm) = (f.accuracy(), d.accuracy());
         table.row(vec![
             format!("2^{l2}"),
             fmt_accuracy(fcm),
@@ -55,6 +62,7 @@ pub fn run_a(opts: &Options) {
         fcm_curve.push((f64::from(1u32 << l2.min(31)), fcm));
         dfcm_curve.push((f64::from(1u32 << l2.min(31)), dfcm));
     }
+    opts.emit_metrics(&metrics, "fig10a");
     print!("{}", table.render());
     println!();
     print!(
@@ -80,7 +88,8 @@ pub fn run_b(opts: &Options) {
         "",
     );
     let traces = opts.traces();
-    let fcm = run_suite(
+    let engine = opts.engine_config();
+    let (fcm, mut metrics) = run_suite_engine(
         || {
             FcmPredictor::builder()
                 .l1_bits(16)
@@ -89,8 +98,9 @@ pub fn run_b(opts: &Options) {
                 .expect("valid")
         },
         &traces,
+        &engine,
     );
-    let dfcm = run_suite(
+    let (dfcm, dfcm_metrics) = run_suite_engine(
         || {
             DfcmPredictor::builder()
                 .l1_bits(16)
@@ -99,7 +109,10 @@ pub fn run_b(opts: &Options) {
                 .expect("valid")
         },
         &traces,
+        &engine,
     );
+    metrics.merge(dfcm_metrics);
+    opts.emit_metrics(&metrics, "fig10b");
     let mut table = TextTable::new(vec!["benchmark", "FCM", "DFCM", "gain"]);
     let mut bars = dfcm_sim::chart::BarChart::new(46).max(1.0);
     for b in &fcm.benchmarks {

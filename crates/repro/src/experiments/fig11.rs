@@ -11,9 +11,9 @@
 use dfcm::{DfcmPredictor, FcmPredictor, ValuePredictor};
 use dfcm_sim::chart::{ScatterChart, Series};
 use dfcm_sim::report::{fmt_accuracy, fmt_kbits, TextTable};
-use dfcm_sim::{pareto_front, sweep_parallel, ParetoPoint};
+use dfcm_sim::{pareto_front, sweep_engine, EngineConfig, EngineReport, ParetoPoint};
 
-use crate::common::{banner, workers, Options};
+use crate::common::{banner, Options};
 
 /// Runs the Figure 11(a) reproduction.
 pub fn run_a(opts: &Options) {
@@ -27,7 +27,7 @@ pub fn run_a(opts: &Options) {
         .iter()
         .flat_map(|&l1| opts.l2_sweep().into_iter().map(move |l2| (l1, l2)))
         .collect();
-    for point in sweep_parallel(
+    let (points, metrics) = sweep_engine(
         &grid,
         |&(l1, l2)| {
             DfcmPredictor::builder()
@@ -37,8 +37,10 @@ pub fn run_a(opts: &Options) {
                 .expect("valid")
         },
         &traces,
-        workers(),
-    ) {
+        &opts.engine_config(),
+    );
+    opts.emit_metrics(&metrics, "fig11a");
+    for point in points {
         let (l1, l2) = point.config;
         table.row(vec![
             format!("2^{l1}"),
@@ -56,7 +58,8 @@ fn grid_points<P, F>(
     l2s: &[u32],
     factory: F,
     traces: &[dfcm_trace::BenchmarkTrace],
-) -> Vec<ParetoPoint>
+    engine: &EngineConfig,
+) -> (Vec<ParetoPoint>, EngineReport)
 where
     P: ValuePredictor,
     F: Fn(u32, u32) -> P + Send + Sync,
@@ -65,14 +68,16 @@ where
         .iter()
         .flat_map(|&l1| l2s.iter().map(move |&l2| (l1, l2)))
         .collect();
-    sweep_parallel(&grid, |&(l1, l2)| factory(l1, l2), traces, workers())
+    let (points, report) = sweep_engine(&grid, |&(l1, l2)| factory(l1, l2), traces, engine);
+    let points = points
         .into_iter()
         .map(|p| ParetoPoint {
             label: format!("l1=2^{},l2=2^{}", p.config.0, p.config.1),
             kbits: p.kbits(),
             accuracy: p.accuracy(),
         })
-        .collect()
+        .collect();
+    (points, report)
 }
 
 /// Runs the Figure 11(b) reproduction.
@@ -83,7 +88,8 @@ pub fn run_b(opts: &Options) {
     );
     let traces = opts.traces();
     let l2s = opts.l2_sweep();
-    let fcm_points = grid_points(
+    let engine = opts.engine_config();
+    let (fcm_points, mut metrics) = grid_points(
         &[0, 4, 6, 8, 10, 12, 14, 16],
         &l2s,
         |l1, l2| {
@@ -94,8 +100,9 @@ pub fn run_b(opts: &Options) {
                 .expect("valid")
         },
         &traces,
+        &engine,
     );
-    let dfcm_points = grid_points(
+    let (dfcm_points, dfcm_metrics) = grid_points(
         &[8, 10, 12, 14, 16],
         &l2s,
         |l1, l2| {
@@ -106,7 +113,10 @@ pub fn run_b(opts: &Options) {
                 .expect("valid")
         },
         &traces,
+        &engine,
     );
+    metrics.merge(dfcm_metrics);
+    opts.emit_metrics(&metrics, "fig11b");
 
     let mut table = TextTable::new(vec!["front", "config", "kbit", "accuracy"]);
     for (name, points) in [("fcm", &fcm_points), ("dfcm", &dfcm_points)] {

@@ -5,6 +5,7 @@
 //! stand-ins (with their block mixes and measured trace statistics) and
 //! the VM kernels.
 
+use dfcm_sim::engine::{run_tasks, TaskOutput};
 use dfcm_sim::report::TextTable;
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
@@ -14,6 +15,10 @@ use dfcm_vm::{assemble, programs, Vm};
 use crate::common::{banner, Options};
 
 /// Runs the Table 1 reproduction.
+///
+/// Trace generation and statistics are independent per benchmark, so both
+/// halves run as engine task batches; the metrics land in
+/// `metrics/table1.jsonl`.
 pub fn run(opts: &Options) {
     banner(
         "Table 1: benchmark descriptions",
@@ -21,6 +26,31 @@ pub fn run(opts: &Options) {
          plus the VM kernels used for Figures 6 and 9.",
     );
 
+    let engine = opts.engine_config();
+    let specs = standard_suite();
+    let labels = specs.iter().map(|s| s.name().to_owned()).collect();
+    let (rows, mut metrics) = run_tasks(
+        labels,
+        |i| {
+            let spec = &specs[i];
+            let trace = spec.trace(opts.seed, opts.scale);
+            let stats = TraceStats::measure(&trace.trace);
+            let paper_m = spec.predictions(1.0) as f64 / 10_000.0;
+            TaskOutput {
+                value: vec![
+                    spec.name().to_owned(),
+                    stats.records.to_string(),
+                    format!("{paper_m:.0}"),
+                    stats.static_instructions.to_string(),
+                    format!("{:.2}", stats.last_value_fraction),
+                    format!("{:.2}", stats.stride_fraction),
+                    format!("{:.2}", stats.reuse_fraction),
+                ],
+                records: stats.records as u64,
+            }
+        },
+        &engine,
+    );
     let mut table = TextTable::new(vec![
         "benchmark",
         "predictions",
@@ -30,25 +60,38 @@ pub fn run(opts: &Options) {
         "stride-frac",
         "reuse-frac",
     ]);
-    for spec in standard_suite() {
-        let trace = spec.trace(opts.seed, opts.scale);
-        let stats = TraceStats::measure(&trace.trace);
-        let paper_m = spec.predictions(1.0) as f64 / 10_000.0;
-        table.row(vec![
-            spec.name().to_owned(),
-            stats.records.to_string(),
-            format!("{paper_m:.0}"),
-            stats.static_instructions.to_string(),
-            format!("{:.2}", stats.last_value_fraction),
-            format!("{:.2}", stats.stride_fraction),
-            format!("{:.2}", stats.reuse_fraction),
-        ]);
+    for row in rows {
+        table.row(row);
     }
     print!("{}", table.render());
     opts.emit(&table, "table1");
 
     println!();
     println!("VM kernels (trace-generating real programs):");
+    let kernels = programs::all();
+    let labels = kernels.iter().map(|(name, _)| (*name).to_owned()).collect();
+    let (rows, vm_metrics) = run_tasks(
+        labels,
+        |i| {
+            let (name, src) = kernels[i];
+            let mut vm = Vm::new(assemble(src).expect("bundled kernel assembles"));
+            let trace = vm.take_trace(2_000_000);
+            let stats = TraceStats::measure(&trace);
+            TaskOutput {
+                value: vec![
+                    name.to_owned(),
+                    stats.records.to_string(),
+                    stats.static_instructions.to_string(),
+                    format!("{:.2}", stats.last_value_fraction),
+                    format!("{:.2}", stats.stride_fraction),
+                ],
+                records: stats.records as u64,
+            }
+        },
+        &engine,
+    );
+    metrics.merge(vm_metrics);
+    opts.emit_metrics(&metrics, "table1");
     let mut vm_table = TextTable::new(vec![
         "kernel",
         "records",
@@ -56,17 +99,8 @@ pub fn run(opts: &Options) {
         "lv-frac",
         "stride-frac",
     ]);
-    for (name, src) in programs::all() {
-        let mut vm = Vm::new(assemble(src).expect("bundled kernel assembles"));
-        let trace = vm.take_trace(2_000_000);
-        let stats = TraceStats::measure(&trace);
-        vm_table.row(vec![
-            name.to_owned(),
-            stats.records.to_string(),
-            stats.static_instructions.to_string(),
-            format!("{:.2}", stats.last_value_fraction),
-            format!("{:.2}", stats.stride_fraction),
-        ]);
+    for row in rows {
+        vm_table.row(row);
     }
     print!("{}", vm_table.render());
     opts.emit(&vm_table, "table1_vm");

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! dfcm-repro <experiment> [--seed N] [--scale F] [--full] [--json] [--out DIR]
+//!                         [--threads N] [--progress]
 //!
 //! experiments:
 //!   table1   benchmark descriptions and trace statistics
@@ -35,6 +36,11 @@
 //!   --full      extend table sweeps to the paper's 2^18 and 2^20
 //!   --json      also write a JSON copy of every table
 //!   --out DIR   CSV output directory (default results/)
+//!   --threads N engine worker threads; 0 = one per hardware thread (default 0)
+//!   --progress  print engine task progress on stderr
+//!
+//! Engine-backed experiments (table1, fig3, fig10a/b, fig11a/b) also write
+//! run metrics as JSON lines under `<out>/metrics/<experiment>.jsonl`.
 //! ```
 
 use std::process::ExitCode;
@@ -42,7 +48,7 @@ use std::process::ExitCode;
 use dfcm_repro::common::Options;
 use dfcm_repro::experiments;
 
-const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR]";
+const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress]";
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -66,6 +72,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 opts.out_dir = v.into();
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
+            "--progress" => opts.progress = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }

@@ -1,0 +1,581 @@
+//! The parallel simulation engine.
+//!
+//! Every reproduction figure is an embarrassingly parallel batch of
+//! (configuration, benchmark) simulations: the paper's methodology (§4)
+//! gives each pair a fresh, cold predictor, so pairs share no state and
+//! can run in any order. The engine exploits exactly that granularity: a
+//! shared work queue of (configuration, benchmark) tasks drained by
+//! `std::thread::scope` workers, with results merged back into
+//! configuration/suite order so the output is bit-identical to the
+//! serial [`sweep`](crate::sweep) path (which remains the reference
+//! implementation for equivalence tests).
+//!
+//! The engine also carries the observability layer: per-task wall time
+//! and throughput, per-worker busy time and utilization, and a
+//! suite-level [`EngineReport`] that serializes as JSON lines for the
+//! `results/metrics/` directory.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dfcm::ValuePredictor;
+use dfcm_trace::BenchmarkTrace;
+
+use crate::report::json_string;
+use crate::run::simulate_trace;
+use crate::suite::{BenchmarkResult, SuiteResult};
+use crate::sweep::SweepPoint;
+
+/// Scheduling knobs for the engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available hardware thread. The
+    /// effective count never exceeds the number of tasks.
+    pub threads: usize,
+    /// Report completed/total task counts on stderr while running.
+    pub progress: bool,
+}
+
+impl EngineConfig {
+    /// A config with an explicit thread count and no progress output.
+    pub fn threads(threads: usize) -> Self {
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn resolve_threads(&self, tasks: usize) -> usize {
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.threads == 0 {
+            hardware
+        } else {
+            self.threads
+        };
+        requested.clamp(1, tasks.max(1))
+    }
+}
+
+/// Timing of one completed (configuration, benchmark) task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMetric {
+    /// Task label, `cfg<index>/<benchmark>` for sweep tasks.
+    pub label: String,
+    /// Index of the worker that ran the task.
+    pub worker: usize,
+    /// Records the task simulated.
+    pub records: u64,
+    /// Task wall time.
+    pub wall: Duration,
+}
+
+impl TaskMetric {
+    /// Simulation throughput of this task in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.records as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate load of one worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMetric {
+    /// Worker index, `0..threads`.
+    pub worker: usize,
+    /// Total time spent inside tasks.
+    pub busy: Duration,
+    /// Number of tasks the worker completed.
+    pub tasks: u64,
+}
+
+/// Suite-level run metrics: what ran, where, and how fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Worker threads the engine ran with.
+    pub threads: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Per-task metrics, in task (configuration-major) order.
+    pub tasks: Vec<TaskMetric>,
+    /// Per-worker metrics, in worker order.
+    pub workers: Vec<WorkerMetric>,
+}
+
+impl EngineReport {
+    /// An empty report (no tasks ran).
+    pub fn empty(threads: usize) -> Self {
+        EngineReport {
+            threads,
+            wall: Duration::ZERO,
+            tasks: Vec::new(),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Total records simulated across all tasks.
+    pub fn total_records(&self) -> u64 {
+        self.tasks.iter().map(|t| t.records).sum()
+    }
+
+    /// Batch throughput: records simulated per second of wall time.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_records() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A worker's utilization: busy time over batch wall time, in 0..=1.
+    pub fn utilization(&self, worker: &WorkerMetric) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            (worker.busy.as_secs_f64() / wall).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another report into this one (for experiments that run
+    /// several engine batches back to back): tasks concatenate, wall
+    /// times add, and worker loads merge by worker index.
+    pub fn merge(&mut self, other: EngineReport) {
+        self.threads = self.threads.max(other.threads);
+        self.wall += other.wall;
+        self.tasks.extend(other.tasks);
+        for w in other.workers {
+            match self.workers.iter_mut().find(|m| m.worker == w.worker) {
+                Some(mine) => {
+                    mine.busy += w.busy;
+                    mine.tasks += w.tasks;
+                }
+                None => self.workers.push(w),
+            }
+        }
+        self.workers.sort_by_key(|w| w.worker);
+    }
+
+    /// The report as JSON lines: one `suite` line, one `worker` line per
+    /// worker, one `task` line per task.
+    ///
+    /// ```text
+    /// {"type":"suite","threads":4,"tasks":32,"records":160000,"wall_s":0.5,"records_per_s":320000}
+    /// {"type":"worker","worker":0,"tasks":8,"busy_s":0.48,"utilization":0.96}
+    /// {"type":"task","label":"cfg0/cc1","worker":0,"records":5000,"wall_s":0.015,"records_per_s":333333.3}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"suite\",\"threads\":{},\"tasks\":{},\"records\":{},\"wall_s\":{:.6},\"records_per_s\":{:.1}}}",
+            self.threads,
+            self.tasks.len(),
+            self.total_records(),
+            self.wall.as_secs_f64(),
+            self.records_per_sec()
+        );
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"worker\",\"worker\":{},\"tasks\":{},\"busy_s\":{:.6},\"utilization\":{:.4}}}",
+                w.worker,
+                w.tasks,
+                w.busy.as_secs_f64(),
+                self.utilization(w)
+            );
+        }
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"task\",\"label\":{},\"worker\":{},\"records\":{},\"wall_s\":{:.6},\"records_per_s\":{:.1}}}",
+                json_string(&t.label),
+                t.worker,
+                t.records,
+                t.wall.as_secs_f64(),
+                t.records_per_sec()
+            );
+        }
+        out
+    }
+
+    /// Writes the JSONL form to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write_jsonl<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_jsonl())
+    }
+}
+
+/// What one engine task returns: its result plus the record count it
+/// simulated (for throughput accounting).
+#[derive(Debug, Clone)]
+pub struct TaskOutput<T> {
+    /// The task's result value.
+    pub value: T,
+    /// Records the task processed.
+    pub records: u64,
+}
+
+/// Runs `labels.len()` independent tasks over a shared work queue and
+/// returns their outputs in task order plus the run metrics.
+///
+/// This is the engine's scheduling primitive: `task(i)` must be pure in
+/// the sense that its output depends only on `i`, which makes the merge
+/// deterministic regardless of execution order. Workers pull indices
+/// from a `Mutex`-guarded queue until it drains.
+pub fn run_tasks<T, F>(
+    labels: Vec<String>,
+    task: F,
+    config: &EngineConfig,
+) -> (Vec<T>, EngineReport)
+where
+    T: Send,
+    F: Fn(usize) -> TaskOutput<T> + Sync,
+{
+    let count = labels.len();
+    let threads = config.resolve_threads(count);
+    if count == 0 {
+        return (Vec::new(), EngineReport::empty(threads));
+    }
+    let started = Instant::now();
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..count).collect());
+    let completed: Mutex<Vec<(usize, T, TaskMetric)>> = Mutex::new(Vec::with_capacity(count));
+    let worker_metrics: Mutex<Vec<WorkerMetric>> = Mutex::new(Vec::with_capacity(threads));
+    let task = &task;
+    let labels = &labels;
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let queue = &queue;
+            let completed = &completed;
+            let worker_metrics = &worker_metrics;
+            let progress = config.progress;
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut ran = 0u64;
+                loop {
+                    let Some(index) = queue.lock().expect("queue poisoned").pop_front() else {
+                        break;
+                    };
+                    let task_started = Instant::now();
+                    let output = task(index);
+                    let wall = task_started.elapsed();
+                    busy += wall;
+                    ran += 1;
+                    let metric = TaskMetric {
+                        label: labels[index].clone(),
+                        worker,
+                        records: output.records,
+                        wall,
+                    };
+                    let mut done = completed.lock().expect("results poisoned");
+                    done.push((index, output.value, metric));
+                    if progress {
+                        eprint!("\r[dfcm-sim engine] {}/{} tasks", done.len(), count);
+                    }
+                }
+                worker_metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .push(WorkerMetric {
+                        worker,
+                        busy,
+                        tasks: ran,
+                    });
+            });
+        }
+    });
+    if config.progress {
+        eprintln!();
+    }
+    let wall = started.elapsed();
+    let mut done = completed.into_inner().expect("results poisoned");
+    done.sort_by_key(|(index, _, _)| *index);
+    let mut values = Vec::with_capacity(count);
+    let mut tasks = Vec::with_capacity(count);
+    for (_, value, metric) in done {
+        values.push(value);
+        tasks.push(metric);
+    }
+    let mut workers = worker_metrics.into_inner().expect("metrics poisoned");
+    workers.sort_by_key(|w| w.worker);
+    (
+        values,
+        EngineReport {
+            threads,
+            wall,
+            tasks,
+            workers,
+        },
+    )
+}
+
+/// [`sweep`](crate::sweep)'s work at (configuration, benchmark)
+/// granularity: every pair becomes one engine task with a fresh cold
+/// predictor, and results merge deterministically back into
+/// configuration order. The returned points are identical (including
+/// float bits) to the serial sweep's.
+pub fn sweep_engine<C, P, F>(
+    configs: &[C],
+    factory: F,
+    traces: &[BenchmarkTrace],
+    config: &EngineConfig,
+) -> (Vec<SweepPoint<C>>, EngineReport)
+where
+    C: Clone + Sync,
+    P: ValuePredictor,
+    F: Fn(&C) -> P + Sync,
+{
+    if traces.is_empty() {
+        // No benchmarks, no tasks: mirror the serial path's placeholder
+        // suite result per configuration.
+        let points = configs
+            .iter()
+            .map(|c| SweepPoint {
+                config: c.clone(),
+                result: SuiteResult {
+                    predictor: "(empty suite)".to_owned(),
+                    kbits: 0.0,
+                    benchmarks: Vec::new(),
+                },
+            })
+            .collect();
+        return (points, EngineReport::empty(config.resolve_threads(0)));
+    }
+    let benches = traces.len();
+    let labels = (0..configs.len() * benches)
+        .map(|i| format!("cfg{}/{}", i / benches, traces[i % benches].name))
+        .collect();
+    let (outputs, report) = run_tasks(
+        labels,
+        |i| {
+            let bench = &traces[i % benches];
+            let mut predictor = factory(&configs[i / benches]);
+            // The serial path records the label and size from the first
+            // benchmark's fresh predictor; task 0 of each configuration
+            // does the same here.
+            let header =
+                (i % benches == 0).then(|| (predictor.name(), predictor.storage().kbits()));
+            let stats = simulate_trace(&mut predictor, &bench.trace);
+            TaskOutput {
+                value: (
+                    header,
+                    BenchmarkResult {
+                        name: bench.name,
+                        stats,
+                    },
+                ),
+                records: bench.trace.len() as u64,
+            }
+        },
+        config,
+    );
+    let mut outputs = outputs.into_iter();
+    let points = configs
+        .iter()
+        .map(|c| {
+            let mut benchmarks = Vec::with_capacity(benches);
+            let mut header = None;
+            for _ in 0..benches {
+                let (h, result) = outputs.next().expect("one output per task");
+                header = header.or(h);
+                benchmarks.push(result);
+            }
+            let (predictor, kbits) = header.expect("first task carries the header");
+            SweepPoint {
+                config: c.clone(),
+                result: SuiteResult {
+                    predictor,
+                    kbits,
+                    benchmarks,
+                },
+            }
+        })
+        .collect();
+    (points, report)
+}
+
+/// [`run_suite`](crate::run_suite) on the engine: one configuration,
+/// one task per benchmark.
+pub fn run_suite_engine<P, F>(
+    factory: F,
+    traces: &[BenchmarkTrace],
+    config: &EngineConfig,
+) -> (SuiteResult, EngineReport)
+where
+    P: ValuePredictor,
+    F: Fn() -> P + Sync,
+{
+    let (mut points, report) = sweep_engine(&[()], |()| factory(), traces, config);
+    (points.pop().expect("one config in").result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_suite;
+    use crate::sweep::sweep;
+    use dfcm::{DfcmPredictor, LastValuePredictor};
+    use dfcm_trace::{Trace, TraceRecord};
+
+    fn suite(benches: usize, records: u64) -> Vec<BenchmarkTrace> {
+        static NAMES: [&str; 4] = ["a", "b", "c", "d"];
+        (0..benches)
+            .map(|b| BenchmarkTrace {
+                name: NAMES[b % NAMES.len()],
+                trace: (0..records)
+                    .map(|i| TraceRecord::new(0x1000 + 4 * (i % 32), i * (b as u64 + 2) % 977))
+                    .collect::<Trace>(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_serial_sweep() {
+        let traces = suite(3, 400);
+        let configs = [(4u32, 6u32), (6, 8), (8, 8)];
+        let factory = |&(l1, l2): &(u32, u32)| {
+            DfcmPredictor::builder()
+                .l1_bits(l1)
+                .l2_bits(l2)
+                .build()
+                .unwrap()
+        };
+        let serial = sweep(&configs, factory, &traces);
+        for threads in [1, 3, 64] {
+            let (points, report) =
+                sweep_engine(&configs, factory, &traces, &EngineConfig::threads(threads));
+            assert_eq!(points, serial);
+            assert_eq!(report.tasks.len(), configs.len() * traces.len());
+            assert_eq!(report.total_records(), 3 * 3 * 400);
+        }
+    }
+
+    #[test]
+    fn run_suite_engine_matches_run_suite() {
+        let traces = suite(4, 300);
+        let serial = run_suite(|| LastValuePredictor::new(6), &traces);
+        let (result, report) = run_suite_engine(
+            || LastValuePredictor::new(6),
+            &traces,
+            &EngineConfig::threads(2),
+        );
+        assert_eq!(result, serial);
+        assert_eq!(report.tasks.len(), 4);
+        assert!(report.threads <= 2);
+    }
+
+    #[test]
+    fn empty_suite_mirrors_serial_placeholder() {
+        let serial = run_suite(|| LastValuePredictor::new(4), &[]);
+        let (result, report) =
+            run_suite_engine(|| LastValuePredictor::new(4), &[], &EngineConfig::default());
+        assert_eq!(result, serial);
+        assert!(report.tasks.is_empty());
+        assert_eq!(report.total_records(), 0);
+    }
+
+    #[test]
+    fn worker_accounting_covers_all_tasks() {
+        let traces = suite(4, 200);
+        let (_, report) = sweep_engine(
+            &[6u32, 8],
+            |&bits| LastValuePredictor::new(bits),
+            &traces,
+            &EngineConfig::threads(3),
+        );
+        let by_workers: u64 = report.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(by_workers, report.tasks.len() as u64);
+        assert!(report.workers.len() <= 3);
+        for w in &report.workers {
+            let u = report.utilization(w);
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_entity() {
+        let traces = suite(2, 100);
+        let (_, report) = sweep_engine(
+            &[4u32],
+            |&bits| LastValuePredictor::new(bits),
+            &traces,
+            &EngineConfig::threads(1),
+        );
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1 + report.workers.len() + report.tasks.len());
+        assert!(lines[0].starts_with("{\"type\":\"suite\""));
+        assert!(jsonl.contains("\"label\":\"cfg0/a\""));
+        assert!(jsonl.contains("\"utilization\":"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn write_jsonl_creates_directories() {
+        let dir = std::env::temp_dir().join("dfcm_engine_jsonl_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("metrics/run.jsonl");
+        EngineReport::empty(1).write_jsonl(&path).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("{\"type\":\"suite\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_concatenates_and_sums() {
+        let traces = suite(2, 100);
+        let run = || {
+            sweep_engine(
+                &[4u32],
+                |&bits| LastValuePredictor::new(bits),
+                &traces,
+                &EngineConfig::threads(2),
+            )
+            .1
+        };
+        let mut a = run();
+        let b = run();
+        let total_before = a.total_records() + b.total_records();
+        let wall_before = a.wall + b.wall;
+        a.merge(b);
+        assert_eq!(a.total_records(), total_before);
+        assert_eq!(a.wall, wall_before);
+        assert_eq!(a.tasks.len(), 4);
+        let by_workers: u64 = a.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(by_workers, 4);
+    }
+
+    #[test]
+    fn run_tasks_preserves_order_under_contention() {
+        let labels = (0..200).map(|i| format!("t{i}")).collect();
+        let (values, report) = run_tasks(
+            labels,
+            |i| TaskOutput {
+                value: i * 7,
+                records: 1,
+            },
+            &EngineConfig::threads(8),
+        );
+        assert_eq!(values, (0..200).map(|i| i * 7).collect::<Vec<_>>());
+        assert_eq!(report.tasks[13].label, "t13");
+        assert_eq!(report.total_records(), 200);
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`simulate`] / [`simulate_trace`] — run one predictor over one trace.
 //! * [`run_suite`] — fresh predictor per benchmark, weighted-mean accuracy.
 //! * [`sweep`] — evaluate a family of configurations over a suite.
+//! * [`engine`] — the parallel execution engine: a shared work queue of
+//!   (configuration, benchmark) tasks with deterministic merge and run
+//!   metrics ([`sweep_engine`], [`run_suite_engine`], [`EngineReport`]).
 //! * [`pareto_front`] — the size/accuracy Pareto points (Figure 11(b)).
 //! * [`simulate_confidence`] — coverage/accuracy of confidence-estimating
 //!   predictors (the §4.2 extension).
@@ -37,6 +40,7 @@
 
 pub mod chart;
 mod confidence;
+pub mod engine;
 mod pareto;
 pub mod report;
 mod run;
@@ -46,6 +50,9 @@ mod sweep;
 mod timeline;
 
 pub use crate::confidence::{simulate_confidence, ConfidenceStats};
+pub use crate::engine::{
+    run_suite_engine, sweep_engine, EngineConfig, EngineReport, TaskMetric, WorkerMetric,
+};
 pub use crate::pareto::{pareto_front, ParetoPoint};
 pub use crate::run::{simulate, simulate_n, simulate_trace, RunStats};
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};

@@ -66,8 +66,11 @@ mod tests {
     use dfcm_trace::{BenchmarkTrace, Trace, TraceRecord};
 
     fn tiny_suite() -> Vec<BenchmarkTrace> {
+        // PCs must be 4-byte aligned (see `TraceRecord::pc`): predictors
+        // drop the two always-zero low bits, so `16 + (i % 4)` would
+        // collapse all four "instructions" into one level-1 entry.
         let trace: Trace = (0..500u64)
-            .map(|i| TraceRecord::new(16 + (i % 4), (i % 7) * 100))
+            .map(|i| TraceRecord::new(16 + 4 * (i % 4), (i % 7) * 100))
             .collect();
         vec![BenchmarkTrace { name: "t", trace }]
     }
@@ -109,10 +112,13 @@ mod tests {
     }
 }
 
-/// Like [`sweep`], but distributes configurations across `threads` worker
-/// threads. Results are identical to the serial version and returned in
-/// configuration order; only wall-clock time differs. Each (configuration,
-/// benchmark) pair still gets a fresh predictor.
+/// Like [`sweep`], but runs on the [`engine`](crate::engine) with
+/// `threads` workers. Results are identical to the serial version and
+/// returned in configuration order; only wall-clock time differs. Work is
+/// scheduled at (configuration, benchmark) granularity — each pair still
+/// gets a fresh predictor — so even a sweep of one big configuration
+/// spreads across all workers. Use [`sweep_engine`](crate::sweep_engine)
+/// directly to also collect the run metrics.
 pub fn sweep_parallel<C, P, F>(
     configs: &[C],
     factory: F,
@@ -124,26 +130,13 @@ where
     P: ValuePredictor,
     F: Fn(&C) -> P + Send + Sync,
 {
-    let threads = threads.max(1).min(configs.len().max(1));
-    let mut results: Vec<Option<SweepPoint<C>>> = (0..configs.len()).map(|_| None).collect();
-    let chunk = configs.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (configs_chunk, results_chunk) in configs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let factory = &factory;
-            scope.spawn(move || {
-                for (config, slot) in configs_chunk.iter().zip(results_chunk) {
-                    *slot = Some(SweepPoint {
-                        config: config.clone(),
-                        result: run_suite(|| factory(config), traces),
-                    });
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    crate::engine::sweep_engine(
+        configs,
+        factory,
+        traces,
+        &crate::engine::EngineConfig::threads(threads.max(1)),
+    )
+    .0
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ use dfcm::{
     DfcmPredictor, FcmPredictor, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor,
     ValuePredictor,
 };
-use dfcm_sim::simulate_trace;
+use dfcm_sim::engine::{run_tasks, TaskOutput};
+use dfcm_sim::{simulate_trace, EngineConfig, EngineReport};
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
 use dfcm_trace::{Trace, TraceSource};
@@ -147,25 +148,47 @@ pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
 /// `eval <trace.trc> <predictor-spec>...` — runs predictors over a saved
 /// trace and reports accuracies.
 ///
+/// Each predictor runs as one engine task; `engine` picks the worker
+/// count and progress reporting. Lines appear in spec order regardless
+/// of scheduling, and the returned [`EngineReport`] carries the run
+/// metrics (per-task timing, per-worker utilization).
+///
 /// # Errors
 ///
 /// Returns [`ToolError`] for unreadable traces or bad predictor specs.
-pub fn eval(path: &Path, specs: &[String]) -> Result<String, ToolError> {
+pub fn eval(
+    path: &Path,
+    specs: &[String],
+    engine: &EngineConfig,
+) -> Result<(String, EngineReport), ToolError> {
     let trace = Trace::load(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    // Surface bad specs (in order) before any simulation runs.
+    for spec in specs {
+        predictor_for(spec)?;
+    }
+    let (lines, report) = run_tasks(
+        specs.to_vec(),
+        |i| {
+            let mut p = predictor_for(&specs[i]).expect("spec validated above");
+            let stats = simulate_trace(&mut p, &trace);
+            TaskOutput {
+                value: format!(
+                    "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
+                    p.name(),
+                    stats.accuracy(),
+                    p.storage().kbits()
+                ),
+                records: trace.len() as u64,
+            }
+        },
+        engine,
+    );
     let mut out = String::new();
     let _ = writeln!(out, "{} ({} records):", path.display(), trace.len());
-    for spec in specs {
-        let mut p = predictor_for(spec)?;
-        let stats = simulate_trace(&mut p, &trace);
-        let _ = writeln!(
-            out,
-            "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
-            p.name(),
-            stats.accuracy(),
-            p.storage().kbits()
-        );
+    for line in lines {
+        let _ = writeln!(out, "{line}");
     }
-    Ok(out)
+    Ok((out, report))
 }
 
 /// `disasm <kernel>` — assembly listing of a bundled kernel (assembled and

@@ -8,7 +8,9 @@ const USAGE: &str = "\
 usage:
   dfcm-tools gen <workload> <records> <out.trc> [--seed N]
   dfcm-tools stats <trace.trc>
-  dfcm-tools eval <trace.trc> <predictor>...   (lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2)
+  dfcm-tools eval <trace.trc> <predictor>... [--threads N] [--progress] [--metrics FILE]
+             (predictors: lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2;
+              --threads 0 = one per hardware thread; --metrics writes engine JSONL)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools kernels
@@ -46,13 +48,41 @@ fn run() -> Result<String, String> {
             dfcm_tools::stats(&PathBuf::from(path)).map_err(|e| e.to_string())
         }
         "eval" => {
+            let mut rest = rest.to_vec();
+            let mut engine = dfcm_sim::EngineConfig::default();
+            let mut metrics_path: Option<PathBuf> = None;
+            if let Some(pos) = rest.iter().position(|a| a == "--threads") {
+                engine.threads = rest
+                    .get(pos + 1)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "bad thread count".to_owned())?;
+                rest.drain(pos..=pos + 1);
+            }
+            if let Some(pos) = rest.iter().position(|a| a == "--progress") {
+                engine.progress = true;
+                rest.remove(pos);
+            }
+            if let Some(pos) = rest.iter().position(|a| a == "--metrics") {
+                metrics_path = Some(PathBuf::from(
+                    rest.get(pos + 1).ok_or("--metrics needs a value")?,
+                ));
+                rest.drain(pos..=pos + 1);
+            }
             let Some((path, specs)) = rest.split_first() else {
                 return Err(USAGE.to_owned());
             };
             if specs.is_empty() {
                 return Err(USAGE.to_owned());
             }
-            dfcm_tools::eval(&PathBuf::from(path), specs).map_err(|e| e.to_string())
+            let (out, report) = dfcm_tools::eval(&PathBuf::from(path), specs, &engine)
+                .map_err(|e| e.to_string())?;
+            if let Some(metrics_path) = metrics_path {
+                report
+                    .write_jsonl(&metrics_path)
+                    .map_err(|e| format!("writing {}: {e}", metrics_path.display()))?;
+            }
+            Ok(out)
         }
         "disasm" => {
             let [kernel] = rest else {

@@ -18,11 +18,14 @@ fn gen_stats_eval_pipeline() {
     let stats = dfcm_tools::stats(&path).unwrap();
     assert!(stats.contains("records              20000"), "{stats}");
 
-    let eval = dfcm_tools::eval(
+    let (eval, report) = dfcm_tools::eval(
         &path,
         &["lvp:12".into(), "fcm:12:12".into(), "dfcm:12:12".into()],
+        &dfcm_sim::EngineConfig::threads(2),
     )
     .unwrap();
+    assert_eq!(report.tasks.len(), 3);
+    assert_eq!(report.total_records(), 3 * 20_000);
     assert!(eval.contains("lvp(2^12)"), "{eval}");
     assert!(eval.contains("dfcm(l1=2^12,l2=2^12"), "{eval}");
     // The DFCM line should report the higher accuracy; parse and compare.
@@ -60,7 +63,12 @@ fn gen_rejects_unknown_workload() {
 fn eval_rejects_bad_spec_cleanly() {
     let path = temp("forspec.trc");
     dfcm_tools::generate("compress", 1_000, &path, 1).unwrap();
-    let e = dfcm_tools::eval(&path, &["warlock:9".into()]).unwrap_err();
+    let e = dfcm_tools::eval(
+        &path,
+        &["warlock:9".into()],
+        &dfcm_sim::EngineConfig::default(),
+    )
+    .unwrap_err();
     assert!(e.to_string().contains("unknown predictor"));
     let _ = std::fs::remove_file(&path);
 }

@@ -45,7 +45,17 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
                 "varint too long",
             ));
         }
-        value |= u64::from(byte[0] & 0x7F) << shift;
+        let bits = u64::from(byte[0] & 0x7F);
+        // The 10th byte (shift 63) only has room for one payload bit; any
+        // bits that would be shifted out make the encoding non-canonical
+        // and must not silently decode to a different value.
+        if shift > 57 && bits >> (64 - shift) != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows 64 bits",
+            ));
+        }
+        value |= bits << shift;
         if byte[0] & 0x80 == 0 {
             return Ok(value);
         }
@@ -104,7 +114,12 @@ impl Trace {
                 "implausible record count",
             ));
         }
-        let mut trace = Trace::with_capacity(count as usize);
+        // Trust the header's count only up to a bounded pre-allocation: a
+        // crafted 9-byte file could otherwise demand terabytes before a
+        // single record is read. Larger traces grow the vector as records
+        // actually arrive.
+        const MAX_PREALLOC: u64 = 1 << 20;
+        let mut trace = Trace::with_capacity(count.min(MAX_PREALLOC) as usize);
         let mut prev_pc = 0i64;
         for _ in 0..count {
             let pc = prev_pc.wrapping_add(unzigzag(read_varint(&mut r)?));
@@ -222,6 +237,62 @@ mod tests {
         trace.push(TraceRecord::new(u64::MAX / 2, 1));
         let mut buffer = Vec::new();
         trace.write_to(&mut buffer).unwrap();
+        assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn malicious_header_count_rejected_without_large_allocation() {
+        // A tiny file whose header claims a huge record count must fail
+        // on the missing records, not abort allocating the claimed size.
+        let mut buffer = Vec::from(*MAGIC);
+        write_varint(&mut buffer, (1u64 << 40) - 1).unwrap();
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Beyond the plausibility bound the header itself is rejected.
+        let mut buffer = Vec::from(*MAGIC);
+        write_varint(&mut buffer, (1u64 << 40) + 1).unwrap();
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn capped_preallocation_still_reads_past_the_cap() {
+        let trace: Trace = (0..3000u64).map(|i| TraceRecord::new(4 * i, i)).collect();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        let restored = Trace::read_from(buffer.as_slice()).unwrap();
+        assert_eq!(trace, restored);
+    }
+
+    #[test]
+    fn non_canonical_varint_rejected() {
+        // Ten continuation-flagged bytes then payload bits that do not
+        // fit in the single bit the 10th byte has room for: previously
+        // this silently decoded with the overflow bits dropped.
+        let mut buffer = Vec::from(*MAGIC);
+        buffer.extend_from_slice(&[0x80; 9]);
+        buffer.push(0x02); // bit 1 set -> shifted past bit 63
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // An 11th byte is rejected as over-long regardless of payload.
+        let mut buffer = Vec::from(*MAGIC);
+        buffer.extend_from_slice(&[0x80; 10]);
+        buffer.push(0x00);
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn canonical_ten_byte_varint_still_decodes() {
+        // u64::MAX needs all ten bytes; its canonical encoding (final
+        // byte 0x01) must keep round-tripping.
+        let mut trace = Trace::new();
+        trace.push(TraceRecord::new(0, u64::MAX));
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        assert_eq!(*buffer.last().unwrap(), 0x01);
         assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), trace);
     }
 

@@ -8,6 +8,13 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceRecord {
     /// Address of the static instruction.
+    ///
+    /// Instruction addresses are expected to be 4-byte aligned, as on the
+    /// Alpha machines the paper traces. Predictors index their level-1
+    /// table with `pc >> 2` (see `dfcm::pc_index`), discarding the two
+    /// always-zero low bits; records with unaligned PCs therefore alias:
+    /// e.g. PCs 16..=19 all map to the same table entry. Synthetic traces
+    /// should generate PCs as multiples of 4.
     pub pc: u64,
     /// The integer value the instruction produced.
     pub value: u64,
