@@ -23,6 +23,9 @@ pub struct Options {
     pub threads: usize,
     /// Print engine progress counts on stderr.
     pub progress: bool,
+    /// Checkpoint completed tasks under `<out_dir>/checkpoints/` and
+    /// skip tasks already checkpointed by a previous (interrupted) run.
+    pub resume: bool,
 }
 
 impl Default for Options {
@@ -35,6 +38,7 @@ impl Default for Options {
             json: false,
             threads: 0,
             progress: false,
+            resume: false,
         }
     }
 }
@@ -79,6 +83,28 @@ impl Options {
         EngineConfig {
             threads: self.threads,
             progress: self.progress,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The checkpoint path for a named sweep when `--resume` is set:
+    /// `<out_dir>/checkpoints/<name>.jsonl`. `None` without `--resume`,
+    /// so non-resumable runs leave no checkpoint files behind.
+    pub fn checkpoint_for(&self, name: &str) -> Option<PathBuf> {
+        self.resume.then(|| {
+            self.out_dir
+                .join("checkpoints")
+                .join(format!("{name}.jsonl"))
+        })
+    }
+
+    /// Warns on stderr about every failed task in an engine report.
+    /// Benign when all tasks succeeded (the overwhelmingly common case);
+    /// after a partial failure the emitted tables simply omit the failed
+    /// benchmarks, and this makes that visible.
+    pub fn warn_failures(report: &EngineReport, name: &str) {
+        for t in report.failures() {
+            eprintln!("[dfcm-repro] {name}: task `{}` {}", t.label, t.outcome);
         }
     }
 

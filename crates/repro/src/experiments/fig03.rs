@@ -10,7 +10,7 @@
 
 use dfcm::{FcmPredictor, LastValuePredictor, StridePredictor};
 use dfcm_sim::report::{fmt_accuracy, fmt_kbits, TextTable};
-use dfcm_sim::sweep_engine;
+use dfcm_sim::sweep_engine_ft;
 
 use crate::common::{banner, Options};
 
@@ -25,12 +25,14 @@ pub fn run(opts: &Options) {
 
     let entry_sweep: Vec<u32> = (6..=16).step_by(2).collect();
     let engine = opts.engine_config();
-    let (points, mut metrics) = sweep_engine(
+    let (points, mut metrics) = sweep_engine_ft(
         &entry_sweep,
         |&bits| LastValuePredictor::new(bits),
         &traces,
         &engine,
-    );
+        opts.checkpoint_for("fig03-lvp").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig03 checkpoint: {e}"));
     for point in points {
         table.row(vec![
             "lvp".into(),
@@ -40,12 +42,14 @@ pub fn run(opts: &Options) {
             fmt_accuracy(point.accuracy()),
         ]);
     }
-    let (points, stride_metrics) = sweep_engine(
+    let (points, stride_metrics) = sweep_engine_ft(
         &entry_sweep,
         |&bits| StridePredictor::new(bits),
         &traces,
         &engine,
-    );
+        opts.checkpoint_for("fig03-stride").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig03 checkpoint: {e}"));
     metrics.merge(stride_metrics);
     for point in points {
         table.row(vec![
@@ -63,7 +67,7 @@ pub fn run(opts: &Options) {
         .iter()
         .flat_map(|&l1| l2_sweep.iter().map(move |&l2| (l1, l2)))
         .collect();
-    let (points, fcm_metrics) = sweep_engine(
+    let (points, fcm_metrics) = sweep_engine_ft(
         &grid,
         |&(l1, l2)| {
             FcmPredictor::builder()
@@ -74,7 +78,9 @@ pub fn run(opts: &Options) {
         },
         &traces,
         &engine,
-    );
+        opts.checkpoint_for("fig03-fcm").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig03 checkpoint: {e}"));
     metrics.merge(fcm_metrics);
     for point in points {
         let (l1, l2) = point.config;
@@ -87,6 +93,7 @@ pub fn run(opts: &Options) {
         ]);
     }
 
+    Options::warn_failures(&metrics, "fig03");
     print!("{}", table.render());
     opts.emit(&table, "fig03");
     opts.emit_metrics(&metrics, "fig03");

@@ -9,7 +9,7 @@
 use dfcm::{DfcmPredictor, FcmPredictor};
 use dfcm_sim::chart::{ScatterChart, Series};
 use dfcm_sim::report::{fmt_accuracy, TextTable};
-use dfcm_sim::{run_suite_engine, sweep_engine};
+use dfcm_sim::{run_suite_engine_ft, sweep_engine_ft};
 
 use crate::common::{banner, Options};
 
@@ -25,7 +25,7 @@ pub fn run_a(opts: &Options) {
     let mut dfcm_curve = Vec::new();
     let l2s = opts.l2_sweep();
     let engine = opts.engine_config();
-    let (fcm_points, mut metrics) = sweep_engine(
+    let (fcm_points, mut metrics) = sweep_engine_ft(
         &l2s,
         |&l2| {
             FcmPredictor::builder()
@@ -36,8 +36,10 @@ pub fn run_a(opts: &Options) {
         },
         &traces,
         &engine,
-    );
-    let (dfcm_points, dfcm_metrics) = sweep_engine(
+        opts.checkpoint_for("fig10a-fcm").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig10a checkpoint: {e}"));
+    let (dfcm_points, dfcm_metrics) = sweep_engine_ft(
         &l2s,
         |&l2| {
             DfcmPredictor::builder()
@@ -48,8 +50,11 @@ pub fn run_a(opts: &Options) {
         },
         &traces,
         &engine,
-    );
+        opts.checkpoint_for("fig10a-dfcm").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig10a checkpoint: {e}"));
     metrics.merge(dfcm_metrics);
+    Options::warn_failures(&metrics, "fig10a");
     for (f, d) in fcm_points.iter().zip(&dfcm_points) {
         let l2 = f.config;
         let (fcm, dfcm) = (f.accuracy(), d.accuracy());
@@ -89,7 +94,7 @@ pub fn run_b(opts: &Options) {
     );
     let traces = opts.traces();
     let engine = opts.engine_config();
-    let (fcm, mut metrics) = run_suite_engine(
+    let (fcm, mut metrics) = run_suite_engine_ft(
         || {
             FcmPredictor::builder()
                 .l1_bits(16)
@@ -99,8 +104,10 @@ pub fn run_b(opts: &Options) {
         },
         &traces,
         &engine,
-    );
-    let (dfcm, dfcm_metrics) = run_suite_engine(
+        opts.checkpoint_for("fig10b-fcm").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig10b checkpoint: {e}"));
+    let (dfcm, dfcm_metrics) = run_suite_engine_ft(
         || {
             DfcmPredictor::builder()
                 .l1_bits(16)
@@ -110,8 +117,11 @@ pub fn run_b(opts: &Options) {
         },
         &traces,
         &engine,
-    );
+        opts.checkpoint_for("fig10b-dfcm").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig10b checkpoint: {e}"));
     metrics.merge(dfcm_metrics);
+    Options::warn_failures(&metrics, "fig10b");
     opts.emit_metrics(&metrics, "fig10b");
     let mut table = TextTable::new(vec!["benchmark", "FCM", "DFCM", "gain"]);
     let mut bars = dfcm_sim::chart::BarChart::new(46).max(1.0);

@@ -8,10 +8,12 @@
 //! front sits .06–.09 above the FCM front except at the smallest sizes
 //! (paper: .66 vs .57 at ~200 Kbit, +15%).
 
+use std::path::Path;
+
 use dfcm::{DfcmPredictor, FcmPredictor, ValuePredictor};
 use dfcm_sim::chart::{ScatterChart, Series};
 use dfcm_sim::report::{fmt_accuracy, fmt_kbits, TextTable};
-use dfcm_sim::{pareto_front, sweep_engine, EngineConfig, EngineReport, ParetoPoint};
+use dfcm_sim::{pareto_front, sweep_engine_ft, EngineConfig, EngineReport, ParetoPoint};
 
 use crate::common::{banner, Options};
 
@@ -27,7 +29,7 @@ pub fn run_a(opts: &Options) {
         .iter()
         .flat_map(|&l1| opts.l2_sweep().into_iter().map(move |l2| (l1, l2)))
         .collect();
-    let (points, metrics) = sweep_engine(
+    let (points, metrics) = sweep_engine_ft(
         &grid,
         |&(l1, l2)| {
             DfcmPredictor::builder()
@@ -38,7 +40,10 @@ pub fn run_a(opts: &Options) {
         },
         &traces,
         &opts.engine_config(),
-    );
+        opts.checkpoint_for("fig11a").as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("fig11a checkpoint: {e}"));
+    Options::warn_failures(&metrics, "fig11a");
     opts.emit_metrics(&metrics, "fig11a");
     for point in points {
         let (l1, l2) = point.config;
@@ -59,6 +64,7 @@ fn grid_points<P, F>(
     factory: F,
     traces: &[dfcm_trace::BenchmarkTrace],
     engine: &EngineConfig,
+    checkpoint: Option<&Path>,
 ) -> (Vec<ParetoPoint>, EngineReport)
 where
     P: ValuePredictor,
@@ -68,7 +74,14 @@ where
         .iter()
         .flat_map(|&l1| l2s.iter().map(move |&l2| (l1, l2)))
         .collect();
-    let (points, report) = sweep_engine(&grid, |&(l1, l2)| factory(l1, l2), traces, engine);
+    let (points, report) = sweep_engine_ft(
+        &grid,
+        |&(l1, l2)| factory(l1, l2),
+        traces,
+        engine,
+        checkpoint,
+    )
+    .unwrap_or_else(|e| panic!("fig11b checkpoint: {e}"));
     let points = points
         .into_iter()
         .map(|p| ParetoPoint {
@@ -101,6 +114,7 @@ pub fn run_b(opts: &Options) {
         },
         &traces,
         &engine,
+        opts.checkpoint_for("fig11b-fcm").as_deref(),
     );
     let (dfcm_points, dfcm_metrics) = grid_points(
         &[8, 10, 12, 14, 16],
@@ -114,8 +128,10 @@ pub fn run_b(opts: &Options) {
         },
         &traces,
         &engine,
+        opts.checkpoint_for("fig11b-dfcm").as_deref(),
     );
     metrics.merge(dfcm_metrics);
+    Options::warn_failures(&metrics, "fig11b");
     opts.emit_metrics(&metrics, "fig11b");
 
     let mut table = TextTable::new(vec!["front", "config", "kbit", "accuracy"]);

@@ -5,14 +5,59 @@
 //! stand-ins (with their block mixes and measured trace statistics) and
 //! the VM kernels.
 
-use dfcm_sim::engine::{run_tasks, TaskOutput};
+use dfcm_sim::checkpoint::{decode_rows, encode_rows, CheckpointLog};
+use dfcm_sim::engine::{run_tasks_resumable, TaskError, TaskOutput};
 use dfcm_sim::report::TextTable;
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
-use dfcm_trace::TraceSource;
 use dfcm_vm::{assemble, programs, Vm};
 
 use crate::common::{banner, Options};
+
+/// Runs one table half as a checkpointable engine batch: each task
+/// produces one row of cells, completed rows stream to the experiment's
+/// checkpoint when `--resume` is set, and failed tasks are warned about
+/// and omitted rather than aborting the table.
+fn row_batch<F>(
+    opts: &Options,
+    name: &str,
+    labels: Vec<String>,
+    row_for: F,
+) -> (Vec<Vec<String>>, dfcm_sim::EngineReport)
+where
+    F: Fn(usize) -> Result<TaskOutput<Vec<String>>, TaskError> + Sync,
+{
+    let checkpoint = opts.checkpoint_for(name);
+    let (log, raw_seeded) = CheckpointLog::load_seeded(checkpoint.as_deref(), &labels)
+        .unwrap_or_else(|e| panic!("{name} checkpoint: {e}"));
+    let seeded = if log.is_none() {
+        Vec::new()
+    } else {
+        raw_seeded
+            .into_iter()
+            .map(|slot| {
+                slot.and_then(|(payload, records)| {
+                    decode_rows(&payload).map(|rows| (rows, records))
+                })
+            })
+            .collect()
+    };
+    let (rows, report) = run_tasks_resumable(
+        labels,
+        row_for,
+        &opts.engine_config(),
+        seeded,
+        |index, label, records, row: &Vec<String>| {
+            if let Some(log) = &log {
+                if let Err(e) = log.append(index, label, records, &encode_rows(row)) {
+                    eprintln!("[dfcm-repro] {name}: checkpoint append failed for {label}: {e}");
+                }
+            }
+        },
+    );
+    Options::warn_failures(&report, name);
+    (rows.into_iter().flatten().collect(), report)
+}
 
 /// Runs the Table 1 reproduction.
 ///
@@ -26,31 +71,26 @@ pub fn run(opts: &Options) {
          plus the VM kernels used for Figures 6 and 9.",
     );
 
-    let engine = opts.engine_config();
     let specs = standard_suite();
     let labels = specs.iter().map(|s| s.name().to_owned()).collect();
-    let (rows, mut metrics) = run_tasks(
-        labels,
-        |i| {
-            let spec = &specs[i];
-            let trace = spec.trace(opts.seed, opts.scale);
-            let stats = TraceStats::measure(&trace.trace);
-            let paper_m = spec.predictions(1.0) as f64 / 10_000.0;
-            TaskOutput {
-                value: vec![
-                    spec.name().to_owned(),
-                    stats.records.to_string(),
-                    format!("{paper_m:.0}"),
-                    stats.static_instructions.to_string(),
-                    format!("{:.2}", stats.last_value_fraction),
-                    format!("{:.2}", stats.stride_fraction),
-                    format!("{:.2}", stats.reuse_fraction),
-                ],
-                records: stats.records as u64,
-            }
-        },
-        &engine,
-    );
+    let (rows, mut metrics) = row_batch(opts, "table1-suite", labels, |i| {
+        let spec = &specs[i];
+        let trace = spec.trace(opts.seed, opts.scale);
+        let stats = TraceStats::measure(&trace.trace);
+        let paper_m = spec.predictions(1.0) as f64 / 10_000.0;
+        Ok(TaskOutput {
+            value: vec![
+                spec.name().to_owned(),
+                stats.records.to_string(),
+                format!("{paper_m:.0}"),
+                stats.static_instructions.to_string(),
+                format!("{:.2}", stats.last_value_fraction),
+                format!("{:.2}", stats.stride_fraction),
+                format!("{:.2}", stats.reuse_fraction),
+            ],
+            records: stats.records as u64,
+        })
+    });
     let mut table = TextTable::new(vec![
         "benchmark",
         "predictions",
@@ -70,26 +110,24 @@ pub fn run(opts: &Options) {
     println!("VM kernels (trace-generating real programs):");
     let kernels = programs::all();
     let labels = kernels.iter().map(|(name, _)| (*name).to_owned()).collect();
-    let (rows, vm_metrics) = run_tasks(
-        labels,
-        |i| {
-            let (name, src) = kernels[i];
-            let mut vm = Vm::new(assemble(src).expect("bundled kernel assembles"));
-            let trace = vm.take_trace(2_000_000);
-            let stats = TraceStats::measure(&trace);
-            TaskOutput {
-                value: vec![
-                    name.to_owned(),
-                    stats.records.to_string(),
-                    stats.static_instructions.to_string(),
-                    format!("{:.2}", stats.last_value_fraction),
-                    format!("{:.2}", stats.stride_fraction),
-                ],
-                records: stats.records as u64,
-            }
-        },
-        &engine,
-    );
+    let (rows, vm_metrics) = row_batch(opts, "table1-vm", labels, |i| {
+        let (name, src) = kernels[i];
+        let mut vm = Vm::new(assemble(src).expect("bundled kernel assembles"));
+        let trace = vm
+            .try_take_trace(2_000_000)
+            .map_err(|e| TaskError::Permanent(format!("{name} faulted: {e}")))?;
+        let stats = TraceStats::measure(&trace);
+        Ok(TaskOutput {
+            value: vec![
+                name.to_owned(),
+                stats.records.to_string(),
+                stats.static_instructions.to_string(),
+                format!("{:.2}", stats.last_value_fraction),
+                format!("{:.2}", stats.stride_fraction),
+            ],
+            records: stats.records as u64,
+        })
+    });
     metrics.merge(vm_metrics);
     opts.emit_metrics(&metrics, "table1");
     let mut vm_table = TextTable::new(vec![

@@ -38,6 +38,9 @@
 //!   --out DIR   CSV output directory (default results/)
 //!   --threads N engine worker threads; 0 = one per hardware thread (default 0)
 //!   --progress  print engine task progress on stderr
+//!   --resume    checkpoint completed tasks under `<out>/checkpoints/` and
+//!               skip tasks a previous interrupted run already completed;
+//!               the merged output is byte-identical to an uninterrupted run
 //!
 //! Engine-backed experiments (table1, fig3, fig10a/b, fig11a/b) also write
 //! run metrics as JSON lines under `<out>/metrics/<experiment>.jsonl`.
@@ -48,7 +51,7 @@ use std::process::ExitCode;
 use dfcm_repro::common::Options;
 use dfcm_repro::experiments;
 
-const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress]";
+const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress] [--resume]";
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -77,6 +80,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
             }
             "--progress" => opts.progress = true,
+            "--resume" => opts.resume = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }

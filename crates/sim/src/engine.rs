@@ -10,28 +10,178 @@
 //! serial [`sweep`](crate::sweep) path (which remains the reference
 //! implementation for equivalence tests).
 //!
-//! The engine also carries the observability layer: per-task wall time
-//! and throughput, per-worker busy time and utilization, and a
-//! suite-level [`EngineReport`] that serializes as JSON lines for the
+//! # Fault tolerance
+//!
+//! Long sweeps must not be all-or-nothing, so the engine isolates and
+//! classifies failures instead of propagating them:
+//!
+//! * **Panic isolation** — each task attempt runs under
+//!   `catch_unwind`; a panicking task is recorded as
+//!   [`TaskOutcome::Panicked`] and the sweep completes every other
+//!   task. Engine locks recover from poisoning rather than cascading.
+//! * **Bounded retries** — tasks fail with a typed [`TaskError`];
+//!   transient errors (I/O hiccups) retry up to
+//!   [`RetryPolicy::max_attempts`] with capped exponential backoff,
+//!   while permanent errors (bad configs, VM faults) fail fast.
+//! * **Checkpoint/resume** — completed tasks can stream to a JSONL
+//!   [`CheckpointLog`]; a resumed run
+//!   seeds those results and produces output byte-identical to an
+//!   uninterrupted run ([`sweep_engine_ft`]).
+//! * **Deterministic fault injection** — a seeded
+//!   [`FaultPlan`] injects panics, transient
+//!   I/O errors and slow tasks per (task, attempt), so every recovery
+//!   path above is testable and reproducible.
+//!
+//! The engine also carries the observability layer: per-task wall time,
+//! outcome and attempt count, per-worker busy time and utilization, and
+//! a suite-level [`EngineReport`] that serializes as JSON lines for the
 //! `results/metrics/` directory.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
+use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use dfcm::ValuePredictor;
+use dfcm_trace::io::atomic_write;
 use dfcm_trace::BenchmarkTrace;
 
+use crate::checkpoint::{decode_stats, encode_stats, CheckpointLog};
+use crate::fault::{FaultPlan, InjectedFault};
 use crate::report::json_string;
-use crate::run::simulate_trace;
+use crate::run::{simulate_trace, RunStats};
 use crate::suite::{BenchmarkResult, SuiteResult};
 use crate::sweep::SweepPoint;
 
-/// Scheduling knobs for the engine.
+/// Locks a mutex, recovering the guard if a panicking task poisoned it:
+/// the engine's shared state (queue, result list, metrics) is only ever
+/// mutated with plain pushes/pops, so a panic between operations cannot
+/// leave it logically inconsistent.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded-retry policy for transient task failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per task, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The capped exponential backoff before retrying after `attempt`
+    /// completed attempts (1-based): `base * 2^(attempt-1)`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// A typed task failure, deciding the retry behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// Likely to succeed on retry (I/O hiccups, injected transient
+    /// faults). Retried with backoff up to the policy's budget.
+    Transient(String),
+    /// Retrying cannot help (bad configuration, faulting benchmark
+    /// program). Fails fast.
+    Permanent(String),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Transient(e) => write!(f, "transient: {e}"),
+            TaskError::Permanent(e) => write!(f, "permanent: {e}"),
+        }
+    }
+}
+
+/// How one task ended, recorded first-class in the [`EngineReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The task produced its value.
+    Ok,
+    /// The task panicked; the panic was caught and isolated.
+    Panicked {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// The task returned a [`TaskError`] (transient errors only after
+    /// the retry budget was exhausted).
+    Failed {
+        /// The final error, rendered as text.
+        error: String,
+    },
+    /// The task finished but overran the configured deadline; its value
+    /// was discarded.
+    TimedOut {
+        /// The deadline it overran.
+        deadline: Duration,
+    },
+}
+
+impl TaskOutcome {
+    /// True for [`TaskOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        *self == TaskOutcome::Ok
+    }
+
+    /// A stable lowercase tag for serialization (`ok`, `panicked`,
+    /// `failed`, `timed_out`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskOutcome::Ok => "ok",
+            TaskOutcome::Panicked { .. } => "panicked",
+            TaskOutcome::Failed { .. } => "failed",
+            TaskOutcome::TimedOut { .. } => "timed_out",
+        }
+    }
+}
+
+impl fmt::Display for TaskOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskOutcome::Ok => write!(f, "ok"),
+            TaskOutcome::Panicked { message } => write!(f, "panicked: {message}"),
+            TaskOutcome::Failed { error } => write!(f, "failed: {error}"),
+            TaskOutcome::TimedOut { deadline } => {
+                write!(f, "timed out (deadline {:?})", deadline)
+            }
+        }
+    }
+}
+
+/// Scheduling and fault-tolerance knobs for the engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads; `0` means one per available hardware thread. The
@@ -39,6 +189,14 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Report completed/total task counts on stderr while running.
     pub progress: bool,
+    /// Retry budget and backoff for transient task failures.
+    pub retry: RetryPolicy,
+    /// Per-task soft deadline: a task whose attempt overruns it is
+    /// recorded as [`TaskOutcome::TimedOut`] and its value discarded.
+    /// Detection is post-hoc (tasks are not preempted).
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection, for testing recovery paths.
+    pub faults: Option<FaultPlan>,
 }
 
 impl EngineConfig {
@@ -61,7 +219,7 @@ impl EngineConfig {
     }
 }
 
-/// Timing of one completed (configuration, benchmark) task.
+/// Timing and outcome of one completed (configuration, benchmark) task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskMetric {
     /// Task label, `cfg<index>/<benchmark>` for sweep tasks.
@@ -70,8 +228,13 @@ pub struct TaskMetric {
     pub worker: usize,
     /// Records the task simulated.
     pub records: u64,
-    /// Task wall time.
+    /// Task wall time (zero for tasks restored from a checkpoint).
     pub wall: Duration,
+    /// How the task ended.
+    pub outcome: TaskOutcome,
+    /// Attempts the task consumed; `0` means the result was restored
+    /// from a checkpoint without running.
+    pub attempts: u32,
 }
 
 impl TaskMetric {
@@ -97,7 +260,7 @@ pub struct WorkerMetric {
     pub tasks: u64,
 }
 
-/// Suite-level run metrics: what ran, where, and how fast.
+/// Suite-level run metrics: what ran, where, how fast, and how it ended.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
     /// Worker threads the engine ran with.
@@ -146,6 +309,22 @@ impl EngineReport {
         }
     }
 
+    /// True if every task ended [`TaskOutcome::Ok`].
+    pub fn all_ok(&self) -> bool {
+        self.tasks.iter().all(|t| t.outcome.is_ok())
+    }
+
+    /// The tasks that did not end [`TaskOutcome::Ok`], in task order.
+    pub fn failures(&self) -> impl Iterator<Item = &TaskMetric> {
+        self.tasks.iter().filter(|t| !t.outcome.is_ok())
+    }
+
+    /// Total attempts consumed across all tasks (retries included;
+    /// checkpoint-restored tasks contribute 0).
+    pub fn total_attempts(&self) -> u64 {
+        self.tasks.iter().map(|t| u64::from(t.attempts)).sum()
+    }
+
     /// Folds another report into this one (for experiments that run
     /// several engine batches back to back): tasks concatenate, wall
     /// times add, and worker loads merge by worker index.
@@ -169,17 +348,22 @@ impl EngineReport {
     /// worker, one `task` line per task.
     ///
     /// ```text
-    /// {"type":"suite","threads":4,"tasks":32,"records":160000,"wall_s":0.5,"records_per_s":320000}
+    /// {"type":"suite","threads":4,"tasks":32,"ok":31,"failed":1,"attempts":33,"records":160000,"wall_s":0.5,"records_per_s":320000}
     /// {"type":"worker","worker":0,"tasks":8,"busy_s":0.48,"utilization":0.96}
-    /// {"type":"task","label":"cfg0/cc1","worker":0,"records":5000,"wall_s":0.015,"records_per_s":333333.3}
+    /// {"type":"task","label":"cfg0/cc1","worker":0,"outcome":"ok","attempts":1,"records":5000,"wall_s":0.015,"records_per_s":333333.3}
+    /// {"type":"task","label":"cfg0/go","worker":1,"outcome":"panicked","attempts":1,"error":"injected fault: panic (task 1, attempt 0)","records":0,"wall_s":0.000021,"records_per_s":0.0}
     /// ```
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        let ok = self.tasks.iter().filter(|t| t.outcome.is_ok()).count();
         let _ = writeln!(
             out,
-            "{{\"type\":\"suite\",\"threads\":{},\"tasks\":{},\"records\":{},\"wall_s\":{:.6},\"records_per_s\":{:.1}}}",
+            "{{\"type\":\"suite\",\"threads\":{},\"tasks\":{},\"ok\":{},\"failed\":{},\"attempts\":{},\"records\":{},\"wall_s\":{:.6},\"records_per_s\":{:.1}}}",
             self.threads,
             self.tasks.len(),
+            ok,
+            self.tasks.len() - ok,
+            self.total_attempts(),
             self.total_records(),
             self.wall.as_secs_f64(),
             self.records_per_sec()
@@ -195,11 +379,22 @@ impl EngineReport {
             );
         }
         for t in &self.tasks {
+            let error = match &t.outcome {
+                TaskOutcome::Ok => String::new(),
+                TaskOutcome::Panicked { message } => format!(",\"error\":{}", json_string(message)),
+                TaskOutcome::Failed { error } => format!(",\"error\":{}", json_string(error)),
+                TaskOutcome::TimedOut { deadline } => {
+                    format!(",\"deadline_s\":{:.6}", deadline.as_secs_f64())
+                }
+            };
             let _ = writeln!(
                 out,
-                "{{\"type\":\"task\",\"label\":{},\"worker\":{},\"records\":{},\"wall_s\":{:.6},\"records_per_s\":{:.1}}}",
+                "{{\"type\":\"task\",\"label\":{},\"worker\":{},\"outcome\":\"{}\",\"attempts\":{}{},\"records\":{},\"wall_s\":{:.6},\"records_per_s\":{:.1}}}",
                 json_string(&t.label),
                 t.worker,
+                t.outcome.kind(),
+                t.attempts,
+                error,
                 t.records,
                 t.wall.as_secs_f64(),
                 t.records_per_sec()
@@ -208,16 +403,15 @@ impl EngineReport {
         out
     }
 
-    /// Writes the JSONL form to `path`, creating parent directories.
+    /// Writes the JSONL form to `path` atomically (staged sibling file
+    /// then rename), creating parent directories: a crash mid-write can
+    /// never leave a truncated report on disk.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from directory creation or the write.
     pub fn write_jsonl<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        if let Some(parent) = path.as_ref().parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, self.to_jsonl())
+        atomic_write(path.as_ref(), self.to_jsonl().as_bytes())
     }
 }
 
@@ -231,87 +425,225 @@ pub struct TaskOutput<T> {
     pub records: u64,
 }
 
-/// Runs `labels.len()` independent tasks over a shared work queue and
-/// returns their outputs in task order plus the run metrics.
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one task to completion: applies injected faults, catches
+/// panics, and drains the transient-retry budget. Returns the value (if
+/// any), the outcome, the records processed, and the attempts consumed.
+fn execute_with_retries<T, F>(
+    task: &F,
+    index: usize,
+    config: &EngineConfig,
+) -> (Option<T>, TaskOutcome, u64, u32)
+where
+    F: Fn(usize) -> Result<TaskOutput<T>, TaskError> + Sync,
+{
+    let max_attempts = config.retry.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        let injected = config
+            .faults
+            .as_ref()
+            .and_then(|p| p.fault_for(index, attempt));
+        let started = Instant::now();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| match injected {
+            Some(InjectedFault::Panic) => {
+                panic!("injected fault: panic (task {index}, attempt {attempt})")
+            }
+            Some(InjectedFault::TransientIo) => Err(TaskError::Transient(format!(
+                "injected fault: transient I/O error (task {index}, attempt {attempt})"
+            ))),
+            Some(InjectedFault::Delay(d)) => {
+                std::thread::sleep(d);
+                task(index)
+            }
+            None => task(index),
+        }));
+        attempt += 1;
+        match caught {
+            Ok(Ok(output)) => {
+                if let Some(deadline) = config.deadline {
+                    if started.elapsed() > deadline {
+                        return (
+                            None,
+                            TaskOutcome::TimedOut { deadline },
+                            output.records,
+                            attempt,
+                        );
+                    }
+                }
+                return (Some(output.value), TaskOutcome::Ok, output.records, attempt);
+            }
+            Ok(Err(TaskError::Transient(error))) => {
+                if attempt < max_attempts {
+                    std::thread::sleep(config.retry.backoff(attempt));
+                    continue;
+                }
+                return (
+                    None,
+                    TaskOutcome::Failed {
+                        error: format!("{error} (gave up after {attempt} attempts)"),
+                    },
+                    0,
+                    attempt,
+                );
+            }
+            Ok(Err(TaskError::Permanent(error))) => {
+                return (None, TaskOutcome::Failed { error }, 0, attempt);
+            }
+            Err(payload) => {
+                return (
+                    None,
+                    TaskOutcome::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    },
+                    0,
+                    attempt,
+                );
+            }
+        }
+    }
+}
+
+/// The fault-tolerant scheduling primitive with checkpoint support:
+/// runs the tasks whose `seeded` slot is `None` over a shared work
+/// queue, merges seeded (checkpoint-restored) results back in, and
+/// calls `on_complete(index, label, records, value)` for every task
+/// that newly completes `Ok` — the hook point for streaming results to
+/// a [`CheckpointLog`].
 ///
-/// This is the engine's scheduling primitive: `task(i)` must be pure in
-/// the sense that its output depends only on `i`, which makes the merge
-/// deterministic regardless of execution order. Workers pull indices
-/// from a `Mutex`-guarded queue until it drains.
-pub fn run_tasks<T, F>(
+/// Tasks must be pure in the sense that their output depends only on
+/// their index, which makes the merge deterministic regardless of
+/// execution order. A failed task yields `None` in the value vector and
+/// a non-`Ok` [`TaskOutcome`] in the report; it never aborts the batch.
+///
+/// # Panics
+///
+/// Panics if `seeded` is non-empty and its length differs from
+/// `labels`.
+pub fn run_tasks_resumable<T, F, O>(
     labels: Vec<String>,
     task: F,
     config: &EngineConfig,
-) -> (Vec<T>, EngineReport)
+    seeded: Vec<Option<(T, u64)>>,
+    on_complete: O,
+) -> (Vec<Option<T>>, EngineReport)
 where
     T: Send,
-    F: Fn(usize) -> TaskOutput<T> + Sync,
+    F: Fn(usize) -> Result<TaskOutput<T>, TaskError> + Sync,
+    O: Fn(usize, &str, u64, &T) + Sync,
 {
     let count = labels.len();
-    let threads = config.resolve_threads(count);
+    assert!(
+        seeded.is_empty() || seeded.len() == count,
+        "seeded results must align with the task list"
+    );
+    let pending: VecDeque<usize> = if seeded.is_empty() {
+        (0..count).collect()
+    } else {
+        (0..count).filter(|&i| seeded[i].is_none()).collect()
+    };
+    let pending_count = pending.len();
+    let threads = config.resolve_threads(pending_count);
     if count == 0 {
         return (Vec::new(), EngineReport::empty(threads));
     }
     let started = Instant::now();
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..count).collect());
-    let completed: Mutex<Vec<(usize, T, TaskMetric)>> = Mutex::new(Vec::with_capacity(count));
+    let mut values: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let mut tasks: Vec<Option<TaskMetric>> = (0..count).map(|_| None).collect();
+    // Seeded results merge in first: zero wall, zero attempts.
+    if !seeded.is_empty() {
+        for (index, slot) in seeded.into_iter().enumerate() {
+            if let Some((value, records)) = slot {
+                values[index] = Some(value);
+                tasks[index] = Some(TaskMetric {
+                    label: labels[index].clone(),
+                    worker: 0,
+                    records,
+                    wall: Duration::ZERO,
+                    outcome: TaskOutcome::Ok,
+                    attempts: 0,
+                });
+            }
+        }
+    }
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(pending);
+    let completed: Mutex<Vec<(usize, Option<T>, TaskMetric)>> =
+        Mutex::new(Vec::with_capacity(pending_count));
     let worker_metrics: Mutex<Vec<WorkerMetric>> = Mutex::new(Vec::with_capacity(threads));
     let task = &task;
     let labels = &labels;
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let queue = &queue;
-            let completed = &completed;
-            let worker_metrics = &worker_metrics;
-            let progress = config.progress;
-            scope.spawn(move || {
-                let mut busy = Duration::ZERO;
-                let mut ran = 0u64;
-                loop {
-                    let Some(index) = queue.lock().expect("queue poisoned").pop_front() else {
-                        break;
-                    };
-                    let task_started = Instant::now();
-                    let output = task(index);
-                    let wall = task_started.elapsed();
-                    busy += wall;
-                    ran += 1;
-                    let metric = TaskMetric {
-                        label: labels[index].clone(),
-                        worker,
-                        records: output.records,
-                        wall,
-                    };
-                    let mut done = completed.lock().expect("results poisoned");
-                    done.push((index, output.value, metric));
-                    if progress {
-                        eprint!("\r[dfcm-sim engine] {}/{} tasks", done.len(), count);
+    let on_complete = &on_complete;
+    if pending_count > 0 {
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let queue = &queue;
+                let completed = &completed;
+                let worker_metrics = &worker_metrics;
+                let progress = config.progress;
+                scope.spawn(move || {
+                    let mut busy = Duration::ZERO;
+                    let mut ran = 0u64;
+                    loop {
+                        let Some(index) = lock_unpoisoned(queue).pop_front() else {
+                            break;
+                        };
+                        let task_started = Instant::now();
+                        let (value, outcome, records, attempts) =
+                            execute_with_retries(task, index, config);
+                        let wall = task_started.elapsed();
+                        busy += wall;
+                        ran += 1;
+                        if let Some(value) = &value {
+                            on_complete(index, &labels[index], records, value);
+                        }
+                        let metric = TaskMetric {
+                            label: labels[index].clone(),
+                            worker,
+                            records,
+                            wall,
+                            outcome,
+                            attempts,
+                        };
+                        let mut done = lock_unpoisoned(completed);
+                        done.push((index, value, metric));
+                        if progress {
+                            eprint!("\r[dfcm-sim engine] {}/{} tasks", done.len(), pending_count);
+                        }
                     }
-                }
-                worker_metrics
-                    .lock()
-                    .expect("metrics poisoned")
-                    .push(WorkerMetric {
+                    lock_unpoisoned(worker_metrics).push(WorkerMetric {
                         worker,
                         busy,
                         tasks: ran,
                     });
-            });
+                });
+            }
+        });
+        if config.progress {
+            eprintln!();
         }
-    });
-    if config.progress {
-        eprintln!();
     }
     let wall = started.elapsed();
-    let mut done = completed.into_inner().expect("results poisoned");
-    done.sort_by_key(|(index, _, _)| *index);
-    let mut values = Vec::with_capacity(count);
-    let mut tasks = Vec::with_capacity(count);
-    for (_, value, metric) in done {
-        values.push(value);
-        tasks.push(metric);
+    for (index, value, metric) in lock_unpoisoned(&completed).drain(..) {
+        values[index] = value;
+        tasks[index] = Some(metric);
     }
-    let mut workers = worker_metrics.into_inner().expect("metrics poisoned");
+    let tasks = tasks
+        .into_iter()
+        .map(|m| m.expect("every task is either seeded or scheduled"))
+        .collect();
+    let mut workers = lock_unpoisoned(&worker_metrics)
+        .drain(..)
+        .collect::<Vec<_>>();
     workers.sort_by_key(|w| w.worker);
     (
         values,
@@ -324,11 +656,201 @@ where
     )
 }
 
+/// [`run_tasks_resumable`] without checkpointing: every task runs, a
+/// failure yields `None` in the value vector instead of aborting.
+pub fn run_tasks_ft<T, F>(
+    labels: Vec<String>,
+    task: F,
+    config: &EngineConfig,
+) -> (Vec<Option<T>>, EngineReport)
+where
+    T: Send,
+    F: Fn(usize) -> Result<TaskOutput<T>, TaskError> + Sync,
+{
+    run_tasks_resumable(labels, task, config, Vec::new(), |_, _, _, _| {})
+}
+
+/// Runs `labels.len()` infallible tasks over a shared work queue and
+/// returns their outputs in task order plus the run metrics.
+///
+/// This is the engine's original all-or-nothing primitive, kept for
+/// batches whose tasks cannot meaningfully fail. It now runs on the
+/// fault-tolerant core, so a worker's panic no longer poisons the queue
+/// mid-sweep — but to honor the infallible contract it still panics at
+/// merge time (with the failing task's label and outcome) if any task
+/// failed, e.g. under an injected [`FaultPlan`]. Callers that need to
+/// survive failures should use [`run_tasks_ft`].
+///
+/// # Panics
+///
+/// Panics if any task panicked or failed.
+pub fn run_tasks<T, F>(
+    labels: Vec<String>,
+    task: F,
+    config: &EngineConfig,
+) -> (Vec<T>, EngineReport)
+where
+    T: Send,
+    F: Fn(usize) -> TaskOutput<T> + Sync,
+{
+    let (values, report) = run_tasks_ft(labels, |i| Ok(task(i)), config);
+    let values = values
+        .into_iter()
+        .zip(&report.tasks)
+        .map(|(value, metric)| {
+            value.unwrap_or_else(|| panic!("engine task `{}` {}", metric.label, metric.outcome))
+        })
+        .collect();
+    (values, report)
+}
+
+/// Builds the engine's task labels for a (configuration × benchmark)
+/// sweep: `cfg<index>/<benchmark>`, configuration-major.
+fn sweep_labels(configs: usize, traces: &[BenchmarkTrace]) -> Vec<String> {
+    let benches = traces.len();
+    (0..configs * benches)
+        .map(|i| format!("cfg{}/{}", i / benches, traces[i % benches].name))
+        .collect()
+}
+
+/// The placeholder points [`sweep`](crate::sweep) produces for an empty
+/// suite, mirrored by every engine path.
+fn empty_suite_points<C: Clone>(configs: &[C]) -> Vec<SweepPoint<C>> {
+    configs
+        .iter()
+        .map(|c| SweepPoint {
+            config: c.clone(),
+            result: SuiteResult {
+                predictor: "(empty suite)".to_owned(),
+                kbits: 0.0,
+                benchmarks: Vec::new(),
+            },
+        })
+        .collect()
+}
+
+/// Fault-tolerant [`sweep`](crate::sweep) at (configuration, benchmark)
+/// granularity, with optional checkpoint/resume.
+///
+/// Every pair becomes one engine task with a fresh cold predictor, and
+/// results merge deterministically back into configuration order. A
+/// failed task's benchmark is *omitted* from its configuration's
+/// [`SuiteResult`] (and recorded in the report) instead of aborting the
+/// sweep; with no failures the returned points are identical (including
+/// float bits) to the serial sweep's.
+///
+/// With `checkpoint` set, completed tasks stream to a JSONL
+/// [`CheckpointLog`] at that path;
+/// re-running with the same path skips already-completed tasks (matched
+/// by index and label) and produces byte-identical merged output versus
+/// an uninterrupted run.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening the checkpoint log. (Failed
+/// checkpoint *appends* are reported on stderr but do not fail the
+/// sweep: losing a checkpoint entry only costs re-simulation.)
+pub fn sweep_engine_ft<C, P, F>(
+    configs: &[C],
+    factory: F,
+    traces: &[BenchmarkTrace],
+    config: &EngineConfig,
+    checkpoint: Option<&Path>,
+) -> io::Result<(Vec<SweepPoint<C>>, EngineReport)>
+where
+    C: Clone + Sync,
+    P: ValuePredictor,
+    F: Fn(&C) -> P + Sync,
+{
+    if traces.is_empty() {
+        // No benchmarks, no tasks: mirror the serial path's placeholder
+        // suite result per configuration.
+        return Ok((
+            empty_suite_points(configs),
+            EngineReport::empty(config.resolve_threads(0)),
+        ));
+    }
+    let benches = traces.len();
+    let labels = sweep_labels(configs.len(), traces);
+    let (log, raw_seeded) = CheckpointLog::load_seeded(checkpoint, &labels)?;
+    let seeded: Vec<Option<(RunStats, u64)>> = if log.is_none() {
+        Vec::new()
+    } else {
+        raw_seeded
+            .into_iter()
+            .map(|slot| {
+                slot.and_then(|(payload, records)| {
+                    decode_stats(&payload).map(|stats| (stats, records))
+                })
+            })
+            .collect()
+    };
+    let (stats_out, report) = run_tasks_resumable(
+        labels,
+        |i| {
+            let bench = &traces[i % benches];
+            let mut predictor = factory(&configs[i / benches]);
+            let stats = simulate_trace(&mut predictor, &bench.trace);
+            Ok(TaskOutput {
+                value: stats,
+                records: bench.trace.len() as u64,
+            })
+        },
+        config,
+        seeded,
+        |index, label, records, stats: &RunStats| {
+            if let Some(log) = &log {
+                if let Err(e) = log.append(index, label, records, &encode_stats(stats)) {
+                    eprintln!(
+                        "[dfcm-sim engine] checkpoint append failed for {label}: {e} \
+                         (the task will re-run on resume)"
+                    );
+                }
+            }
+        },
+    );
+    let points = configs
+        .iter()
+        .enumerate()
+        .map(|(c, cfg)| {
+            let benchmarks: Vec<BenchmarkResult> = (0..benches)
+                .filter_map(|b| {
+                    stats_out[c * benches + b].map(|stats| BenchmarkResult {
+                        name: traces[b].name,
+                        stats,
+                    })
+                })
+                .collect();
+            // The label and size come from a fresh predictor of this
+            // configuration — the same deterministic values the serial
+            // path reads off its first benchmark's predictor.
+            let probe = factory(cfg);
+            SweepPoint {
+                config: cfg.clone(),
+                result: SuiteResult {
+                    predictor: probe.name(),
+                    kbits: probe.storage().kbits(),
+                    benchmarks,
+                },
+            }
+        })
+        .collect();
+    Ok((points, report))
+}
+
 /// [`sweep`](crate::sweep)'s work at (configuration, benchmark)
 /// granularity: every pair becomes one engine task with a fresh cold
 /// predictor, and results merge deterministically back into
 /// configuration order. The returned points are identical (including
 /// float bits) to the serial sweep's.
+///
+/// This is the infallible wrapper over [`sweep_engine_ft`]: it runs no
+/// checkpoint and panics if any task failed (which cannot happen unless
+/// the config injects faults or the factory/simulation panics).
+///
+/// # Panics
+///
+/// Panics if any task panicked or failed.
 pub fn sweep_engine<C, P, F>(
     configs: &[C],
     factory: F,
@@ -340,77 +862,42 @@ where
     P: ValuePredictor,
     F: Fn(&C) -> P + Sync,
 {
-    if traces.is_empty() {
-        // No benchmarks, no tasks: mirror the serial path's placeholder
-        // suite result per configuration.
-        let points = configs
-            .iter()
-            .map(|c| SweepPoint {
-                config: c.clone(),
-                result: SuiteResult {
-                    predictor: "(empty suite)".to_owned(),
-                    kbits: 0.0,
-                    benchmarks: Vec::new(),
-                },
-            })
-            .collect();
-        return (points, EngineReport::empty(config.resolve_threads(0)));
+    let (points, report) =
+        sweep_engine_ft(configs, factory, traces, config, None).expect("no checkpoint I/O");
+    if let Some(failed) = report.failures().next() {
+        panic!("engine task `{}` {}", failed.label, failed.outcome);
     }
-    let benches = traces.len();
-    let labels = (0..configs.len() * benches)
-        .map(|i| format!("cfg{}/{}", i / benches, traces[i % benches].name))
-        .collect();
-    let (outputs, report) = run_tasks(
-        labels,
-        |i| {
-            let bench = &traces[i % benches];
-            let mut predictor = factory(&configs[i / benches]);
-            // The serial path records the label and size from the first
-            // benchmark's fresh predictor; task 0 of each configuration
-            // does the same here.
-            let header =
-                (i % benches == 0).then(|| (predictor.name(), predictor.storage().kbits()));
-            let stats = simulate_trace(&mut predictor, &bench.trace);
-            TaskOutput {
-                value: (
-                    header,
-                    BenchmarkResult {
-                        name: bench.name,
-                        stats,
-                    },
-                ),
-                records: bench.trace.len() as u64,
-            }
-        },
-        config,
-    );
-    let mut outputs = outputs.into_iter();
-    let points = configs
-        .iter()
-        .map(|c| {
-            let mut benchmarks = Vec::with_capacity(benches);
-            let mut header = None;
-            for _ in 0..benches {
-                let (h, result) = outputs.next().expect("one output per task");
-                header = header.or(h);
-                benchmarks.push(result);
-            }
-            let (predictor, kbits) = header.expect("first task carries the header");
-            SweepPoint {
-                config: c.clone(),
-                result: SuiteResult {
-                    predictor,
-                    kbits,
-                    benchmarks,
-                },
-            }
-        })
-        .collect();
     (points, report)
+}
+
+/// Fault-tolerant [`run_suite`](crate::run_suite) on the engine: one
+/// configuration, one task per benchmark, with optional
+/// checkpoint/resume. Failed benchmarks are omitted from the
+/// [`SuiteResult`] and recorded in the report.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening the checkpoint log.
+pub fn run_suite_engine_ft<P, F>(
+    factory: F,
+    traces: &[BenchmarkTrace],
+    config: &EngineConfig,
+    checkpoint: Option<&Path>,
+) -> io::Result<(SuiteResult, EngineReport)>
+where
+    P: ValuePredictor,
+    F: Fn() -> P + Sync,
+{
+    let (mut points, report) = sweep_engine_ft(&[()], |()| factory(), traces, config, checkpoint)?;
+    Ok((points.pop().expect("one config in").result, report))
 }
 
 /// [`run_suite`](crate::run_suite) on the engine: one configuration,
 /// one task per benchmark.
+///
+/// # Panics
+///
+/// Panics if any task panicked or failed (see [`sweep_engine`]).
 pub fn run_suite_engine<P, F>(
     factory: F,
     traces: &[BenchmarkTrace],
@@ -462,6 +949,7 @@ mod tests {
             assert_eq!(points, serial);
             assert_eq!(report.tasks.len(), configs.len() * traces.len());
             assert_eq!(report.total_records(), 3 * 3 * 400);
+            assert!(report.all_ok());
         }
     }
 
@@ -520,7 +1008,9 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 1 + report.workers.len() + report.tasks.len());
         assert!(lines[0].starts_with("{\"type\":\"suite\""));
+        assert!(lines[0].contains("\"ok\":2,\"failed\":0"));
         assert!(jsonl.contains("\"label\":\"cfg0/a\""));
+        assert!(jsonl.contains("\"outcome\":\"ok\""));
         assert!(jsonl.contains("\"utilization\":"));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
@@ -577,5 +1067,55 @@ mod tests {
         assert_eq!(values, (0..200).map(|i| i * 7).collect::<Vec<_>>());
         assert_eq!(report.tasks[13].label, "t13");
         assert_eq!(report.total_records(), 200);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(35), "capped");
+        assert_eq!(policy.backoff(60), Duration::from_millis(35), "no overflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine task `t1` panicked")]
+    fn infallible_run_tasks_propagates_failures_as_panics() {
+        let labels = (0..3).map(|i| format!("t{i}")).collect();
+        run_tasks::<usize, _>(
+            labels,
+            |i| {
+                assert!(i != 1, "task 1 exploded");
+                TaskOutput {
+                    value: i,
+                    records: 1,
+                }
+            },
+            &EngineConfig::threads(1),
+        );
+    }
+
+    #[test]
+    fn outcome_kinds_are_stable() {
+        assert_eq!(TaskOutcome::Ok.kind(), "ok");
+        assert_eq!(
+            TaskOutcome::Panicked {
+                message: "m".into()
+            }
+            .kind(),
+            "panicked"
+        );
+        assert_eq!(TaskOutcome::Failed { error: "e".into() }.kind(), "failed");
+        assert_eq!(
+            TaskOutcome::TimedOut {
+                deadline: Duration::from_millis(1)
+            }
+            .kind(),
+            "timed_out"
+        );
     }
 }

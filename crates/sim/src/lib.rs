@@ -9,8 +9,14 @@
 //! * [`run_suite`] — fresh predictor per benchmark, weighted-mean accuracy.
 //! * [`sweep`] — evaluate a family of configurations over a suite.
 //! * [`engine`] — the parallel execution engine: a shared work queue of
-//!   (configuration, benchmark) tasks with deterministic merge and run
-//!   metrics ([`sweep_engine`], [`run_suite_engine`], [`EngineReport`]).
+//!   (configuration, benchmark) tasks with deterministic merge, run
+//!   metrics, panic isolation, bounded retries and checkpoint/resume
+//!   ([`sweep_engine`], [`sweep_engine_ft`], [`run_suite_engine`],
+//!   [`EngineReport`], [`TaskOutcome`]).
+//! * [`checkpoint`] — the append-only JSONL task-result log that backs
+//!   `--resume` ([`checkpoint::CheckpointLog`]).
+//! * [`fault`] — seeded, deterministic fault injection for testing the
+//!   engine's recovery paths ([`FaultPlan`]).
 //! * [`pareto_front`] — the size/accuracy Pareto points (Figure 11(b)).
 //! * [`simulate_confidence`] — coverage/accuracy of confidence-estimating
 //!   predictors (the §4.2 extension).
@@ -39,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod checkpoint;
 mod confidence;
 pub mod engine;
+pub mod fault;
 mod pareto;
 pub mod report;
 mod run;
@@ -51,8 +59,11 @@ mod timeline;
 
 pub use crate::confidence::{simulate_confidence, ConfidenceStats};
 pub use crate::engine::{
-    run_suite_engine, sweep_engine, EngineConfig, EngineReport, TaskMetric, WorkerMetric,
+    run_suite_engine, run_suite_engine_ft, run_tasks, run_tasks_ft, run_tasks_resumable,
+    sweep_engine, sweep_engine_ft, EngineConfig, EngineReport, RetryPolicy, TaskError, TaskMetric,
+    TaskOutcome, TaskOutput, WorkerMetric,
 };
+pub use crate::fault::{FaultPlan, InjectedFault};
 pub use crate::pareto::{pareto_front, ParetoPoint};
 pub use crate::run::{simulate, simulate_n, simulate_trace, RunStats};
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};

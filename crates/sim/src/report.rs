@@ -5,9 +5,10 @@
 //! plotted or diffed against EXPERIMENTS.md.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
+
+use dfcm_trace::io::atomic_write;
 
 /// A simple column-aligned text table.
 ///
@@ -99,16 +100,15 @@ impl TextTable {
         out
     }
 
-    /// Writes the CSV form to `path`, creating parent directories.
+    /// Writes the CSV form to `path` atomically (staged sibling file
+    /// then rename), creating parent directories: an interrupted run
+    /// never leaves a truncated table behind.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from directory creation or the write.
     pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        if let Some(parent) = path.as_ref().parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, self.to_csv())
+        atomic_write(path.as_ref(), self.to_csv().as_bytes())
     }
 
     /// The table as a JSON array of objects keyed by the header row.
@@ -142,16 +142,14 @@ impl TextTable {
         out
     }
 
-    /// Writes the JSON form to `path`, creating parent directories.
+    /// Writes the JSON form to `path` atomically (staged sibling file
+    /// then rename), creating parent directories.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from directory creation or the write.
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        if let Some(parent) = path.as_ref().parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, self.to_json())
+        atomic_write(path.as_ref(), self.to_json().as_bytes())
     }
 }
 

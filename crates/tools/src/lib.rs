@@ -22,7 +22,7 @@ use dfcm::{
     DfcmPredictor, FcmPredictor, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor,
     ValuePredictor,
 };
-use dfcm_sim::engine::{run_tasks, TaskOutput};
+use dfcm_sim::engine::{run_tasks_ft, TaskOutput};
 use dfcm_sim::{simulate_trace, EngineConfig, EngineReport};
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
@@ -81,7 +81,9 @@ pub fn trace_for(workload: &str, records: usize, seed: u64) -> Result<Trace, Too
     }
     if let Some(src) = programs::by_name(workload) {
         let mut vm = Vm::new(assemble(src).map_err(|e| err(format!("{workload}: {e}")))?);
-        return Ok(vm.take_trace(records));
+        return vm
+            .try_take_trace(records)
+            .map_err(|e| err(format!("{workload} faulted: {e}")));
     }
     Err(err(format!(
         "unknown workload `{workload}` (see `dfcm-tools benchmarks` and `dfcm-tools kernels`)"
@@ -149,9 +151,15 @@ pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
 /// trace and reports accuracies.
 ///
 /// Each predictor runs as one engine task; `engine` picks the worker
-/// count and progress reporting. Lines appear in spec order regardless
-/// of scheduling, and the returned [`EngineReport`] carries the run
-/// metrics (per-task timing, per-worker utilization).
+/// count, progress reporting, retry policy and (for testing) fault
+/// injection. Lines appear in spec order regardless of scheduling, and
+/// the returned [`EngineReport`] carries the run metrics (per-task
+/// timing, outcome, per-worker utilization).
+///
+/// A task that panics or exhausts its retries does not abort the run:
+/// its line reads `FAILED` with the outcome, the other predictors still
+/// report, and the failure stays visible in the report (callers decide
+/// whether that is fatal — the CLI's `--strict` flag does exactly that).
 ///
 /// # Errors
 ///
@@ -166,12 +174,12 @@ pub fn eval(
     for spec in specs {
         predictor_for(spec)?;
     }
-    let (lines, report) = run_tasks(
+    let (lines, report) = run_tasks_ft(
         specs.to_vec(),
         |i| {
             let mut p = predictor_for(&specs[i]).expect("spec validated above");
             let stats = simulate_trace(&mut p, &trace);
-            TaskOutput {
+            Ok(TaskOutput {
                 value: format!(
                     "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
                     p.name(),
@@ -179,14 +187,21 @@ pub fn eval(
                     p.storage().kbits()
                 ),
                 records: trace.len() as u64,
-            }
+            })
         },
         engine,
     );
     let mut out = String::new();
     let _ = writeln!(out, "{} ({} records):", path.display(), trace.len());
-    for line in lines {
-        let _ = writeln!(out, "{line}");
+    for (line, metric) in lines.iter().zip(&report.tasks) {
+        match line {
+            Some(line) => {
+                let _ = writeln!(out, "{line}");
+            }
+            None => {
+                let _ = writeln!(out, "  {:<32} FAILED: {}", metric.label, metric.outcome);
+            }
+        }
     }
     Ok((out, report))
 }

@@ -9,8 +9,13 @@ usage:
   dfcm-tools gen <workload> <records> <out.trc> [--seed N]
   dfcm-tools stats <trace.trc>
   dfcm-tools eval <trace.trc> <predictor>... [--threads N] [--progress] [--metrics FILE]
+             [--retries N] [--inject-faults SEED[:PANIC[:TRANSIENT[:DELAY]]]] [--strict]
              (predictors: lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2;
-              --threads 0 = one per hardware thread; --metrics writes engine JSONL)
+              --threads 0 = one per hardware thread; --metrics writes engine JSONL;
+              --retries sets attempts per task for transient failures;
+              --inject-faults injects deterministic faults at permille rates, for
+              testing recovery; failed tasks are reported and, with --strict,
+              make the command exit nonzero)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools kernels
@@ -69,6 +74,24 @@ fn run() -> Result<String, String> {
                 ));
                 rest.drain(pos..=pos + 1);
             }
+            if let Some(pos) = rest.iter().position(|a| a == "--retries") {
+                engine.retry.max_attempts = rest
+                    .get(pos + 1)
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|_| "bad retry count".to_owned())?;
+                rest.drain(pos..=pos + 1);
+            }
+            if let Some(pos) = rest.iter().position(|a| a == "--inject-faults") {
+                let spec = rest.get(pos + 1).ok_or("--inject-faults needs a value")?;
+                engine.faults = Some(dfcm_sim::FaultPlan::parse(spec)?);
+                rest.drain(pos..=pos + 1);
+            }
+            let mut strict = false;
+            if let Some(pos) = rest.iter().position(|a| a == "--strict") {
+                strict = true;
+                rest.remove(pos);
+            }
             let Some((path, specs)) = rest.split_first() else {
                 return Err(USAGE.to_owned());
             };
@@ -81,6 +104,14 @@ fn run() -> Result<String, String> {
                 report
                     .write_jsonl(&metrics_path)
                     .map_err(|e| format!("writing {}: {e}", metrics_path.display()))?;
+            }
+            if strict && !report.all_ok() {
+                let failed: Vec<&str> = report.failures().map(|t| t.label.as_str()).collect();
+                return Err(format!(
+                    "{out}\nerror: {} task(s) failed under --strict: {}",
+                    failed.len(),
+                    failed.join(", ")
+                ));
             }
             Ok(out)
         }

@@ -14,13 +14,142 @@
 //! PC deltas are small (loops revisit nearby code), so a typical suite
 //! trace compresses to a handful of bytes per record.
 
-use std::fs::File;
+use std::ffi::OsString;
+use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::record::{Trace, TraceRecord};
 
 const MAGIC: &[u8; 8] = b"DFCMTRC1";
+
+/// A unique sibling path for staging an atomic write of `path`.
+fn staging_path(path: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(OsString::from)
+        .unwrap_or_else(|| OsString::from("out"));
+    name.push(format!(".tmp.{}.{n}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes a file atomically: the content is streamed to a temporary file
+/// in the same directory (created if missing), flushed and synced, then
+/// renamed over `path`. A crash or write error can therefore never leave
+/// a truncated artifact under the final name — readers see either the
+/// previous complete file or the new complete file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation, the `write` closure,
+/// or the final rename; the temporary file is removed on failure.
+pub fn atomic_write_with<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let staged = staging_path(path);
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&staged)?);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        fs::rename(&staged, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&staged);
+    }
+    result
+}
+
+/// [`atomic_write_with`] over a ready byte buffer.
+///
+/// # Errors
+///
+/// As [`atomic_write_with`].
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    atomic_write_with(path, |w| w.write_all(contents))
+}
+
+/// A [`Write`] adapter that injects a deterministic I/O fault after a
+/// byte budget: writes succeed until `budget` bytes have been accepted,
+/// then every write fails with an "injected write fault" error. Used by
+/// the fault-tolerance tests to prove that atomic saves never leave
+/// truncated artifacts and that transient-error retries recover.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    remaining: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, allowing `budget` bytes through before faulting.
+    pub fn new(inner: W, budget: u64) -> Self {
+        FaultyWriter {
+            inner,
+            remaining: budget,
+        }
+    }
+
+    /// The wrapped writer (with whatever bytes made it through).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected write fault"));
+        }
+        let allowed = (buf.len() as u64).min(self.remaining) as usize;
+        let written = self.inner.write(&buf[..allowed])?;
+        self.remaining -= written as u64;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The [`Read`] counterpart of [`FaultyWriter`]: reads succeed until
+/// `budget` bytes have been produced, then fail with an "injected read
+/// fault" error.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    remaining: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner`, allowing `budget` bytes through before faulting.
+    pub fn new(inner: R, budget: u64) -> Self {
+        FaultyReader {
+            inner,
+            remaining: budget,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected read fault"));
+        }
+        let allowed = (buf.len() as u64).min(self.remaining) as usize;
+        let read = self.inner.read(&mut buf[..allowed])?;
+        self.remaining -= read as u64;
+        Ok(read)
+    }
+}
 
 fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
@@ -130,15 +259,15 @@ impl Trace {
         Ok(trace)
     }
 
-    /// Saves the trace to a file (buffered).
+    /// Saves the trace to a file atomically (staged in a sibling
+    /// temporary file, then renamed): a crash mid-save can never leave a
+    /// truncated trace under `path`.
     ///
     /// # Errors
     ///
     /// Propagates file-creation and write errors.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        self.write_to(&mut w)?;
-        w.flush()
+        atomic_write_with(path.as_ref(), |w| self.write_to(w))
     }
 
     /// Loads a trace saved with [`Trace::save`].
@@ -301,5 +430,68 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_staging_files() {
+        let dir = std::env::temp_dir().join("dfcm_io_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/trace.trc");
+        let trace = sample_trace();
+        trace.save(&path).unwrap();
+        assert_eq!(Trace::load(&path).unwrap(), trace);
+        let siblings: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(siblings, vec![std::ffi::OsString::from("trace.trc")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_atomic_write_keeps_previous_contents() {
+        let dir = std::env::temp_dir().join("dfcm_io_atomic_fail_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.bin");
+        atomic_write(&path, b"complete v1").unwrap();
+        let err = atomic_write_with(&path, |w| {
+            w.write_all(b"partial v2")?;
+            Err(io::Error::other("crash mid-write"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "crash mid-write");
+        assert_eq!(std::fs::read(&path).unwrap(), b"complete v1");
+        let siblings: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(siblings, vec![std::ffi::OsString::from("out.bin")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_writer_faults_after_budget() {
+        let trace = sample_trace();
+        let mut full = Vec::new();
+        trace.write_to(&mut full).unwrap();
+        let mut w = FaultyWriter::new(Vec::new(), 16);
+        let err = trace.write_to(&mut w).unwrap_err();
+        assert!(err.to_string().contains("injected write fault"));
+        assert_eq!(w.into_inner(), full[..16].to_vec());
+    }
+
+    #[test]
+    fn faulty_reader_faults_after_budget() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        let half = buffer.len() as u64 / 2;
+        let err = Trace::read_from(FaultyReader::new(buffer.as_slice(), half)).unwrap_err();
+        assert!(err.to_string().contains("injected read fault"));
+        // A budget covering the whole stream reads cleanly.
+        let restored =
+            Trace::read_from(FaultyReader::new(buffer.as_slice(), buffer.len() as u64)).unwrap();
+        assert_eq!(restored, trace);
     }
 }

@@ -35,7 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod io;
+pub mod io;
 mod pattern;
 mod phases;
 mod program;

@@ -44,4 +44,4 @@ mod vm;
 pub use crate::asm::{assemble, AsmError, Program, DATA_BASE};
 pub use crate::disasm::{disassemble, render_inst};
 pub use crate::isa::{Inst, Reg, NUM_REGS};
-pub use crate::vm::{RunResult, Vm, VmError, DEFAULT_MEMORY_WORDS, TEXT_BASE};
+pub use crate::vm::{RunResult, StopReason, Vm, VmError, DEFAULT_MEMORY_WORDS, TEXT_BASE};

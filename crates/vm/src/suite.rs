@@ -7,7 +7,7 @@
 //! [`BenchmarkTrace`]s, so every harness function (suite runs, sweeps,
 //! aliasing analysis) works unchanged on either tier.
 
-use dfcm_trace::{BenchmarkTrace, TraceSource};
+use dfcm_trace::BenchmarkTrace;
 
 use crate::asm::assemble;
 use crate::programs;
@@ -27,8 +27,9 @@ pub fn kernel_traces(max_records: usize) -> Vec<BenchmarkTrace> {
         .map(|(name, src)| {
             let program = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             let mut vm = Vm::new(program);
-            let trace = vm.take_trace(max_records);
-            assert!(vm.error().is_none(), "{name} faulted: {:?}", vm.error());
+            let trace = vm
+                .try_take_trace(max_records)
+                .unwrap_or_else(|e| panic!("{name} faulted: {e}"));
             BenchmarkTrace { name, trace }
         })
         .collect()
@@ -39,9 +40,12 @@ pub fn kernel_trace(name: &str, max_records: usize) -> Option<BenchmarkTrace> {
     let src = programs::by_name(name)?;
     let program = assemble(src).expect("bundled kernel assembles");
     let mut vm = Vm::new(program);
+    let registered = programs::all().iter().find(|&&(n, _)| n == name)?.0;
     Some(BenchmarkTrace {
-        name: programs::all().iter().find(|&&(n, _)| n == name)?.0,
-        trace: vm.take_trace(max_records),
+        name: registered,
+        trace: vm
+            .try_take_trace(max_records)
+            .unwrap_or_else(|e| panic!("{name} faulted: {e}")),
     })
 }
 

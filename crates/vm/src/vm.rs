@@ -57,6 +57,17 @@ impl fmt::Display for VmError {
 
 impl Error for VmError {}
 
+/// Why a bounded [`Vm::run`] stopped. Faults are not represented here:
+/// a faulting run returns `Err(VmError)` instead of a [`RunResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `halt` — a clean, complete run.
+    Halted,
+    /// The step budget ran out before `halt`; the trace is a prefix of
+    /// the program's full output, not a completed run.
+    StepBudgetExhausted,
+}
+
 /// Outcome of a bounded [`Vm::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
@@ -66,6 +77,18 @@ pub struct RunResult {
     pub halted: bool,
     /// Instructions executed during this run call.
     pub steps: u64,
+}
+
+impl RunResult {
+    /// Distinguishes a clean `halt` from step-budget exhaustion, so
+    /// callers never mistake a truncated run for a completed one.
+    pub fn stop_reason(&self) -> StopReason {
+        if self.halted {
+            StopReason::Halted
+        } else {
+            StopReason::StepBudgetExhausted
+        }
+    }
 }
 
 /// The virtual machine: registers, data memory and a program.
@@ -358,11 +381,39 @@ impl Vm {
             steps: self.steps - start,
         })
     }
+
+    /// Pulls at most `n` records, propagating VM faults instead of
+    /// silently truncating the trace.
+    ///
+    /// This is the checked counterpart of the [`TraceSource`]
+    /// `take_trace` path: `next_record` must map faults to `None` (the
+    /// trait has no error channel), which makes a faulting program
+    /// indistinguishable from a clean halt unless the caller remembers
+    /// to inspect [`Vm::error`]. Engine callers that need to tell the
+    /// two apart should use this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VmError`] if the program faults before producing
+    /// `n` records (the same error is also latched in [`Vm::error`]).
+    pub fn try_take_trace(&mut self, n: usize) -> Result<Trace, VmError> {
+        let mut trace = Trace::with_capacity(n);
+        while trace.len() < n && !self.halted {
+            if let Some(record) = self.step()? {
+                trace.push(record);
+            }
+        }
+        Ok(trace)
+    }
 }
 
 impl TraceSource for Vm {
     /// Steps the machine until the next value-producing instruction.
-    /// Returns `None` at `halt` or on a fault (check [`Vm::error`]).
+    ///
+    /// Returns `None` at `halt` *or on a fault* — the trait has no error
+    /// channel. Callers that must distinguish a faulting program from a
+    /// clean halt should use [`Vm::try_take_trace`] or check
+    /// [`Vm::error`] after the source is exhausted.
     fn next_record(&mut self) -> Option<TraceRecord> {
         while !self.halted {
             match self.step() {
@@ -534,5 +585,39 @@ mod tests {
     fn stack_pointer_initialized_to_top() {
         let vm = Vm::with_memory(assemble(".text\nmain: halt").unwrap(), 1 << 14);
         assert_eq!(vm.reg(30), (1 << 14) - 1);
+    }
+
+    #[test]
+    fn stop_reason_distinguishes_halt_from_budget() {
+        let mut vm = Vm::new(assemble(".text\nmain: li r1, 1\nhalt").unwrap());
+        assert_eq!(vm.run(100).unwrap().stop_reason(), StopReason::Halted);
+        let mut vm = Vm::new(assemble(".text\nmain: j main").unwrap());
+        assert_eq!(
+            vm.run(50).unwrap().stop_reason(),
+            StopReason::StepBudgetExhausted
+        );
+    }
+
+    #[test]
+    fn try_take_trace_surfaces_faults() {
+        // take_trace (via TraceSource) silently truncates on a fault;
+        // try_take_trace must propagate it.
+        let src = ".text\nmain: li r1, 3\nli r2, -5\nlw r3, 0(r2)\nhalt";
+        let mut vm = Vm::new(assemble(src).unwrap());
+        let silently = vm.take_trace(100);
+        assert_eq!(silently.len(), 2, "fault looked like a clean halt");
+        let mut vm = Vm::new(assemble(src).unwrap());
+        let e = vm.try_take_trace(100).unwrap_err();
+        assert_eq!(e, VmError::MemoryOutOfBounds { pc: 2, addr: -5 });
+    }
+
+    #[test]
+    fn try_take_trace_matches_take_trace_on_clean_runs() {
+        let src = ".text\nmain: li r1, 0\nli r2, 12\nloop: addi r1, r1, 1\nbne r1, r2, loop\nhalt";
+        let mut a = Vm::new(assemble(src).unwrap());
+        let mut b = Vm::new(assemble(src).unwrap());
+        assert_eq!(a.try_take_trace(5).unwrap(), b.take_trace(5));
+        assert_eq!(a.try_take_trace(1000).unwrap(), b.take_trace(1000));
+        assert!(a.halted() && b.halted());
     }
 }
