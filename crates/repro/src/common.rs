@@ -1,10 +1,12 @@
 //! Shared options and helpers for the reproduction experiments.
 
+use std::fs::File;
+use std::io::BufReader;
 use std::path::PathBuf;
 
 use dfcm_sim::{EngineConfig, EngineReport};
-use dfcm_trace::suite::standard_traces;
-use dfcm_trace::BenchmarkTrace;
+use dfcm_trace::suite::{standard_suite, standard_traces};
+use dfcm_trace::{salvage_trace, BenchmarkTrace, Trace};
 
 /// Command-line options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -26,6 +28,12 @@ pub struct Options {
     /// Checkpoint completed tasks under `<out_dir>/checkpoints/` and
     /// skip tasks already checkpointed by a previous (interrupted) run.
     pub resume: bool,
+    /// Load suite traces from `<dir>/<benchmark>.trc` instead of
+    /// regenerating them (`--traces DIR`).
+    pub trace_dir: Option<PathBuf>,
+    /// With `--traces`: refuse damaged trace files outright instead of
+    /// salvaging the intact chunks with a warning (`--strict`).
+    pub strict: bool,
 }
 
 impl Default for Options {
@@ -39,14 +47,73 @@ impl Default for Options {
             threads: 0,
             progress: false,
             resume: false,
+            trace_dir: None,
+            strict: false,
         }
     }
 }
 
 impl Options {
-    /// Generates the standard suite traces at these options.
+    /// The standard suite traces at these options: generated from
+    /// `--seed`/`--scale`, or loaded from `--traces DIR`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--traces` names files that are missing, unreadable,
+    /// or (under `--strict`, or when nothing is recoverable) corrupt —
+    /// the repro binaries treat unusable input as fatal rather than
+    /// silently publishing tables from truncated traces.
     pub fn traces(&self) -> Vec<BenchmarkTrace> {
-        standard_traces(self.seed, self.scale)
+        self.load_traces().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Options::traces`].
+    ///
+    /// Without `--traces` this regenerates the suite and cannot fail.
+    /// With `--traces DIR` each benchmark loads from `<dir>/<name>.trc`:
+    /// under `--strict` any integrity failure (bad magic, chunk CRC
+    /// mismatch, truncation) is an error; otherwise damaged files are
+    /// salvaged chunk-by-chunk with a warning on stderr, and only a
+    /// file with *nothing* recoverable is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message naming the offending file.
+    pub fn load_traces(&self) -> Result<Vec<BenchmarkTrace>, String> {
+        let Some(dir) = &self.trace_dir else {
+            return Ok(standard_traces(self.seed, self.scale));
+        };
+        standard_suite()
+            .iter()
+            .map(|spec| {
+                let name = spec.name();
+                let path = dir.join(format!("{name}.trc"));
+                let trace = if self.strict {
+                    Trace::load(&path)
+                        .map_err(|e| format!("{}: {e} (running with --strict)", path.display()))?
+                } else {
+                    let file = File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                    let report = salvage_trace(BufReader::new(file))
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    if !report.intact() {
+                        eprintln!(
+                            "[dfcm-repro] warning: {}: salvaged {} of {} records \
+                             ({} of {} chunks); rerun with --strict to refuse damaged traces",
+                            path.display(),
+                            report.recovered.len(),
+                            report.declared_records,
+                            report.recovered_chunks,
+                            report.total_chunks,
+                        );
+                    }
+                    if report.recovered.is_empty() && report.declared_records > 0 {
+                        return Err(format!("{}: nothing recoverable", path.display()));
+                    }
+                    report.recovered
+                };
+                Ok(BenchmarkTrace { name, trace })
+            })
+            .collect()
     }
 
     /// The level-2 size exponents to sweep: the paper's 8..=20 step 2,

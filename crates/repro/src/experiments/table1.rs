@@ -10,7 +10,7 @@ use dfcm_sim::engine::{run_tasks_resumable, TaskError, TaskOutput};
 use dfcm_sim::report::TextTable;
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
-use dfcm_vm::{assemble, programs, Vm};
+use dfcm_vm::{assemble, programs, Vm, VmLimits};
 
 use crate::common::{banner, Options};
 
@@ -72,10 +72,17 @@ pub fn run(opts: &Options) {
     );
 
     let specs = standard_suite();
+    // With `--traces DIR` the whole suite loads (and integrity-checks)
+    // up front, so a damaged file fails the experiment before any row
+    // is computed; otherwise each task generates its own trace.
+    let loaded = opts.trace_dir.as_ref().map(|_| opts.traces());
     let labels = specs.iter().map(|s| s.name().to_owned()).collect();
     let (rows, mut metrics) = row_batch(opts, "table1-suite", labels, |i| {
         let spec = &specs[i];
-        let trace = spec.trace(opts.seed, opts.scale);
+        let trace = match &loaded {
+            Some(suite) => suite[i].clone(),
+            None => spec.trace(opts.seed, opts.scale),
+        };
         let stats = TraceStats::measure(&trace.trace);
         let paper_m = spec.predictions(1.0) as f64 / 10_000.0;
         Ok(TaskOutput {
@@ -112,7 +119,13 @@ pub fn run(opts: &Options) {
     let labels = kernels.iter().map(|(name, _)| (*name).to_owned()).collect();
     let (rows, vm_metrics) = row_batch(opts, "table1-vm", labels, |i| {
         let (name, src) = kernels[i];
-        let mut vm = Vm::new(assemble(src).expect("bundled kernel assembles"));
+        // Budgeted so a kernel that regresses into an infinite loop
+        // fails its task instead of hanging the sweep.
+        let limits = VmLimits {
+            max_instructions: Some(1_000_000_000),
+            ..VmLimits::default()
+        };
+        let mut vm = Vm::with_limits(assemble(src).expect("bundled kernel assembles"), limits)?;
         let trace = vm
             .try_take_trace(2_000_000)
             .map_err(|e| TaskError::Permanent(format!("{name} faulted: {e}")))?;

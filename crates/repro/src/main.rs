@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dfcm-repro <experiment> [--seed N] [--scale F] [--full] [--json] [--out DIR]
-//!                         [--threads N] [--progress]
+//!                         [--threads N] [--progress] [--traces DIR] [--strict]
 //!
 //! experiments:
 //!   table1   benchmark descriptions and trace statistics
@@ -41,6 +41,11 @@
 //!   --resume    checkpoint completed tasks under `<out>/checkpoints/` and
 //!               skip tasks a previous interrupted run already completed;
 //!               the merged output is byte-identical to an uninterrupted run
+//!   --traces DIR  load suite traces from `<DIR>/<benchmark>.trc` (as written
+//!               by `dfcm-tools gen`) instead of regenerating them; damaged
+//!               files are salvaged chunk-by-chunk with a warning
+//!   --strict    with --traces: refuse any damaged or truncated trace file
+//!               outright instead of salvaging it
 //!
 //! Engine-backed experiments (table1, fig3, fig10a/b, fig11a/b) also write
 //! run metrics as JSON lines under `<out>/metrics/<experiment>.jsonl`.
@@ -51,7 +56,7 @@ use std::process::ExitCode;
 use dfcm_repro::common::Options;
 use dfcm_repro::experiments;
 
-const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress] [--resume]";
+const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress] [--resume] [--traces DIR] [--strict]";
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -81,6 +86,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--progress" => opts.progress = true,
             "--resume" => opts.resume = true,
+            "--traces" => {
+                let v = it.next().ok_or("--traces needs a directory")?;
+                opts.trace_dir = Some(v.into());
+            }
+            "--strict" => opts.strict = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }

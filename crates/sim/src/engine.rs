@@ -126,6 +126,16 @@ impl fmt::Display for TaskError {
     }
 }
 
+impl From<dfcm_vm::VmError> for TaskError {
+    /// Every VM error — memory fault, bad jump, or a tripped
+    /// [`dfcm_vm::VmLimits`] resource guard — is deterministic for a
+    /// given program, so retrying cannot help: a pathological kernel in
+    /// a sweep degrades to a reported permanent failure, never a hang.
+    fn from(e: dfcm_vm::VmError) -> TaskError {
+        TaskError::Permanent(e.to_string())
+    }
+}
+
 /// How one task ended, recorded first-class in the [`EngineReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TaskOutcome {

@@ -1,0 +1,110 @@
+//! Untrusted kernels inside an engine sweep: a kernel that trips its VM
+//! resource guards must surface as a `Permanent` task failure — never a
+//! hang, never a silent truncation — while well-behaved kernels in the
+//! same batch complete normally.
+
+use std::time::Duration;
+
+use dfcm_sim::engine::{run_tasks_ft, TaskError, TaskOutput};
+use dfcm_sim::{EngineConfig, RetryPolicy, TaskOutcome};
+use dfcm_vm::{assemble, Vm, VmError, VmLimits};
+
+/// A batch mixing healthy and pathological kernels. `spins` is the
+/// worst case: a non-emitting infinite loop, which without the
+/// instruction budget would hang `try_take_trace` (and its worker
+/// thread) forever.
+const KERNELS: [(&str, &str); 3] = [
+    (
+        "counts",
+        ".text\nmain: li r1, 0\nli r2, 200\nloop: addi r1, r1, 1\nbne r1, r2, loop\nhalt",
+    ),
+    ("spins", ".text\nmain: j main"),
+    ("faults", ".text\nmain: li r1, -9\nlw r2, 0(r1)\nhalt"),
+];
+
+fn guarded_limits() -> VmLimits {
+    VmLimits {
+        max_instructions: Some(50_000),
+        deadline: Some(Duration::from_secs(30)),
+        ..VmLimits::default()
+    }
+}
+
+fn run_batch() -> (Vec<Option<usize>>, dfcm_sim::EngineReport) {
+    let labels = KERNELS.iter().map(|(name, _)| (*name).to_owned()).collect();
+    let config = EngineConfig {
+        // Retries would only re-run the same deterministic kernels; a
+        // nonzero budget also proves Permanent failures skip it.
+        retry: RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+        ..EngineConfig::default()
+    };
+    run_tasks_ft(
+        labels,
+        |i| {
+            let program =
+                assemble(KERNELS[i].1).map_err(|e| TaskError::Permanent(e.to_string()))?;
+            // `?` on VmError exercises the From<VmError> for TaskError
+            // mapping for both construction and execution failures.
+            let mut vm = Vm::with_limits(program, guarded_limits())?;
+            let trace = vm.try_take_trace(1_000)?;
+            Ok(TaskOutput {
+                records: trace.len() as u64,
+                value: trace.len(),
+            })
+        },
+        &config,
+    )
+}
+
+#[test]
+fn runaway_kernel_degrades_to_permanent_failure_not_a_hang() {
+    let (values, report) = run_batch();
+
+    // The healthy kernel completed.
+    assert_eq!(report.tasks[0].outcome, TaskOutcome::Ok);
+    assert_eq!(values[0], Some(202)); // 2 li + 200 addi emissions
+    let spins = &report.tasks[1];
+    let TaskOutcome::Failed { error } = &spins.outcome else {
+        panic!("runaway kernel must fail, got {:?}", spins.outcome);
+    };
+    assert!(
+        error.contains("instruction budget of 50000 exhausted"),
+        "unexpected error text: {error}"
+    );
+    assert_eq!(values[1], None);
+    // Permanent failures must fail fast, not burn the retry budget.
+    assert_eq!(spins.attempts, 1);
+
+    // The memory-faulting kernel also maps to a permanent failure.
+    let faults = &report.tasks[2];
+    let TaskOutcome::Failed { error } = &faults.outcome else {
+        panic!("faulting kernel must fail, got {:?}", faults.outcome);
+    };
+    assert!(
+        error.contains("memory access out of bounds"),
+        "unexpected error text: {error}"
+    );
+    assert_eq!(faults.attempts, 1);
+}
+
+#[test]
+fn vm_error_maps_to_permanent_task_error() {
+    let errors = [
+        VmError::InstructionBudgetExhausted { budget: 7 },
+        VmError::DeadlineExceeded {
+            deadline: Duration::from_secs(1),
+        },
+        VmError::MemoryOutOfBounds { pc: 3, addr: -1 },
+        VmError::DataImageTooLarge {
+            needed: 9000,
+            available: 64,
+        },
+    ];
+    for e in errors {
+        let mapped = TaskError::from(e.clone());
+        assert_eq!(mapped, TaskError::Permanent(e.to_string()));
+    }
+}

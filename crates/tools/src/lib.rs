@@ -8,6 +8,9 @@
 //!   it in the compact binary format.
 //! * `stats` — trace statistics (Table 1-style) for a saved trace.
 //! * `eval` — run a predictor configuration over a saved trace.
+//! * `trace` — integrity tooling for saved traces: `inspect` (header and
+//!   chunk map), `verify` (fail on any corruption), `salvage` (recover
+//!   intact chunks into a fresh file).
 //! * `disasm` — print the assembly listing of a bundled kernel.
 //! * `profile` — execute a kernel and print its execution profile.
 //! * `kernels` / `benchmarks` — list what `gen` accepts.
@@ -16,6 +19,8 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufReader;
 use std::path::Path;
 
 use dfcm::{
@@ -26,8 +31,8 @@ use dfcm_sim::engine::{run_tasks_ft, TaskOutput};
 use dfcm_sim::{simulate_trace, EngineConfig, EngineReport};
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
-use dfcm_trace::{Trace, TraceSource};
-use dfcm_vm::{assemble, disassemble, programs, Vm};
+use dfcm_trace::{inspect_trace, salvage_trace, Trace, TraceFormat, TraceSource};
+use dfcm_vm::{assemble, disassemble, programs, Vm, VmLimits};
 
 /// Errors surfaced to the command line.
 #[derive(Debug)]
@@ -60,7 +65,7 @@ pub fn generate(
 ) -> Result<String, ToolError> {
     let trace = trace_for(workload, records, seed)?;
     trace
-        .save(out)
+        .save_with(out, TraceFormat::V2 { seed })
         .map_err(|e| err(format!("writing {}: {e}", out.display())))?;
     Ok(format!(
         "wrote {} records to {}",
@@ -80,7 +85,20 @@ pub fn trace_for(workload: &str, records: usize, seed: u64) -> Result<Trace, Too
         return Ok(spec.program(seed).take_trace(records));
     }
     if let Some(src) = programs::by_name(workload) {
-        let mut vm = Vm::new(assemble(src).map_err(|e| err(format!("{workload}: {e}")))?);
+        let program = assemble(src).map_err(|e| err(format!("{workload}: {e}")))?;
+        // Budget generously above any plausible instructions-per-record
+        // ratio: a kernel that stops emitting (or never halts) degrades
+        // to an error instead of hanging `gen`.
+        let limits = VmLimits {
+            max_instructions: Some(
+                (records as u64)
+                    .saturating_mul(1_000)
+                    .saturating_add(10_000_000),
+            ),
+            ..VmLimits::default()
+        };
+        let mut vm =
+            Vm::with_limits(program, limits).map_err(|e| err(format!("{workload}: {e}")))?;
         return vm
             .try_take_trace(records)
             .map_err(|e| err(format!("{workload} faulted: {e}")));
@@ -204,6 +222,161 @@ pub fn eval(
         }
     }
     Ok((out, report))
+}
+
+/// `trace inspect <file>` — header, chunk map and CRC status of a saved
+/// trace, whether or not the file is intact.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] only when the file cannot be opened or its
+/// header is unreadable; corruption in the body is *reported*, not an
+/// error (use [`trace_verify`] to fail on it).
+pub fn trace_inspect(path: &Path) -> Result<String, ToolError> {
+    let file = File::open(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let info =
+        inspect_trace(BufReader::new(file)).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", path.display());
+    let _ = writeln!(out, "  format            v{}", info.version);
+    let _ = writeln!(out, "  declared records  {}", info.declared_records);
+    let _ = writeln!(out, "  decoded records   {}", info.decoded_records);
+    if let Some(seed) = info.seed {
+        let _ = writeln!(out, "  generator seed    {seed}");
+    }
+    if info.version >= 2 {
+        let _ = writeln!(out, "  flags             {:#x}", info.flags);
+        let _ = writeln!(out, "  chunks            {}", info.chunks.len());
+        for c in &info.chunks {
+            let status = if c.intact() {
+                "ok".to_owned()
+            } else if c.crc_stored != c.crc_computed {
+                format!("CRC MISMATCH (computed {:08x})", c.crc_computed)
+            } else {
+                "UNDECODABLE".to_owned()
+            };
+            let _ = writeln!(
+                out,
+                "    chunk {:>3}  {:>7} records  {:>9} bytes  crc {:08x}  {status}",
+                c.chunk, c.records, c.payload_bytes, c.crc_stored
+            );
+        }
+    }
+    if info.trailing_bytes > 0 {
+        let _ = writeln!(out, "  trailing bytes    {}", info.trailing_bytes);
+    }
+    if let Some(e) = &info.error {
+        let _ = writeln!(out, "  error             {e}");
+    }
+    let _ = writeln!(
+        out,
+        "  status            {}",
+        if info.intact() { "intact" } else { "CORRUPT" }
+    );
+    Ok(out)
+}
+
+/// `trace verify <file>` — succeeds only when the file is fully intact
+/// (every declared record decodes, every chunk CRC matches, no trailing
+/// bytes), so scripts can gate on the exit status.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unreadable files and for *any* corruption.
+pub fn trace_verify(path: &Path) -> Result<String, ToolError> {
+    let file = File::open(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let info =
+        inspect_trace(BufReader::new(file)).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    if info.intact() {
+        return Ok(format!(
+            "{}: OK (v{}, {} records, {} chunk{})",
+            path.display(),
+            info.version,
+            info.decoded_records,
+            info.chunks.len().max(1),
+            if info.chunks.len() == 1 { "" } else { "s" }
+        ));
+    }
+    let mut detail = Vec::new();
+    let bad: Vec<String> = info
+        .chunks
+        .iter()
+        .filter(|c| !c.intact())
+        .map(|c| c.chunk.to_string())
+        .collect();
+    if !bad.is_empty() {
+        detail.push(format!("bad chunk(s) {}", bad.join(", ")));
+    }
+    if info.decoded_records != info.declared_records {
+        detail.push(format!(
+            "decoded {} of {} declared records",
+            info.decoded_records, info.declared_records
+        ));
+    }
+    if info.trailing_bytes > 0 {
+        detail.push(format!("{} trailing bytes", info.trailing_bytes));
+    }
+    if let Some(e) = &info.error {
+        detail.push(e.clone());
+    }
+    Err(err(format!(
+        "{}: CORRUPT ({})",
+        path.display(),
+        detail.join("; ")
+    )))
+}
+
+/// `trace salvage <file> --output <out>` — recovers every intact chunk
+/// into a fresh v2 file (re-stamping the original generator seed when
+/// the header survived) and summarizes what was dropped.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when the file cannot be read at all, when the
+/// header is unrecoverable, or when nothing could be salvaged from a
+/// nonempty trace.
+pub fn trace_salvage(path: &Path, output: &Path) -> Result<String, ToolError> {
+    let file = File::open(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let report =
+        salvage_trace(BufReader::new(file)).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    if report.recovered.is_empty() && report.declared_records > 0 {
+        return Err(err(format!(
+            "{}: nothing recoverable ({} records declared, every chunk damaged)",
+            path.display(),
+            report.declared_records
+        )));
+    }
+    report
+        .recovered
+        .save_with(
+            output,
+            TraceFormat::V2 {
+                seed: report.seed.unwrap_or(0),
+            },
+        )
+        .map_err(|e| err(format!("writing {}: {e}", output.display())))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recovered {} of {} records ({}/{} chunks) from {} into {}",
+        report.recovered.len(),
+        report.declared_records,
+        report.recovered_chunks,
+        report.total_chunks,
+        path.display(),
+        output.display()
+    );
+    for d in &report.dropped {
+        let _ = writeln!(
+            out,
+            "  dropped chunk {} ({} records): {}",
+            d.chunk, d.records, d.reason
+        );
+    }
+    if report.intact() {
+        let _ = writeln!(out, "  source was fully intact; output is a clean rewrite");
+    }
+    Ok(out)
 }
 
 /// `disasm <kernel>` — assembly listing of a bundled kernel (assembled and

@@ -16,6 +16,12 @@ usage:
               --inject-faults injects deterministic faults at permille rates, for
               testing recovery; failed tasks are reported and, with --strict,
               make the command exit nonzero)
+  dfcm-tools trace inspect <trace.trc>
+  dfcm-tools trace verify <trace.trc>
+  dfcm-tools trace salvage <trace.trc> --output <out.trc>
+             (inspect: header, chunk map and CRC status; verify: exit
+              nonzero on any corruption; salvage: recover intact chunks
+              into a fresh file, report what was dropped)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools kernels
@@ -115,6 +121,19 @@ fn run() -> Result<String, String> {
             }
             Ok(out)
         }
+        "trace" => match rest {
+            [sub, path] if sub == "inspect" => {
+                dfcm_tools::trace_inspect(&PathBuf::from(path)).map_err(|e| e.to_string())
+            }
+            [sub, path] if sub == "verify" => {
+                dfcm_tools::trace_verify(&PathBuf::from(path)).map_err(|e| e.to_string())
+            }
+            [sub, path, flag, out] if sub == "salvage" && flag == "--output" => {
+                dfcm_tools::trace_salvage(&PathBuf::from(path), &PathBuf::from(out))
+                    .map_err(|e| e.to_string())
+            }
+            _ => Err(USAGE.to_owned()),
+        },
         "disasm" => {
             let [kernel] = rest else {
                 return Err(USAGE.to_owned());

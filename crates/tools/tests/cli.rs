@@ -82,6 +82,93 @@ fn stats_rejects_garbage_file() {
 }
 
 #[test]
+fn trace_verify_passes_and_inspect_describes_fresh_output() {
+    let path = temp("verify_ok.trc");
+    dfcm_tools::generate("go", 3_000, &path, 42).unwrap();
+
+    let ok = dfcm_tools::trace_verify(&path).unwrap();
+    assert!(ok.contains("OK"), "{ok}");
+    assert!(ok.contains("3000 records"), "{ok}");
+
+    let inspect = dfcm_tools::trace_inspect(&path).unwrap();
+    assert!(inspect.contains("format            v2"), "{inspect}");
+    assert!(inspect.contains("declared records  3000"), "{inspect}");
+    assert!(inspect.contains("generator seed    42"), "{inspect}");
+    assert!(inspect.contains("status            intact"), "{inspect}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corruption_drill_verify_fails_then_salvage_recovers() {
+    // The full drill CI runs from the shell, in-process: generate a
+    // 4-chunk trace, flip one payload byte deep in the file, watch
+    // `verify` fail, `salvage` recover 3/4 chunks, and the salvaged
+    // file verify clean.
+    let path = temp("drill.trc");
+    let out = temp("drill_salvaged.trc");
+    dfcm_tools::generate("cc1", 200_000, &path, 9).unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip a byte ~75% in: inside the last chunk's payload, far from
+    // the header and earlier chunks.
+    let at = bytes.len() * 3 / 4;
+    bytes[at] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let e = dfcm_tools::trace_verify(&path).unwrap_err().to_string();
+    assert!(e.contains("CORRUPT"), "{e}");
+
+    let inspect = dfcm_tools::trace_inspect(&path).unwrap();
+    assert!(inspect.contains("status            CORRUPT"), "{inspect}");
+
+    let summary = dfcm_tools::trace_salvage(&path, &out).unwrap();
+    assert!(summary.contains("3/4 chunks"), "{summary}");
+    assert!(summary.contains("dropped chunk"), "{summary}");
+
+    let ok = dfcm_tools::trace_verify(&out).unwrap();
+    assert!(ok.contains("OK"), "{ok}");
+
+    // The salvaged records are bit-identical to the original minus
+    // exactly the records of the one damaged chunk.
+    let report = {
+        let file = std::fs::File::open(&path).unwrap();
+        dfcm_trace::salvage_trace(std::io::BufReader::new(file)).unwrap()
+    };
+    assert_eq!(report.total_chunks, 4);
+    assert_eq!(report.recovered_chunks, 3);
+    assert_eq!(report.dropped.len(), 1);
+    let dead = report.dropped[0].chunk;
+    let original = dfcm_tools::trace_for("cc1", 200_000, 9).unwrap();
+    let expected: Vec<_> = original
+        .records()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i / dfcm_trace::V2_CHUNK_RECORDS != dead)
+        .map(|(_, r)| *r)
+        .collect();
+    let salvaged = dfcm_trace::Trace::load(&out).unwrap();
+    assert_eq!(salvaged.records(), expected.as_slice());
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn salvage_refuses_fully_destroyed_body() {
+    let path = temp("hopeless.trc");
+    let out = temp("hopeless_out.trc");
+    dfcm_tools::generate("li", 1_000, &path, 3).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Zero everything after the magic: header survives as garbage or
+    // the single chunk dies; either way nothing should be recoverable.
+    for b in bytes.iter_mut().skip(12) {
+        *b = 0;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(dfcm_tools::trace_salvage(&path, &out).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn disasm_lists_whole_kernel() {
     let listing = dfcm_tools::disasm("norm").unwrap();
     assert!(

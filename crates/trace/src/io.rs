@@ -1,8 +1,14 @@
-//! Compact binary serialization for value traces.
+//! Compact binary serialization for value traces: the legacy `DFCMTRC1`
+//! format and the checksummed, salvageable `DFCMTRC2` format.
 //!
 //! Traces regenerate deterministically from seeds, but saving them is
 //! useful for sharing workloads across tools and for freezing a trace
-//! against generator changes. The format is simple and compact:
+//! against generator changes. Trace files cross a trust boundary — they
+//! may arrive truncated, bit-flipped or maliciously crafted — so readers
+//! never assume well-formedness: every failure decodes to a typed
+//! [`TraceFormatError`], never a panic or a silently wrong trace.
+//!
+//! # v1 (`DFCMTRC1`, legacy)
 //!
 //! ```text
 //! magic   8 bytes  "DFCMTRC1"
@@ -11,18 +17,167 @@
 //!                  record's pc), then varint value
 //! ```
 //!
+//! v1 has no integrity protection: truncation is detected (the record
+//! count is known up front) but bit flips decode silently. It remains
+//! fully readable; [`Trace::read_from`] auto-detects the version.
+//!
+//! # v2 (`DFCMTRC2`, default for [`Trace::save`])
+//!
+//! ```text
+//! magic    8 bytes  "DFCMTRC2"
+//! hlen     varint   byte length of the header payload
+//! header            varint record count, varint generator seed,
+//!                   varint format flags (must be 0); readers ignore
+//!                   bytes past the fields they know, so the header can
+//!                   grow compatibly
+//! chunks            until `count` records are accounted for:
+//!   records varint  records in this chunk (1 ..= 65536)
+//!   bytes   varint  byte length of the chunk payload
+//!   crc32   4 bytes CRC-32 (IEEE, LE) of the chunk payload
+//!   payload         delta-encoded records as in v1; the pc delta chain
+//!                   restarts at 0 each chunk, so every chunk decodes
+//!                   independently
+//! ```
+//!
+//! Writers emit 64Ki records per chunk (the last chunk holds the
+//! remainder). Because each chunk carries its own length and checksum,
+//! a corrupted file is *salvageable*: [`salvage_trace`] recovers every
+//! intact chunk, skips corrupt ones, and reports exactly what was
+//! dropped. [`inspect_trace`] reports the header and per-chunk CRC
+//! status without failing.
+//!
 //! PC deltas are small (loops revisit nearby code), so a typical suite
-//! trace compresses to a handful of bytes per record.
+//! trace compresses to a handful of bytes per record in either version.
 
 use std::ffi::OsString;
+use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
+use crate::crc::crc32;
 use crate::record::{Trace, TraceRecord};
 
-const MAGIC: &[u8; 8] = b"DFCMTRC1";
+const MAGIC_V1: &[u8; 8] = b"DFCMTRC1";
+const MAGIC_V2: &[u8; 8] = b"DFCMTRC2";
+
+/// Records per v2 chunk (the last chunk of a file holds the remainder).
+pub const V2_CHUNK_RECORDS: usize = 1 << 16;
+
+/// Upper bound on a v2 header payload; anything larger is corruption.
+const MAX_HEADER_BYTES: u64 = 4096;
+
+/// A varint-encoded record is at most two 10-byte varints.
+const MAX_RECORD_BYTES: u64 = 20;
+
+/// Trust the header's count only up to a bounded pre-allocation: a
+/// crafted small file could otherwise demand terabytes before a single
+/// record is read. Larger traces grow as records actually arrive.
+const MAX_PREALLOC: u64 = 1 << 20;
+
+/// Headers claiming more records than this are rejected outright.
+const MAX_PLAUSIBLE_RECORDS: u64 = 1 << 40;
+
+/// Fallback staleness age for orphan staging files on platforms where
+/// process liveness cannot be checked.
+const STALE_STAGING_AGE: Duration = Duration::from_secs(3600);
+
+/// On-disk format selector for [`Trace::save_with`] /
+/// [`Trace::write_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The legacy unchecksummed format.
+    V1,
+    /// The chunked, CRC-checked format, stamping the generator seed into
+    /// the header (use 0 when the seed is unknown or not applicable).
+    V2 {
+        /// Generator seed recorded in the file header.
+        seed: u64,
+    },
+}
+
+impl Default for TraceFormat {
+    /// The version knob's default: v2 with no recorded seed.
+    fn default() -> Self {
+        TraceFormat::V2 { seed: 0 }
+    }
+}
+
+/// A typed classification of why a trace file failed to decode.
+///
+/// Reader functions return these wrapped in an [`io::Error`] of kind
+/// [`io::ErrorKind::InvalidData`]; [`TraceFormatError::classify`]
+/// recovers the typed value from such an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFormatError {
+    /// The first eight bytes match neither known magic.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file header is unreadable or self-inconsistent.
+    BadHeader {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A chunk's payload does not match its stored CRC-32.
+    ChunkCrcMismatch {
+        /// Zero-based chunk index.
+        chunk: usize,
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum of the payload as read.
+        computed: u32,
+    },
+    /// The file ends (or its framing becomes unreadable) before all
+    /// declared records are accounted for.
+    TruncatedTail {
+        /// Zero-based index of the first unreadable chunk.
+        chunk: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::BadMagic { found } => {
+                write!(f, "not a dfcm trace file (magic {:02x?})", found)
+            }
+            TraceFormatError::BadHeader { detail } => write!(f, "bad trace header: {detail}"),
+            TraceFormatError::ChunkCrcMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {chunk} CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            TraceFormatError::TruncatedTail { chunk, detail } => {
+                write!(f, "truncated at chunk {chunk}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
+
+impl From<TraceFormatError> for io::Error {
+    fn from(e: TraceFormatError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+impl TraceFormatError {
+    /// Recovers the typed format error carried by an [`io::Error`], if
+    /// that error came from a trace reader.
+    pub fn classify(e: &io::Error) -> Option<&TraceFormatError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+}
 
 /// A unique sibling path for staging an atomic write of `path`.
 fn staging_path(path: &Path) -> PathBuf {
@@ -36,11 +191,69 @@ fn staging_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// Whether the process with id `pid` is alive; `None` when the platform
+/// offers no way to tell.
+fn process_alive(pid: u32) -> Option<bool> {
+    if Path::new("/proc").is_dir() {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    } else {
+        None
+    }
+}
+
+/// Best-effort removal of orphaned staging files left next to `path` by
+/// crashed atomic writes: siblings named `<file>.tmp.<pid>.<n>` whose
+/// writing process is gone (or, where liveness cannot be checked, whose
+/// mtime is over an hour old). Our own process's staging files are never
+/// touched — another thread may be mid-write.
+fn sweep_stale_staging(path: &Path) {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return;
+    };
+    let Some(name) = path.file_name() else {
+        return;
+    };
+    let prefix = format!("{}.tmp.", name.to_string_lossy());
+    let Ok(entries) = fs::read_dir(parent) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(rest) = file_name
+            .to_string_lossy()
+            .strip_prefix(&prefix)
+            .map(str::to_owned)
+        else {
+            continue;
+        };
+        let Some(pid) = rest.split('.').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if pid == std::process::id() {
+            continue;
+        }
+        let stale = match process_alive(pid) {
+            Some(alive) => !alive,
+            None => entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > STALE_STAGING_AGE),
+        };
+        if stale {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// Writes a file atomically: the content is streamed to a temporary file
 /// in the same directory (created if missing), flushed and synced, then
 /// renamed over `path`. A crash or write error can therefore never leave
 /// a truncated artifact under the final name — readers see either the
-/// previous complete file or the new complete file.
+/// previous complete file or the new complete file. Orphaned staging
+/// files from previously crashed writers are swept first (see the module
+/// source), so crashes do not accumulate `*.tmp.<pid>.<n>` litter.
 ///
 /// # Errors
 ///
@@ -55,6 +268,7 @@ where
             fs::create_dir_all(parent)?;
         }
     }
+    sweep_stale_staging(path);
     let staged = staging_path(path);
     let result = (|| {
         let mut w = BufWriter::new(File::create(&staged)?);
@@ -200,15 +414,539 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// True for error kinds that indicate corrupt or truncated input rather
+/// than an environment failure.
+fn is_corruption(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+    )
+}
+
+fn bad_header(detail: impl Into<String>) -> io::Error {
+    TraceFormatError::BadHeader {
+        detail: detail.into(),
+    }
+    .into()
+}
+
+fn truncated(chunk: usize, detail: impl Into<String>) -> io::Error {
+    TraceFormatError::TruncatedTail {
+        chunk,
+        detail: detail.into(),
+    }
+    .into()
+}
+
+/// Parsed v2 file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct V2Header {
+    records: u64,
+    seed: u64,
+    flags: u64,
+}
+
+fn read_v2_header<R: Read>(r: &mut R) -> io::Result<V2Header> {
+    let hlen = read_varint(r).map_err(|e| {
+        if is_corruption(&e) {
+            bad_header(format!("unreadable header length: {e}"))
+        } else {
+            e
+        }
+    })?;
+    if hlen > MAX_HEADER_BYTES {
+        return Err(bad_header(format!("implausible header length {hlen}")));
+    }
+    let mut header = vec![0u8; hlen as usize];
+    r.read_exact(&mut header).map_err(|e| {
+        if is_corruption(&e) {
+            bad_header("header cut short")
+        } else {
+            e
+        }
+    })?;
+    let mut slice: &[u8] = &header;
+    let field = |slice: &mut &[u8], name: &str| -> io::Result<u64> {
+        read_varint(slice).map_err(|e| {
+            if is_corruption(&e) {
+                bad_header(format!("unreadable {name} field"))
+            } else {
+                e
+            }
+        })
+    };
+    let records = field(&mut slice, "record count")?;
+    let seed = field(&mut slice, "seed")?;
+    let flags = field(&mut slice, "flags")?;
+    // Bytes past the known fields are reserved for compatible header
+    // growth and ignored; unknown *flags* are not, since they may change
+    // the record encoding.
+    if flags != 0 {
+        return Err(bad_header(format!("unsupported format flags {flags:#x}")));
+    }
+    if records > MAX_PLAUSIBLE_RECORDS {
+        return Err(bad_header(format!("implausible record count {records}")));
+    }
+    Ok(V2Header {
+        records,
+        seed,
+        flags,
+    })
+}
+
+/// One chunk as read off the wire, CRC checked but not yet trusted.
+#[derive(Debug)]
+struct ScannedChunk {
+    index: usize,
+    records: u64,
+    payload_bytes: u64,
+    crc_stored: u32,
+    crc_computed: u32,
+    /// The decoded records, or why the payload failed to decode.
+    decoded: Result<Vec<TraceRecord>, String>,
+}
+
+impl ScannedChunk {
+    fn intact(&self) -> bool {
+        self.crc_stored == self.crc_computed && self.decoded.is_ok()
+    }
+}
+
+/// Decodes one chunk payload; the pc delta chain restarts at zero.
+fn decode_chunk_payload(payload: &[u8], records: u64) -> Result<Vec<TraceRecord>, String> {
+    let mut slice = payload;
+    let mut out = Vec::with_capacity(records as usize);
+    let mut prev_pc = 0i64;
+    for i in 0..records {
+        let delta = read_varint(&mut slice).map_err(|e| format!("record {i}: {e}"))?;
+        let value = read_varint(&mut slice).map_err(|e| format!("record {i}: {e}"))?;
+        let pc = prev_pc.wrapping_add(unzigzag(delta));
+        out.push(TraceRecord::new(pc as u64, value));
+        prev_pc = pc;
+    }
+    if !slice.is_empty() {
+        return Err(format!("{} unused bytes after last record", slice.len()));
+    }
+    Ok(out)
+}
+
+/// Reads chunks until `header.records` are accounted for. Returns the
+/// chunks read (including CRC-mismatched and undecodable ones, which a
+/// salvaging caller may skip) and the framing error that stopped the
+/// scan early, if any. Only environment I/O errors (not corruption) are
+/// returned as `Err`.
+fn scan_v2<R: Read>(
+    r: &mut R,
+    header: &V2Header,
+) -> io::Result<(Vec<ScannedChunk>, Option<io::Error>)> {
+    let mut chunks = Vec::new();
+    let mut remaining = header.records;
+    let mut index = 0usize;
+    while remaining > 0 {
+        let records = match read_varint(r) {
+            Ok(v) => v,
+            Err(e) if is_corruption(&e) => {
+                return Ok((
+                    chunks,
+                    Some(truncated(index, format!("chunk framing: {e}"))),
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+        if records == 0 || records > V2_CHUNK_RECORDS as u64 || records > remaining {
+            return Ok((
+                chunks,
+                Some(truncated(
+                    index,
+                    format!("implausible chunk record count {records} ({remaining} outstanding)"),
+                )),
+            ));
+        }
+        let payload_bytes = match read_varint(r) {
+            Ok(v) => v,
+            Err(e) if is_corruption(&e) => {
+                return Ok((
+                    chunks,
+                    Some(truncated(index, format!("chunk framing: {e}"))),
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+        if payload_bytes > records * MAX_RECORD_BYTES {
+            return Ok((
+                chunks,
+                Some(truncated(
+                    index,
+                    format!("implausible chunk byte length {payload_bytes}"),
+                )),
+            ));
+        }
+        let mut crc_bytes = [0u8; 4];
+        if let Err(e) = r.read_exact(&mut crc_bytes) {
+            if is_corruption(&e) {
+                return Ok((chunks, Some(truncated(index, "chunk checksum cut short"))));
+            }
+            return Err(e);
+        }
+        let mut payload = vec![0u8; payload_bytes as usize];
+        if let Err(e) = r.read_exact(&mut payload) {
+            if is_corruption(&e) {
+                return Ok((chunks, Some(truncated(index, "chunk payload cut short"))));
+            }
+            return Err(e);
+        }
+        let crc_stored = u32::from_le_bytes(crc_bytes);
+        let crc_computed = crc32(&payload);
+        let decoded = decode_chunk_payload(&payload, records);
+        chunks.push(ScannedChunk {
+            index,
+            records,
+            payload_bytes,
+            crc_stored,
+            crc_computed,
+            decoded,
+        });
+        remaining -= records;
+        index += 1;
+    }
+    Ok((chunks, None))
+}
+
+fn read_v1_body<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let count = read_varint(r)?;
+    if count > MAX_PLAUSIBLE_RECORDS {
+        return Err(bad_header(format!("implausible record count {count}")));
+    }
+    let mut trace = Trace::with_capacity(count.min(MAX_PREALLOC) as usize);
+    let mut prev_pc = 0i64;
+    for _ in 0..count {
+        let pc = prev_pc.wrapping_add(unzigzag(read_varint(r)?));
+        let value = read_varint(r)?;
+        trace.push(TraceRecord::new(pc as u64, value));
+        prev_pc = pc;
+    }
+    Ok(trace)
+}
+
+fn read_v2_body<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let header = read_v2_header(r)?;
+    let (chunks, framing_error) = scan_v2(r, &header)?;
+    // Report the earliest-chunk problem, preferring CRC mismatches (the
+    // sharper diagnosis) over the framing error that may follow them.
+    for c in &chunks {
+        if c.crc_stored != c.crc_computed {
+            return Err(TraceFormatError::ChunkCrcMismatch {
+                chunk: c.index,
+                stored: c.crc_stored,
+                computed: c.crc_computed,
+            }
+            .into());
+        }
+        if let Err(detail) = &c.decoded {
+            return Err(truncated(c.index, format!("undecodable chunk: {detail}")));
+        }
+    }
+    if let Some(e) = framing_error {
+        return Err(e);
+    }
+    let mut trace = Trace::with_capacity(header.records.min(MAX_PREALLOC) as usize);
+    for c in chunks {
+        trace.extend(c.decoded.expect("checked above"));
+    }
+    Ok(trace)
+}
+
+/// A chunk (or tail) that [`salvage_trace`] could not recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DroppedChunk {
+    /// Zero-based index of the first affected chunk.
+    pub chunk: usize,
+    /// Records lost with it.
+    pub records: u64,
+    /// Why it was dropped.
+    pub reason: String,
+}
+
+/// What [`salvage_trace`] recovered from a (possibly corrupted) file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Format version of the file (1 or 2).
+    pub version: u8,
+    /// Record count the header declares.
+    pub declared_records: u64,
+    /// Generator seed from the header (v2 only).
+    pub seed: Option<u64>,
+    /// Every record that could be recovered, in file order.
+    pub recovered: Trace,
+    /// Chunks an intact file of this size would hold (1 for v1).
+    pub total_chunks: usize,
+    /// Chunks recovered intact.
+    pub recovered_chunks: usize,
+    /// What was dropped, in chunk order; empty for an intact file.
+    pub dropped: Vec<DroppedChunk>,
+}
+
+impl SalvageReport {
+    /// True when nothing was dropped: the file was fully intact.
+    pub fn intact(&self) -> bool {
+        self.dropped.is_empty() && self.recovered.len() as u64 == self.declared_records
+    }
+}
+
+/// Chunks an intact v2 file with `records` records holds.
+fn expected_chunks(records: u64) -> usize {
+    records.div_ceil(V2_CHUNK_RECORDS as u64) as usize
+}
+
+/// Recovers everything recoverable from a trace file.
+///
+/// For v2 files every chunk whose framing is readable and whose CRC and
+/// decode succeed is recovered bit-identically; corrupt chunks are
+/// skipped and reported. Once the chunk *framing* itself is unreadable
+/// the rest of the file is undecipherable and reported as one dropped
+/// tail. For v1 files (no checksums, no chunking) the longest cleanly
+/// decodable prefix is recovered.
+///
+/// # Errors
+///
+/// Returns an error only when there is nothing to salvage (unrecognized
+/// magic, unreadable v2 header) or on a genuine I/O failure; corruption
+/// past the header is reported in the [`SalvageReport`], not as an
+/// error.
+pub fn salvage_trace<R: Read>(mut r: R) -> io::Result<SalvageReport> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    match &magic {
+        MAGIC_V1 => salvage_v1(&mut r),
+        MAGIC_V2 => salvage_v2(&mut r),
+        _ => Err(TraceFormatError::BadMagic { found: magic }.into()),
+    }
+}
+
+fn salvage_v1<R: Read>(r: &mut R) -> io::Result<SalvageReport> {
+    let declared = match read_varint(r) {
+        Ok(v) if v <= MAX_PLAUSIBLE_RECORDS => v,
+        Ok(v) => return Err(bad_header(format!("implausible record count {v}"))),
+        Err(e) if is_corruption(&e) => return Err(bad_header(format!("unreadable count: {e}"))),
+        Err(e) => return Err(e),
+    };
+    let mut recovered = Trace::with_capacity(declared.min(MAX_PREALLOC) as usize);
+    let mut prev_pc = 0i64;
+    let mut dropped = Vec::new();
+    for i in 0..declared {
+        let record = read_varint(r).and_then(|d| read_varint(r).map(|v| (d, v)));
+        match record {
+            Ok((delta, value)) => {
+                let pc = prev_pc.wrapping_add(unzigzag(delta));
+                recovered.push(TraceRecord::new(pc as u64, value));
+                prev_pc = pc;
+            }
+            Err(e) if is_corruption(&e) => {
+                dropped.push(DroppedChunk {
+                    chunk: 0,
+                    records: declared - i,
+                    reason: format!("record {i}: {e}"),
+                });
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let intact = dropped.is_empty();
+    Ok(SalvageReport {
+        version: 1,
+        declared_records: declared,
+        seed: None,
+        recovered,
+        total_chunks: 1,
+        recovered_chunks: usize::from(intact),
+        dropped,
+    })
+}
+
+fn salvage_v2<R: Read>(r: &mut R) -> io::Result<SalvageReport> {
+    let header = read_v2_header(r)?;
+    let (chunks, framing_error) = scan_v2(r, &header)?;
+    let scanned = chunks.len();
+    let mut recovered = Trace::with_capacity(header.records.min(MAX_PREALLOC) as usize);
+    let mut recovered_chunks = 0usize;
+    let mut dropped = Vec::new();
+    let mut accounted = 0u64;
+    for c in chunks {
+        accounted += c.records;
+        if c.crc_stored != c.crc_computed {
+            dropped.push(DroppedChunk {
+                chunk: c.index,
+                records: c.records,
+                reason: format!(
+                    "CRC mismatch (stored {:#010x}, computed {:#010x})",
+                    c.crc_stored, c.crc_computed
+                ),
+            });
+        } else {
+            match c.decoded {
+                Ok(records) => {
+                    recovered.extend(records);
+                    recovered_chunks += 1;
+                }
+                Err(detail) => dropped.push(DroppedChunk {
+                    chunk: c.index,
+                    records: c.records,
+                    reason: format!("undecodable payload: {detail}"),
+                }),
+            }
+        }
+    }
+    if let Some(e) = framing_error {
+        // The unreadable chunk comes right after the ones scanned; it and
+        // everything behind it are lost.
+        dropped.push(DroppedChunk {
+            chunk: scanned,
+            records: header.records - accounted,
+            reason: e.to_string(),
+        });
+    }
+    Ok(SalvageReport {
+        version: 2,
+        declared_records: header.records,
+        seed: Some(header.seed),
+        recovered,
+        total_chunks: expected_chunks(header.records),
+        recovered_chunks,
+        dropped,
+    })
+}
+
+/// Per-chunk integrity status, from [`inspect_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Zero-based chunk index.
+    pub chunk: usize,
+    /// Records the chunk claims to hold.
+    pub records: u64,
+    /// Byte length of the chunk payload.
+    pub payload_bytes: u64,
+    /// CRC-32 stored in the file.
+    pub crc_stored: u32,
+    /// CRC-32 of the payload as read.
+    pub crc_computed: u32,
+    /// Whether the payload decoded to exactly `records` records.
+    pub decodes: bool,
+}
+
+impl ChunkInfo {
+    /// CRC matches and the payload decodes.
+    pub fn intact(&self) -> bool {
+        self.crc_stored == self.crc_computed && self.decodes
+    }
+}
+
+/// Header and integrity summary of a trace file, from [`inspect_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Format version (1 or 2).
+    pub version: u8,
+    /// Record count the header declares.
+    pub declared_records: u64,
+    /// Records that actually decode cleanly.
+    pub decoded_records: u64,
+    /// Generator seed from the header (v2 only).
+    pub seed: Option<u64>,
+    /// Format flags from the header (v2 only; 0 today).
+    pub flags: u64,
+    /// Per-chunk status (empty for v1 files, which are unchunked).
+    pub chunks: Vec<ChunkInfo>,
+    /// Bytes left in the stream after the last expected record.
+    pub trailing_bytes: u64,
+    /// The error that stopped decoding early, if any.
+    pub error: Option<String>,
+}
+
+impl TraceInfo {
+    /// True when the whole file verifies: every declared record decodes,
+    /// every chunk CRC matches, and nothing trails the data.
+    pub fn intact(&self) -> bool {
+        self.error.is_none()
+            && self.trailing_bytes == 0
+            && self.decoded_records == self.declared_records
+            && self.chunks.iter().all(ChunkInfo::intact)
+    }
+}
+
+/// Reads a whole trace file's structure without failing on corruption:
+/// the header, the chunk map with per-chunk CRC status, and whatever
+/// error stopped decoding. This is the engine behind `dfcm-tools trace
+/// inspect`/`verify`.
+///
+/// # Errors
+///
+/// Returns an error only for unrecognized magic, an unreadable header,
+/// or a genuine I/O failure; corruption past the header is *described*
+/// in the returned [`TraceInfo`] instead.
+pub fn inspect_trace<R: Read>(mut r: R) -> io::Result<TraceInfo> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    let mut info = match &magic {
+        MAGIC_V1 => {
+            let report = salvage_v1(&mut r)?;
+            TraceInfo {
+                version: 1,
+                declared_records: report.declared_records,
+                decoded_records: report.recovered.len() as u64,
+                seed: None,
+                flags: 0,
+                chunks: Vec::new(),
+                trailing_bytes: 0,
+                error: report.dropped.first().map(|d| d.reason.clone()),
+            }
+        }
+        MAGIC_V2 => {
+            let header = read_v2_header(&mut r)?;
+            let (chunks, framing_error) = scan_v2(&mut r, &header)?;
+            let decoded_records = chunks
+                .iter()
+                .filter(|c| c.intact())
+                .map(|c| c.records)
+                .sum();
+            TraceInfo {
+                version: 2,
+                declared_records: header.records,
+                decoded_records,
+                seed: Some(header.seed),
+                flags: header.flags,
+                chunks: chunks
+                    .into_iter()
+                    .map(|c| ChunkInfo {
+                        chunk: c.index,
+                        records: c.records,
+                        payload_bytes: c.payload_bytes,
+                        crc_stored: c.crc_stored,
+                        crc_computed: c.crc_computed,
+                        decodes: c.decoded.is_ok(),
+                    })
+                    .collect(),
+                trailing_bytes: 0,
+                error: framing_error.map(|e| e.to_string()),
+            }
+        }
+        _ => return Err(TraceFormatError::BadMagic { found: magic }.into()),
+    };
+    // Anything left in the stream is not part of the trace.
+    info.trailing_bytes = io::copy(&mut r, &mut io::sink())?;
+    Ok(info)
+}
+
 impl Trace {
-    /// Writes the trace in the binary format to `w`. Pass `&mut writer`
-    /// to keep using the writer afterwards.
+    /// Writes the trace in the legacy v1 format. Pass `&mut writer` to
+    /// keep using the writer afterwards. Kept byte-for-byte stable so v1
+    /// archives remain reproducible; new files should prefer
+    /// [`Trace::write_with`] with [`TraceFormat::V2`].
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
+        w.write_all(MAGIC_V1)?;
         write_varint(&mut w, self.len() as u64)?;
         let mut prev_pc = 0i64;
         for r in self {
@@ -220,62 +958,96 @@ impl Trace {
         Ok(())
     }
 
-    /// Reads a trace written by [`Trace::write_to`]. Pass `&mut reader`
-    /// to keep using the reader afterwards.
+    /// Writes the trace in the checksummed v2 format, stamping `seed`
+    /// into the header.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a bad magic number or truncated data, and
-    /// propagates I/O errors from the reader.
+    /// Propagates I/O errors from the writer.
+    pub fn write_v2_to<W: Write>(&self, mut w: W, seed: u64) -> io::Result<()> {
+        w.write_all(MAGIC_V2)?;
+        let mut header = Vec::with_capacity(24);
+        write_varint(&mut header, self.len() as u64)?;
+        write_varint(&mut header, seed)?;
+        write_varint(&mut header, 0)?; // flags
+        write_varint(&mut w, header.len() as u64)?;
+        w.write_all(&header)?;
+        let mut payload = Vec::with_capacity(V2_CHUNK_RECORDS * 4);
+        for chunk in self.records().chunks(V2_CHUNK_RECORDS) {
+            payload.clear();
+            let mut prev_pc = 0i64;
+            for r in chunk {
+                let pc = r.pc as i64;
+                write_varint(&mut payload, zigzag(pc.wrapping_sub(prev_pc)))?;
+                write_varint(&mut payload, r.value)?;
+                prev_pc = pc;
+            }
+            write_varint(&mut w, chunk.len() as u64)?;
+            write_varint(&mut w, payload.len() as u64)?;
+            w.write_all(&crc32(&payload).to_le_bytes())?;
+            w.write_all(&payload)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the trace in the chosen [`TraceFormat`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_with<W: Write>(&self, w: W, format: TraceFormat) -> io::Result<()> {
+        match format {
+            TraceFormat::V1 => self.write_to(w),
+            TraceFormat::V2 { seed } => self.write_v2_to(w, seed),
+        }
+    }
+
+    /// Reads a trace in either format, auto-detected from the magic;
+    /// v2 chunk checksums are verified. Pass `&mut reader` to keep using
+    /// the reader afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` carrying a [`TraceFormatError`] for
+    /// malformed, truncated or checksum-failing data, and propagates
+    /// I/O errors from the reader.
     pub fn read_from<R: Read>(mut r: R) -> io::Result<Trace> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a dfcm trace file",
-            ));
+        match &magic {
+            MAGIC_V1 => read_v1_body(&mut r),
+            MAGIC_V2 => read_v2_body(&mut r),
+            _ => Err(TraceFormatError::BadMagic { found: magic }.into()),
         }
-        let count = read_varint(&mut r)?;
-        if count > (1 << 40) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "implausible record count",
-            ));
-        }
-        // Trust the header's count only up to a bounded pre-allocation: a
-        // crafted 9-byte file could otherwise demand terabytes before a
-        // single record is read. Larger traces grow the vector as records
-        // actually arrive.
-        const MAX_PREALLOC: u64 = 1 << 20;
-        let mut trace = Trace::with_capacity(count.min(MAX_PREALLOC) as usize);
-        let mut prev_pc = 0i64;
-        for _ in 0..count {
-            let pc = prev_pc.wrapping_add(unzigzag(read_varint(&mut r)?));
-            let value = read_varint(&mut r)?;
-            trace.push(TraceRecord::new(pc as u64, value));
-            prev_pc = pc;
-        }
-        Ok(trace)
     }
 
     /// Saves the trace to a file atomically (staged in a sibling
     /// temporary file, then renamed): a crash mid-save can never leave a
-    /// truncated trace under `path`.
+    /// truncated trace under `path`. Writes the default format —
+    /// checksummed v2; use [`Trace::save_with`] to choose.
     ///
     /// # Errors
     ///
     /// Propagates file-creation and write errors.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        atomic_write_with(path.as_ref(), |w| self.write_to(w))
+        self.save_with(path, TraceFormat::default())
     }
 
-    /// Loads a trace saved with [`Trace::save`].
+    /// [`Trace::save`] with an explicit on-disk format.
     ///
     /// # Errors
     ///
-    /// Propagates file-open and read errors; returns `InvalidData` for
-    /// malformed files.
+    /// Propagates file-creation and write errors.
+    pub fn save_with<P: AsRef<Path>>(&self, path: P, format: TraceFormat) -> io::Result<()> {
+        atomic_write_with(path.as_ref(), |w| self.write_with(w, format))
+    }
+
+    /// Loads a trace saved with [`Trace::save`] (either format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open and read errors; returns `InvalidData`
+    /// carrying a [`TraceFormatError`] for malformed files.
     pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
         Trace::read_from(BufReader::new(File::open(path)?))
     }
@@ -300,6 +1072,20 @@ mod tests {
             .inst(Pattern::Random { bits: 32 }, 1)
             .build()
             .take_trace(5000)
+    }
+
+    /// A trace long enough for several v2 chunks without slowing tests:
+    /// deterministic, non-trivial pc/value streams.
+    fn multi_chunk_trace() -> Trace {
+        (0..(3 * V2_CHUNK_RECORDS as u64 + 1234))
+            .map(|i| TraceRecord::new(0x40_0000 + 4 * (i % 509), i.wrapping_mul(0x9E37_79B9)))
+            .collect()
+    }
+
+    fn v2_bytes(trace: &Trace, seed: u64) -> Vec<u8> {
+        let mut buffer = Vec::new();
+        trace.write_v2_to(&mut buffer, seed).unwrap();
+        buffer
     }
 
     #[test]
@@ -334,12 +1120,24 @@ mod tests {
             buffer.len(),
             trace.len()
         );
+        // The v2 framing overhead is a few bytes per 64Ki records.
+        let v2 = v2_bytes(&trace, 0);
+        assert!(
+            v2.len() < buffer.len() + 64,
+            "v2 {} vs v1 {}",
+            v2.len(),
+            buffer.len()
+        );
     }
 
     #[test]
     fn bad_magic_rejected() {
         let err = Trace::read_from(&b"NOTATRACE"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(
+            TraceFormatError::classify(&err),
+            Some(TraceFormatError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -356,6 +1154,9 @@ mod tests {
         let mut buffer = Vec::new();
         Trace::new().write_to(&mut buffer).unwrap();
         assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), Trace::new());
+        // v2 likewise: a header and zero chunks.
+        let buffer = v2_bytes(&Trace::new(), 7);
+        assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), Trace::new());
     }
 
     #[test]
@@ -367,19 +1168,21 @@ mod tests {
         let mut buffer = Vec::new();
         trace.write_to(&mut buffer).unwrap();
         assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), trace);
+        let buffer = v2_bytes(&trace, u64::MAX);
+        assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), trace);
     }
 
     #[test]
     fn malicious_header_count_rejected_without_large_allocation() {
         // A tiny file whose header claims a huge record count must fail
         // on the missing records, not abort allocating the claimed size.
-        let mut buffer = Vec::from(*MAGIC);
+        let mut buffer = Vec::from(*MAGIC_V1);
         write_varint(&mut buffer, (1u64 << 40) - 1).unwrap();
         let err = Trace::read_from(buffer.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
 
         // Beyond the plausibility bound the header itself is rejected.
-        let mut buffer = Vec::from(*MAGIC);
+        let mut buffer = Vec::from(*MAGIC_V1);
         write_varint(&mut buffer, (1u64 << 40) + 1).unwrap();
         let err = Trace::read_from(buffer.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -399,14 +1202,14 @@ mod tests {
         // Ten continuation-flagged bytes then payload bits that do not
         // fit in the single bit the 10th byte has room for: previously
         // this silently decoded with the overflow bits dropped.
-        let mut buffer = Vec::from(*MAGIC);
+        let mut buffer = Vec::from(*MAGIC_V1);
         buffer.extend_from_slice(&[0x80; 9]);
         buffer.push(0x02); // bit 1 set -> shifted past bit 63
         let err = Trace::read_from(buffer.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
 
         // An 11th byte is rejected as over-long regardless of payload.
-        let mut buffer = Vec::from(*MAGIC);
+        let mut buffer = Vec::from(*MAGIC_V1);
         buffer.extend_from_slice(&[0x80; 10]);
         buffer.push(0x00);
         let err = Trace::read_from(buffer.as_slice()).unwrap_err();
@@ -431,6 +1234,249 @@ mod tests {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }
+
+    // ---- v2 format ----
+
+    #[test]
+    fn v2_roundtrip_single_and_multi_chunk() {
+        for trace in [sample_trace(), multi_chunk_trace()] {
+            let buffer = v2_bytes(&trace, 42);
+            assert_eq!(Trace::read_from(buffer.as_slice()).unwrap(), trace);
+        }
+    }
+
+    #[test]
+    fn v2_is_the_default_save_format_and_v1_knob_works() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("dfcm_io_v2_default_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let v2_path = dir.join("v2.trc");
+        let v1_path = dir.join("v1.trc");
+        trace.save(&v2_path).unwrap();
+        trace.save_with(&v1_path, TraceFormat::V1).unwrap();
+        assert_eq!(&std::fs::read(&v2_path).unwrap()[..8], MAGIC_V2);
+        assert_eq!(&std::fs::read(&v1_path).unwrap()[..8], MAGIC_V1);
+        assert_eq!(Trace::load(&v2_path).unwrap(), trace);
+        assert_eq!(Trace::load(&v1_path).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_files_written_by_current_writer_load_identically() {
+        // Byte-for-byte compatibility: the v1 writer's output, decoded
+        // through the auto-detecting reader, reproduces the exact trace.
+        let trace = multi_chunk_trace();
+        let mut v1 = Vec::new();
+        trace.write_with(&mut v1, TraceFormat::V1).unwrap();
+        assert_eq!(&v1[..8], MAGIC_V1);
+        assert_eq!(Trace::read_from(v1.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn v2_reader_is_streaming_friendly() {
+        // Two traces written back to back decode independently.
+        let a = sample_trace();
+        let b: Trace = (0..10u64).map(|i| TraceRecord::new(4 * i, i)).collect();
+        let mut buffer = Vec::new();
+        a.write_v2_to(&mut buffer, 1).unwrap();
+        b.write_v2_to(&mut buffer, 2).unwrap();
+        let mut slice = buffer.as_slice();
+        assert_eq!(Trace::read_from(&mut slice).unwrap(), a);
+        assert_eq!(Trace::read_from(&mut slice).unwrap(), b);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn v2_detects_payload_corruption() {
+        let trace = multi_chunk_trace();
+        let clean = v2_bytes(&trace, 0);
+        // Flip one bit deep inside the file (a chunk payload byte).
+        let mut corrupt = clean.clone();
+        let position = corrupt.len() / 2;
+        corrupt[position] ^= 0x10;
+        let err = Trace::read_from(corrupt.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(
+                TraceFormatError::classify(&err),
+                Some(
+                    TraceFormatError::ChunkCrcMismatch { .. }
+                        | TraceFormatError::TruncatedTail { .. }
+                )
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v2_detects_truncation() {
+        let trace = multi_chunk_trace();
+        let clean = v2_bytes(&trace, 0);
+        let err = Trace::read_from(&clean[..clean.len() - 100]).unwrap_err();
+        assert!(
+            matches!(
+                TraceFormatError::classify(&err),
+                Some(TraceFormatError::TruncatedTail { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v2_rejects_unknown_flags() {
+        let mut buffer = Vec::from(*MAGIC_V2);
+        let mut header = Vec::new();
+        write_varint(&mut header, 0).unwrap(); // records
+        write_varint(&mut header, 0).unwrap(); // seed
+        write_varint(&mut header, 1).unwrap(); // unknown flag
+        write_varint(&mut buffer, header.len() as u64).unwrap();
+        buffer.extend_from_slice(&header);
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                TraceFormatError::classify(&err),
+                Some(TraceFormatError::BadHeader { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v2_header_tolerates_compatible_growth() {
+        // Extra header bytes after the known fields are ignored.
+        let trace: Trace = (0..5u64).map(|i| TraceRecord::new(4 * i, i)).collect();
+        let clean = v2_bytes(&trace, 9);
+        let mut grown = Vec::from(*MAGIC_V2);
+        let mut header = Vec::new();
+        write_varint(&mut header, trace.len() as u64).unwrap();
+        write_varint(&mut header, 9).unwrap();
+        write_varint(&mut header, 0).unwrap();
+        header.extend_from_slice(b"future-field");
+        write_varint(&mut grown, header.len() as u64).unwrap();
+        grown.extend_from_slice(&header);
+        // Reuse the chunk bytes from the clean encoding.
+        let clean_header_len = 8 + 1 + {
+            let mut h = Vec::new();
+            write_varint(&mut h, trace.len() as u64).unwrap();
+            write_varint(&mut h, 9u64).unwrap();
+            write_varint(&mut h, 0u64).unwrap();
+            h.len()
+        };
+        grown.extend_from_slice(&clean[clean_header_len..]);
+        assert_eq!(Trace::read_from(grown.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn salvage_recovers_intact_chunks_bit_identically() {
+        let trace = multi_chunk_trace();
+        let clean = v2_bytes(&trace, 5);
+        // Corrupt one byte in (what is certainly) chunk 1's payload: the
+        // file has 4 chunks; chunk payloads dominate the byte count.
+        let mut corrupt = clean.clone();
+        let position = clean.len() / 3;
+        corrupt[position] ^= 0xFF;
+        let report = salvage_trace(corrupt.as_slice()).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.seed, Some(5));
+        assert_eq!(report.total_chunks, 4);
+        assert_eq!(report.recovered_chunks, 3);
+        assert_eq!(report.dropped.len(), 1);
+        let dropped = &report.dropped[0];
+        assert_eq!(dropped.records, V2_CHUNK_RECORDS as u64);
+        // Every surviving record is bit-identical to the original.
+        let chunk = dropped.chunk;
+        let full = trace.records();
+        let mut expected: Vec<TraceRecord> = Vec::new();
+        expected.extend_from_slice(&full[..chunk * V2_CHUNK_RECORDS]);
+        expected.extend_from_slice(&full[(chunk + 1) * V2_CHUNK_RECORDS..]);
+        assert_eq!(report.recovered.records(), expected.as_slice());
+        assert!(!report.intact());
+    }
+
+    #[test]
+    fn salvage_of_intact_file_recovers_everything() {
+        let trace = multi_chunk_trace();
+        let report = salvage_trace(v2_bytes(&trace, 5).as_slice()).unwrap();
+        assert!(report.intact());
+        assert_eq!(report.recovered, trace);
+        assert_eq!(report.recovered_chunks, report.total_chunks);
+        assert!(report.dropped.is_empty());
+    }
+
+    #[test]
+    fn salvage_reports_unreachable_tail_after_framing_damage() {
+        let trace = multi_chunk_trace();
+        let clean = v2_bytes(&trace, 0);
+        // Truncate mid-file: later chunks are unreachable.
+        let report = salvage_trace(&clean[..clean.len() / 2]).unwrap();
+        assert!(report.recovered_chunks < report.total_chunks);
+        assert!(!report.dropped.is_empty());
+        // Records in scanned-but-corrupt chunks are counted in dropped;
+        // everything must be accounted for.
+        let lost: u64 = report.dropped.iter().map(|d| d.records).sum();
+        assert_eq!(
+            report.recovered.len() as u64 + lost,
+            report.declared_records
+        );
+    }
+
+    #[test]
+    fn salvage_v1_recovers_clean_prefix() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        let report = salvage_trace(buffer.as_slice()).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(!report.recovered.is_empty());
+        assert!(report.recovered.len() < trace.len());
+        assert_eq!(
+            report.recovered.records(),
+            &trace.records()[..report.recovered.len()],
+            "prefix must be bit-identical"
+        );
+        assert_eq!(report.dropped.len(), 1);
+    }
+
+    #[test]
+    fn inspect_reports_chunk_map_and_crc_status() {
+        let trace = multi_chunk_trace();
+        let clean = v2_bytes(&trace, 77);
+        let info = inspect_trace(clean.as_slice()).unwrap();
+        assert!(info.intact());
+        assert_eq!(info.version, 2);
+        assert_eq!(info.seed, Some(77));
+        assert_eq!(info.declared_records, trace.len() as u64);
+        assert_eq!(info.decoded_records, trace.len() as u64);
+        assert_eq!(info.chunks.len(), 4);
+        assert_eq!(info.trailing_bytes, 0);
+        for c in &info.chunks {
+            assert!(c.intact());
+        }
+
+        let mut corrupt = clean.clone();
+        let position = clean.len() / 3;
+        corrupt[position] ^= 0x01;
+        corrupt.extend_from_slice(b"junk");
+        let info = inspect_trace(corrupt.as_slice()).unwrap();
+        assert!(!info.intact());
+        assert_eq!(info.chunks.iter().filter(|c| !c.intact()).count(), 1);
+        assert_eq!(info.trailing_bytes, 4);
+    }
+
+    #[test]
+    fn inspect_handles_v1_files() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).unwrap();
+        let info = inspect_trace(buffer.as_slice()).unwrap();
+        assert!(info.intact());
+        assert_eq!(info.version, 1);
+        assert_eq!(info.decoded_records, trace.len() as u64);
+        assert!(info.chunks.is_empty());
+    }
+
+    // ---- atomic writes & staging hygiene ----
 
     #[test]
     fn atomic_save_leaves_no_staging_files() {
@@ -467,6 +1513,35 @@ mod tests {
             .map(|e| e.unwrap().file_name())
             .collect();
         assert_eq!(siblings, vec![std::ffi::OsString::from("out.bin")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_staging_files_swept_before_write() {
+        let dir = std::env::temp_dir().join("dfcm_io_stale_staging_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.trc");
+        // An orphan from a "crashed" writer: pid u32::MAX can never be a
+        // live process (beyond pid_max), so the sweep must remove it.
+        let orphan = dir.join("out.trc.tmp.4294967295.3");
+        std::fs::write(&orphan, b"orphaned staging data").unwrap();
+        // A staging file of the *running* process must survive: another
+        // thread could be mid-write.
+        let ours = dir.join(format!("out.trc.tmp.{}.999", std::process::id()));
+        std::fs::write(&ours, b"active staging data").unwrap();
+        // A staging file for a *different* target is not this write's
+        // business.
+        let other = dir.join("other.trc.tmp.4294967295.1");
+        std::fs::write(&other, b"someone else's orphan").unwrap();
+
+        atomic_write(&path, b"fresh contents").unwrap();
+
+        assert_eq!(std::fs::read(&path).unwrap(), b"fresh contents");
+        assert!(!orphan.exists(), "dead-process orphan must be swept");
+        assert!(ours.exists(), "our own staging files must survive");
+        assert!(other.exists(), "other targets' staging files untouched");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

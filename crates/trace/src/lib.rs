@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod io;
 mod pattern;
 mod phases;
@@ -44,6 +45,10 @@ mod rng;
 pub mod stats;
 pub mod suite;
 
+pub use crate::io::{
+    atomic_write, atomic_write_with, inspect_trace, salvage_trace, ChunkInfo, DroppedChunk,
+    SalvageReport, TraceFormat, TraceFormatError, TraceInfo, V2_CHUNK_RECORDS,
+};
 pub use crate::pattern::{Pattern, PatternState};
 pub use crate::phases::PhasedProgram;
 pub use crate::program::{ProgramBuilder, SyntheticProgram, BASE_PC};

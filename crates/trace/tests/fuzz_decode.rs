@@ -1,0 +1,167 @@
+//! Structure-aware fuzzing of the trace decoders on the workspace
+//! proptest shim: random byte mutations of valid v1/v2 traces, and raw
+//! garbage, must never panic or mis-decode. Strict reads either return
+//! the original records or a typed error; salvage and inspect are total.
+//!
+//! CI runs this harness with `PROPTEST_CASES=1000` (the fuzz-smoke
+//! step); locally it runs at the shim's default case count.
+
+use dfcm_trace::{
+    inspect_trace, salvage_trace, Trace, TraceFormatError, TraceRecord, V2_CHUNK_RECORDS,
+};
+use proptest::prelude::*;
+
+/// A deterministic, structurally interesting trace: looping PCs, mixed
+/// small/large values, length decoupled from the chunk size.
+fn base_trace(records: usize, salt: u64) -> Trace {
+    (0..records as u64)
+        .map(|i| {
+            TraceRecord::new(
+                0x40_0000 + 4 * ((i ^ salt) % 1021),
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (i % 17),
+            )
+        })
+        .collect()
+}
+
+fn v1_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    trace
+        .write_with(&mut buffer, dfcm_trace::TraceFormat::V1)
+        .unwrap();
+    buffer
+}
+
+fn v2_bytes(trace: &Trace, seed: u64) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    trace.write_v2_to(&mut buffer, seed).unwrap();
+    buffer
+}
+
+/// Applies `flips` single-byte XOR mutations at pseudo-positions derived
+/// from the fuzzer-chosen seeds.
+fn mutate(bytes: &mut [u8], flips: &[(u32, u8)], min_offset: usize) {
+    if bytes.len() <= min_offset {
+        return;
+    }
+    let span = bytes.len() - min_offset;
+    for &(pos, mask) in flips {
+        let at = min_offset + (pos as usize % span);
+        // A zero mask would be a no-op "mutation"; force at least a bit.
+        bytes[at] ^= if mask == 0 { 1 } else { mask };
+    }
+}
+
+proptest! {
+    /// Strict v2 reads of byte-mutated files either reproduce the
+    /// original records exactly or fail with a typed format error —
+    /// never a panic, never silently wrong data. Mutations are kept off
+    /// the 8-byte magic: rewriting the magic legitimately changes which
+    /// format (or whether any format) is being parsed.
+    #[test]
+    fn mutated_v2_never_misdecodes(
+        records in 0usize..9000,
+        salt in any::<u64>(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        let trace = base_trace(records, salt);
+        let mut bytes = v2_bytes(&trace, salt);
+        mutate(&mut bytes, &flips, 8);
+        match Trace::read_from(bytes.as_slice()) {
+            Ok(decoded) => prop_assert_eq!(decoded, trace),
+            Err(e) => prop_assert!(
+                TraceFormatError::classify(&e).is_some(),
+                "untyped decode error: {}", e
+            ),
+        }
+    }
+
+    /// Mutated v1 files never panic the reader. (v1 has no checksums, so
+    /// a flipped payload byte may legitimately decode to different
+    /// records — only totality is asserted.)
+    #[test]
+    fn mutated_v1_never_panics(
+        records in 0usize..9000,
+        salt in any::<u64>(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = v1_bytes(&base_trace(records, salt));
+        mutate(&mut bytes, &flips, 0);
+        let _ = Trace::read_from(bytes.as_slice());
+    }
+
+    /// Raw garbage (including mutated magics) never panics any decoder
+    /// entry point.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = Trace::read_from(bytes.as_slice());
+        let _ = salvage_trace(bytes.as_slice());
+        let _ = inspect_trace(bytes.as_slice());
+    }
+
+    /// Truncation at every prefix length is handled cleanly: a strict
+    /// read fails typed, and salvage recovers only whole intact chunks.
+    #[test]
+    fn truncated_v2_fails_typed_and_salvages(
+        records in 1usize..9000,
+        salt in any::<u64>(),
+        keep_permille in 0u32..1000,
+    ) {
+        let trace = base_trace(records, salt);
+        let bytes = v2_bytes(&trace, salt);
+        let keep = 8 + (bytes.len() - 8) * keep_permille as usize / 1000;
+        let err = Trace::read_from(&bytes[..keep]).unwrap_err();
+        prop_assert!(TraceFormatError::classify(&err).is_some(), "untyped: {}", err);
+        if let Ok(report) = salvage_trace(&bytes[..keep]) {
+            prop_assert!(report.recovered.len() <= trace.len());
+            prop_assert_eq!(
+                report.recovered.records(),
+                &trace.records()[..report.recovered.len()]
+            );
+        }
+    }
+
+    /// Salvage and inspect are total on mutated v2 files, and their
+    /// reports agree with each other and with the file's bounds.
+    #[test]
+    fn salvage_and_inspect_are_total_and_consistent(
+        records in 0usize..9000,
+        salt in any::<u64>(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        let trace = base_trace(records, salt);
+        let mut bytes = v2_bytes(&trace, salt);
+        mutate(&mut bytes, &flips, 8);
+        let salvage = salvage_trace(bytes.as_slice());
+        let inspect = inspect_trace(bytes.as_slice());
+        if let Ok(report) = &salvage {
+            prop_assert!(report.recovered_chunks <= report.total_chunks);
+            prop_assert!(report.recovered.len() as u64 <= report.declared_records
+                || report.declared_records != trace.len() as u64,
+                "more records than declared from an honest header");
+            // Intact chunks are bit-identical to the original stream:
+            // every recovered record appears in the original at the
+            // position its chunk implies.
+            if report.dropped.is_empty() {
+                prop_assert_eq!(&report.recovered, &trace);
+            }
+        }
+        if let Ok(info) = &inspect {
+            prop_assert!(info.decoded_records <= info.declared_records
+                || info.declared_records != trace.len() as u64);
+        }
+        // A header mutilated into unreadability fails both the same way.
+        prop_assert_eq!(salvage.is_err(), inspect.is_err());
+    }
+
+    /// Round-trip sanity at the chunk boundary sizes the fuzzer rarely
+    /// hits by chance.
+    #[test]
+    fn chunk_boundary_sizes_roundtrip(delta in 0usize..3, salt in any::<u64>()) {
+        for base in [V2_CHUNK_RECORDS - 1, V2_CHUNK_RECORDS, 2 * V2_CHUNK_RECORDS] {
+            let trace = base_trace(base + delta, salt);
+            let bytes = v2_bytes(&trace, 1);
+            prop_assert_eq!(Trace::read_from(bytes.as_slice()).unwrap(), trace);
+        }
+    }
+}

@@ -32,6 +32,12 @@ use crate::isa::Inst;
 /// this base so that low addresses stay free for sentinels.
 pub const DATA_BASE: i64 = 0x1000;
 
+/// Upper bound on the assembled data segment, in words. Source text is
+/// untrusted (kernels may be generated or fuzzed), and a single
+/// `.space 99999999999` must not make the assembler itself allocate
+/// unboundedly — real kernels use a few thousand words.
+pub const MAX_DATA_WORDS: usize = 1 << 22;
+
 /// An assembled program: instructions, initialized data image and the
 /// resolved symbol table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,18 +55,26 @@ pub struct Program {
     pub entry: usize,
 }
 
-/// An assembly error, with the 1-based source line it occurred on.
+/// An assembly error, with the 1-based source line it occurred on and an
+/// excerpt of that line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based line number in the source text.
     pub line: usize,
     /// Description of the problem.
     pub message: String,
+    /// The offending source line, trimmed (empty only if the line number
+    /// is out of range for the source, which would be a bug).
+    pub snippet: String,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n  --> {}", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -70,6 +84,7 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
     AsmError {
         line,
         message: message.into(),
+        snippet: String::new(),
     }
 }
 
@@ -85,8 +100,24 @@ enum Segment {
 ///
 /// Returns [`AsmError`] on any syntax error, unknown mnemonic or register,
 /// duplicate or undefined label, or malformed directive. The error carries
-/// the offending line number.
+/// the offending line number and a trimmed excerpt of that source line.
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_inner(source).map_err(|mut e| {
+        // Every error site knows its line; the excerpt is attached once
+        // here so the sites stay terse.
+        if e.snippet.is_empty() {
+            e.snippet = source
+                .lines()
+                .nth(e.line.saturating_sub(1))
+                .unwrap_or("")
+                .trim()
+                .to_owned();
+        }
+        e
+    })
+}
+
+fn assemble_inner(source: &str) -> Result<Program, AsmError> {
     // Pass 1: collect label addresses and data image.
     let mut segment = Segment::Text;
     let mut inst_count = 0usize;
@@ -131,6 +162,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                             continue;
                         }
                         data.push(parse_imm(tok, line)?);
+                        if data.len() > MAX_DATA_WORDS {
+                            return Err(err(
+                                line,
+                                format!("data segment exceeds {MAX_DATA_WORDS} words"),
+                            ));
+                        }
                     }
                 }
                 Some("space") => {
@@ -141,6 +178,13 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     let n = parse_imm(rest, line)?;
                     if n < 0 {
                         return Err(err(line, "negative .space size"));
+                    }
+                    // Reject before allocating: the size is untrusted.
+                    if n as u64 > (MAX_DATA_WORDS - data.len()) as u64 {
+                        return Err(err(
+                            line,
+                            format!("data segment exceeds {MAX_DATA_WORDS} words"),
+                        ));
                     }
                     data.extend(std::iter::repeat_n(0, n as usize));
                 }
@@ -590,6 +634,39 @@ mod tests {
         assert_eq!(p.insts[0], Inst::Li(1, 16));
         assert_eq!(p.insts[1], Inst::Li(2, -16));
         assert_eq!(p.insts[2], Inst::Li(3, -7));
+    }
+
+    #[test]
+    fn errors_carry_source_snippet() {
+        // Unknown mnemonic.
+        let e = assemble(".text\nmain: nop\n      frob r1\nhalt\n").unwrap_err();
+        assert_eq!((e.line, e.snippet.as_str()), (3, "frob r1"));
+        assert!(e.message.contains("unknown mnemonic"));
+        assert!(e.to_string().contains("-->"));
+        // Bad register.
+        let e = assemble(".text\nmain: nop\nadd r1, r2, r99\nhalt\n").unwrap_err();
+        assert_eq!((e.line, e.snippet.as_str()), (3, "add r1, r2, r99"));
+        assert!(e.message.contains("out of range"));
+        // Out-of-range immediate (does not fit an i64).
+        let e = assemble(".text\nmain: li r1, 99999999999999999999\nhalt\n").unwrap_err();
+        assert_eq!(
+            (e.line, e.snippet.as_str()),
+            (2, "main: li r1, 99999999999999999999")
+        );
+        assert!(e.message.contains("bad immediate"));
+        // Out-of-range shift amount.
+        let e = assemble(".text\nmain: sll r1, r2, 64\n").unwrap_err();
+        assert_eq!((e.line, e.snippet.as_str()), (2, "main: sll r1, r2, 64"));
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn data_segment_size_capped_before_allocation() {
+        let e = assemble(".data\nbig: .space 99999999999\n.text\nmain: halt\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("data segment exceeds"));
+        let e = assemble(".data\nbig: .space -1\n.text\nmain: halt\n").unwrap_err();
+        assert!(e.message.contains("negative"));
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod programs;
 pub mod suite;
 mod vm;
 
-pub use crate::asm::{assemble, AsmError, Program, DATA_BASE};
+pub use crate::asm::{assemble, AsmError, Program, DATA_BASE, MAX_DATA_WORDS};
 pub use crate::disasm::{disassemble, render_inst};
 pub use crate::isa::{Inst, Reg, NUM_REGS};
-pub use crate::vm::{RunResult, StopReason, Vm, VmError, DEFAULT_MEMORY_WORDS, TEXT_BASE};
+pub use crate::vm::{
+    RunResult, StopReason, Vm, VmError, VmLimits, DEFAULT_MEMORY_WORDS, TEXT_BASE,
+};

@@ -9,6 +9,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use dfcm_trace::{Trace, TraceRecord, TraceSource};
 
@@ -22,7 +23,57 @@ pub const TEXT_BASE: u64 = 0x0040_0000;
 /// Default data-memory size in words.
 pub const DEFAULT_MEMORY_WORDS: usize = 1 << 20;
 
-/// A runtime error: the program accessed memory or jumped out of range.
+/// How often (in steps) the wall-clock deadline is polled; checking the
+/// clock every instruction would dominate the interpreter loop.
+const DEADLINE_POLL_MASK: u64 = 0xFFF;
+
+/// Resource budgets for a [`Vm`], for running untrusted or
+/// fuzzer-generated kernels: a pathological program degrades to a typed
+/// error instead of hanging a worker or exhausting its host.
+///
+/// The default is the historical behavior: default-sized memory, no
+/// instruction budget, no deadline.
+///
+/// ```
+/// use std::time::Duration;
+/// use dfcm_vm::{assemble, Vm, VmError, VmLimits};
+///
+/// let program = assemble(".text\nmain: j main").unwrap();
+/// let limits = VmLimits {
+///     max_instructions: Some(10_000),
+///     ..VmLimits::default()
+/// };
+/// let mut vm = Vm::with_limits(program, limits).unwrap();
+/// // An endless kernel now stops with a typed error instead of hanging.
+/// assert!(matches!(
+///     vm.try_take_trace(1),
+///     Err(VmError::InstructionBudgetExhausted { budget: 10_000 })
+/// ));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmLimits {
+    /// Data-memory size in words.
+    pub memory_words: usize,
+    /// Maximum instructions the machine may ever execute (across all
+    /// `run`/`step` calls); `None` = unlimited.
+    pub max_instructions: Option<u64>,
+    /// Wall-clock budget, measured from the first executed instruction
+    /// and polled every few thousand steps; `None` = unlimited.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for VmLimits {
+    fn default() -> Self {
+        VmLimits {
+            memory_words: DEFAULT_MEMORY_WORDS,
+            max_instructions: None,
+            deadline: None,
+        }
+    }
+}
+
+/// A runtime error: the program accessed memory or jumped out of range,
+/// or tripped one of its [`VmLimits`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmError {
     /// A load or store touched an address outside data memory.
@@ -36,6 +87,24 @@ pub enum VmError {
     PcOutOfRange {
         /// The invalid target instruction index.
         target: i64,
+    },
+    /// The program's data image does not fit in the configured memory.
+    DataImageTooLarge {
+        /// Words the image needs (including the [`DATA_BASE`] offset).
+        needed: usize,
+        /// Words the configured memory provides.
+        available: usize,
+    },
+    /// The machine executed its entire instruction budget without
+    /// halting.
+    InstructionBudgetExhausted {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The wall-clock deadline passed before the program halted.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
     },
 }
 
@@ -51,21 +120,48 @@ impl fmt::Display for VmError {
             VmError::PcOutOfRange { target } => {
                 write!(f, "jump target {target} outside program")
             }
+            VmError::DataImageTooLarge { needed, available } => {
+                write!(f, "data image needs {needed} words, memory has {available}")
+            }
+            VmError::InstructionBudgetExhausted { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+            VmError::DeadlineExceeded { deadline } => {
+                write!(f, "wall-clock deadline of {deadline:?} exceeded")
+            }
         }
     }
 }
 
 impl Error for VmError {}
 
-/// Why a bounded [`Vm::run`] stopped. Faults are not represented here:
-/// a faulting run returns `Err(VmError)` instead of a [`RunResult`].
+/// Why a [`Vm`] stopped executing. Memory and control faults are not
+/// represented here: a faulting run returns `Err(VmError)` instead of a
+/// [`RunResult`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
     /// The program executed `halt` — a clean, complete run.
     Halted,
-    /// The step budget ran out before `halt`; the trace is a prefix of
-    /// the program's full output, not a completed run.
+    /// The per-call step budget of [`Vm::run`] ran out before `halt`;
+    /// the trace is a prefix of the program's full output, not a
+    /// completed run. Unlike the [`VmLimits`] guards this is not an
+    /// error: the caller chose the bound and the machine can keep going.
     StepBudgetExhausted,
+    /// The machine-level [`VmLimits::max_instructions`] budget ran out;
+    /// the corresponding call returned
+    /// [`VmError::InstructionBudgetExhausted`] and the machine is
+    /// permanently stopped.
+    InstructionBudgetExhausted {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The [`VmLimits::deadline`] passed; the corresponding call
+    /// returned [`VmError::DeadlineExceeded`] and the machine is
+    /// permanently stopped.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+    },
 }
 
 /// Outcome of a bounded [`Vm::run`].
@@ -123,6 +219,10 @@ pub struct Vm {
     halted: bool,
     steps: u64,
     error: Option<VmError>,
+    limits: VmLimits,
+    /// When the first instruction executed; anchors the deadline.
+    started: Option<Instant>,
+    limit_stop: Option<StopReason>,
 }
 
 impl Vm {
@@ -141,18 +241,42 @@ impl Vm {
     ///
     /// # Panics
     ///
-    /// Panics if the data image does not fit below `words`.
+    /// Panics if the data image does not fit below `words`. For a
+    /// non-panicking constructor (untrusted programs) use
+    /// [`Vm::with_limits`].
     pub fn with_memory(program: Program, words: usize) -> Self {
+        Self::with_limits(
+            program,
+            VmLimits {
+                memory_words: words,
+                ..VmLimits::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`new`](Vm::new) with explicit [`VmLimits`], returning an
+    /// error instead of panicking when the program cannot be loaded.
+    /// This is the constructor for untrusted or generated programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DataImageTooLarge`] if the program's data
+    /// image does not fit in `limits.memory_words`.
+    pub fn with_limits(program: Program, limits: VmLimits) -> Result<Self, VmError> {
+        let words = limits.memory_words;
         let needed = DATA_BASE as usize + program.data.len();
-        assert!(
-            needed <= words,
-            "data image needs {needed} words, memory has {words}"
-        );
+        if needed > words {
+            return Err(VmError::DataImageTooLarge {
+                needed,
+                available: words,
+            });
+        }
         let mut mem = vec![0i64; words];
         mem[DATA_BASE as usize..needed].copy_from_slice(&program.data);
         let mut regs = [0i64; NUM_REGS];
         regs[30] = words as i64 - 1; // sp
-        Vm {
+        Ok(Vm {
             insts: program.insts,
             regs,
             mem,
@@ -160,7 +284,10 @@ impl Vm {
             halted: false,
             steps: 0,
             error: None,
-        }
+            limits,
+            started: None,
+            limit_stop: None,
+        })
     }
 
     /// Current value of register `r` (0..=31).
@@ -189,6 +316,16 @@ impl Vm {
     /// The first runtime error encountered, if any.
     pub fn error(&self) -> Option<&VmError> {
         self.error.as_ref()
+    }
+
+    /// The configured resource limits.
+    pub fn limits(&self) -> &VmLimits {
+        &self.limits
+    }
+
+    /// The [`VmLimits`] guard that stopped the machine, if one tripped.
+    pub fn limit_stop(&self) -> Option<StopReason> {
+        self.limit_stop
     }
 
     /// The instruction index the machine will execute next.
@@ -224,16 +361,44 @@ impl Vm {
         Ok(())
     }
 
+    /// Stops the machine on a tripped [`VmLimits`] guard: latches the
+    /// error and the matching [`StopReason`], and halts further
+    /// execution.
+    fn trip_limit(&mut self, stop: StopReason, error: VmError) -> VmError {
+        self.limit_stop = Some(stop);
+        self.error = Some(error.clone());
+        self.halted = true;
+        error
+    }
+
     /// Executes one instruction. Returns the emitted trace record, if the
     /// instruction produced a register value.
     ///
     /// # Errors
     ///
     /// Returns [`VmError`] on out-of-bounds memory access or control
-    /// transfer; the machine also latches the error (see [`Vm::error`]).
+    /// transfer, or when a [`VmLimits`] guard trips; the machine also
+    /// latches the error (see [`Vm::error`]).
     pub fn step(&mut self) -> Result<Option<TraceRecord>, VmError> {
         if self.halted {
             return Ok(None);
+        }
+        if let Some(budget) = self.limits.max_instructions {
+            if self.steps >= budget {
+                return Err(self.trip_limit(
+                    StopReason::InstructionBudgetExhausted { budget },
+                    VmError::InstructionBudgetExhausted { budget },
+                ));
+            }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            let started = *self.started.get_or_insert_with(Instant::now);
+            if self.steps & DEADLINE_POLL_MASK == 0 && started.elapsed() > deadline {
+                return Err(self.trip_limit(
+                    StopReason::DeadlineExceeded { deadline },
+                    VmError::DeadlineExceeded { deadline },
+                ));
+            }
         }
         let pc = self.pc;
         let Some(&inst) = self.insts.get(pc) else {
@@ -596,6 +761,78 @@ mod tests {
             vm.run(50).unwrap().stop_reason(),
             StopReason::StepBudgetExhausted
         );
+    }
+
+    #[test]
+    fn instruction_budget_stops_endless_kernels_with_typed_error() {
+        // Without a budget, `try_take_trace` on a non-emitting infinite
+        // loop would spin forever; the guard turns it into a typed error.
+        let limits = VmLimits {
+            max_instructions: Some(5_000),
+            ..VmLimits::default()
+        };
+        let mut vm = Vm::with_limits(assemble(".text\nmain: j main").unwrap(), limits).unwrap();
+        let e = vm.try_take_trace(1).unwrap_err();
+        assert_eq!(e, VmError::InstructionBudgetExhausted { budget: 5_000 });
+        assert_eq!(vm.steps(), 5_000);
+        assert_eq!(
+            vm.limit_stop(),
+            Some(StopReason::InstructionBudgetExhausted { budget: 5_000 })
+        );
+        assert!(vm.halted());
+        assert_eq!(vm.error(), Some(&e));
+        // The machine stays stopped: further pulls drain, never spin.
+        assert_eq!(vm.next_record(), None);
+        assert_eq!(vm.try_take_trace(1).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn budget_is_invisible_to_programs_that_halt_in_time() {
+        let src = ".text\nmain: li r1, 0\nli r2, 12\nloop: addi r1, r1, 1\nbne r1, r2, loop\nhalt";
+        let limits = VmLimits {
+            max_instructions: Some(1_000),
+            deadline: Some(Duration::from_secs(60)),
+            ..VmLimits::default()
+        };
+        let mut guarded = Vm::with_limits(assemble(src).unwrap(), limits).unwrap();
+        let mut plain = Vm::new(assemble(src).unwrap());
+        assert_eq!(guarded.run(100_000).unwrap(), plain.run(100_000).unwrap());
+        assert!(guarded.halted());
+        assert_eq!(guarded.limit_stop(), None);
+    }
+
+    #[test]
+    fn deadline_stops_endless_kernels() {
+        let limits = VmLimits {
+            deadline: Some(Duration::ZERO),
+            ..VmLimits::default()
+        };
+        let mut vm = Vm::with_limits(assemble(".text\nmain: j main").unwrap(), limits).unwrap();
+        let e = vm.run(u64::MAX).unwrap_err();
+        assert_eq!(
+            e,
+            VmError::DeadlineExceeded {
+                deadline: Duration::ZERO
+            }
+        );
+        assert!(matches!(
+            vm.limit_stop(),
+            Some(StopReason::DeadlineExceeded { .. })
+        ));
+        assert!(vm.halted());
+    }
+
+    #[test]
+    fn with_limits_rejects_oversized_data_images() {
+        let program = assemble(".data\nv: .space 100\n.text\nmain: halt").unwrap();
+        let limits = VmLimits {
+            memory_words: 64,
+            ..VmLimits::default()
+        };
+        assert!(matches!(
+            Vm::with_limits(program, limits),
+            Err(VmError::DataImageTooLarge { available: 64, .. })
+        ));
     }
 
     #[test]

@@ -106,6 +106,31 @@ proptest! {
         let _ = assemble(&text);
     }
 
+    /// `asm → encode → disasm → asm` is a fixed point for generated
+    /// instruction sequences: one round of disassembly canonicalizes the
+    /// text, and further rounds change nothing.
+    #[test]
+    fn generated_programs_reach_disasm_fixed_point(
+        insts in prop::collection::vec(arb_linear_inst(), 1..60),
+    ) {
+        let mut body = insts;
+        body.push(Inst::Halt);
+        let program = dfcm_vm::Program {
+            insts: body,
+            data: vec![],
+            text_labels: Default::default(),
+            data_labels: Default::default(),
+            entry: 0,
+        };
+        let text1 = disassemble(&program);
+        let p2 = assemble(&text1).expect("disassembly must assemble");
+        let text2 = disassemble(&p2);
+        prop_assert_eq!(program.insts, p2.insts.clone());
+        prop_assert_eq!(text1, text2);
+        let p3 = assemble(&text2).expect("fixed point must keep assembling");
+        prop_assert_eq!(p2.insts, p3.insts);
+    }
+
     /// Whitespace and comment placement do not change the assembly.
     #[test]
     fn whitespace_insensitivity(pad_a in " {0,4}", pad_b in " {0,4}") {
@@ -115,6 +140,24 @@ proptest! {
         let a = assemble(compact).unwrap();
         let b = assemble(&padded).unwrap();
         prop_assert_eq!(a.insts, b.insts);
+    }
+}
+
+#[test]
+fn kernel_suite_disasm_is_a_fixed_point() {
+    // Over the full kernel suite: assembling a kernel, disassembling it,
+    // and assembling again reproduces the exact instruction stream, and
+    // the disassembly text itself is a fixed point from round one.
+    for (name, src) in dfcm_vm::programs::all() {
+        let original = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let text1 = disassemble(&original);
+        let round1 = assemble(&text1).unwrap_or_else(|e| panic!("{name} round 1: {e}"));
+        assert_eq!(original.insts, round1.insts, "{name}: instruction stream");
+        let text2 = disassemble(&round1);
+        assert_eq!(text1, text2, "{name}: disassembly must be a fixed point");
+        let round2 = assemble(&text2).unwrap_or_else(|e| panic!("{name} round 2: {e}"));
+        assert_eq!(round1.insts, round2.insts, "{name}: second round");
+        assert_eq!(round1.data, round2.data, "{name}: data image");
     }
 }
 

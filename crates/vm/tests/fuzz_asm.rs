@@ -1,0 +1,145 @@
+//! Structure-aware fuzzing of the assembler on the workspace proptest
+//! shim: token streams built from real and near-miss assembly tokens
+//! must always produce a line-numbered, excerpt-carrying error or a
+//! program that executes safely under [`VmLimits`] — never a panic,
+//! never a hang.
+//!
+//! CI runs this harness with `PROPTEST_CASES=1000` (the fuzz-smoke
+//! step); locally it runs at the shim's default case count.
+
+use std::time::Duration;
+
+use dfcm_vm::{assemble, Vm, VmLimits};
+use proptest::prelude::*;
+
+/// One line's worth of token soup: valid mnemonics, near-misses,
+/// registers (valid and out-of-range), immediates, labels, directives
+/// (real and bogus), punctuation and comments.
+fn arb_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop_oneof![
+            Just("add"),
+            Just("addi"),
+            Just("sub"),
+            Just("mul"),
+            Just("div"),
+            Just("lw"),
+            Just("sw"),
+            Just("li"),
+            Just("la"),
+            Just("beq"),
+            Just("bne"),
+            Just("blt"),
+            Just("sll"),
+            Just("slt"),
+            Just("j"),
+            Just("jal"),
+            Just("jr"),
+            Just("mov"),
+            Just("nop"),
+            Just("halt"),
+            Just("frob"),
+            Just("addd"),
+            Just("l w"),
+            Just("add8"),
+        ]
+        .prop_map(str::to_owned),
+        prop_oneof![
+            Just(".text"),
+            Just(".data"),
+            Just(".word"),
+            Just(".space"),
+            Just(".bogus"),
+            Just("."),
+        ]
+        .prop_map(str::to_owned),
+        (0u32..40).prop_map(|n| format!("r{n}")),
+        prop_oneof![
+            Just("zero"),
+            Just("sp"),
+            Just("ra"),
+            Just("$3"),
+            Just("$99")
+        ]
+        .prop_map(str::to_owned),
+        any::<i64>().prop_map(|i| i.to_string()),
+        any::<u32>().prop_map(|i| format!("{i:#x}")),
+        Just("99999999999999999999".to_owned()),
+        (0u32..6).prop_map(|n| format!("lab{n}")),
+        (0u32..6).prop_map(|n| format!("lab{n}:")),
+        (-9i64..9, 0u32..40).prop_map(|(o, r)| format!("{o}(r{r})")),
+        prop_oneof![
+            Just(","),
+            Just(", "),
+            Just("("),
+            Just(")"),
+            Just(":"),
+            Just("; comment"),
+            Just("# comment"),
+            Just(""),
+        ]
+        .prop_map(str::to_owned),
+    ]
+}
+
+/// A line: a few tokens joined by spaces.
+fn arb_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_token(), 0..6).prop_map(|tokens| tokens.join(" "))
+}
+
+/// Limits tight enough that even a generated infinite loop terminates
+/// promptly, but roomy enough for legitimate token-soup programs.
+fn fuzz_limits() -> VmLimits {
+    VmLimits {
+        memory_words: 1 << 16,
+        max_instructions: Some(20_000),
+        deadline: Some(Duration::from_secs(1)),
+    }
+}
+
+proptest! {
+    /// Arbitrary token streams either assemble or fail with an error
+    /// whose line number points into the source and whose snippet is the
+    /// trimmed text of exactly that line. Programs that do assemble must
+    /// execute to a clean stop under resource guards.
+    #[test]
+    fn token_soup_errors_are_spanned_and_programs_terminate(
+        lines in prop::collection::vec(arb_line(), 0..20),
+    ) {
+        let source = lines.join("\n");
+        match assemble(&source) {
+            Err(e) => {
+                let line_count = source.lines().count().max(1);
+                prop_assert!(
+                    e.line >= 1 && e.line <= line_count,
+                    "line {} outside 1..={} for error `{}`", e.line, line_count, e.message
+                );
+                let expected = source.lines().nth(e.line - 1).unwrap_or("").trim();
+                prop_assert_eq!(e.snippet.as_str(), expected);
+                prop_assert!(!e.message.is_empty());
+                prop_assert!(e.to_string().starts_with(&format!("line {}:", e.line)));
+            }
+            Ok(program) => {
+                // Loading can fail (oversized data image) but not panic;
+                // execution must stop — halt, fault, or tripped guard —
+                // rather than hang the fuzzer.
+                if let Ok(mut vm) = Vm::with_limits(program, fuzz_limits()) {
+                    let _ = vm.try_take_trace(1_000);
+                    prop_assert!(
+                        vm.halted() || vm.error().is_some() || vm.steps() <= 20_000
+                    );
+                }
+            }
+        }
+    }
+
+    /// Raw character soup (not token-structured) also never panics and
+    /// keeps the line-number invariant.
+    #[test]
+    fn character_soup_never_panics(source in "[ -~\t\n]{0,400}") {
+        if let Err(e) = assemble(&source) {
+            let line_count = source.lines().count().max(1);
+            prop_assert!(e.line >= 1 && e.line <= line_count);
+        }
+    }
+}
