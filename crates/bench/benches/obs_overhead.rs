@@ -1,0 +1,50 @@
+//! Observability overhead: the engine sweep with the obs handle
+//! disabled (the default), enabled, and the serial reference. The
+//! disabled case must stay within noise of a build that predates the
+//! obs hooks — the handle is an `Option<Arc>` checked once per task
+//! attempt, so an obs-free run costs one branch. The enabled case
+//! prices the spans, per-task histogram updates and table trackers,
+//! which is worth knowing before shipping `--obs` into a large sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfcm::DfcmPredictor;
+use dfcm_obs::Obs;
+use dfcm_sim::{sweep, sweep_engine, EngineConfig};
+use dfcm_trace::suite::standard_traces;
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let traces = standard_traces(1, 0.01);
+    let configs: Vec<u32> = (8..=16).step_by(2).collect();
+    let factory = |&l2: &u32| {
+        DfcmPredictor::builder()
+            .l1_bits(16)
+            .l2_bits(l2)
+            .build()
+            .unwrap()
+    };
+    let records: u64 = traces.iter().map(|b| b.trace.len() as u64).sum();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(records * configs.len() as u64));
+    group.bench_function("serial_sweep", |b| {
+        b.iter(|| black_box(sweep(&configs, factory, &traces)))
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("engine_obs_off", threads), |b| {
+            let engine = EngineConfig::threads(threads);
+            b.iter(|| black_box(sweep_engine(&configs, factory, &traces, &engine)))
+        });
+        group.bench_function(BenchmarkId::new("engine_obs_on", threads), |b| {
+            let engine = EngineConfig {
+                obs: Obs::enabled(),
+                ..EngineConfig::threads(threads)
+            };
+            b.iter(|| black_box(sweep_engine(&configs, factory, &traces, &engine)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,7 +1,10 @@
+use crate::alias::{AliasAnalyzer, AnalyzedKind};
 use crate::error::{check_table_bits, ConfigError};
+use crate::fcm::TwoLevelInstrumentation;
 use crate::hash::HashFunction;
 use crate::predictor::{L2Indexed, ValuePredictor};
 use crate::storage::StorageCost;
+use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
 
 /// Width of the differences stored in the DFCM level-2 table (§4.4).
@@ -95,6 +98,7 @@ pub struct DfcmPredictor {
     hash: HashFunction,
     value_bits: u32,
     stride_width: StrideWidth,
+    stats: Option<TwoLevelInstrumentation>,
 }
 
 /// Builder for [`DfcmPredictor`]; obtained from [`DfcmPredictor::builder`].
@@ -192,6 +196,7 @@ impl DfcmBuilder {
             hash: self.hash,
             value_bits: self.value_bits,
             stride_width: self.stride_width,
+            stats: None,
         })
     }
 }
@@ -256,6 +261,13 @@ impl ValuePredictor for DfcmPredictor {
         self.l2[history as usize] = self.stride_width.store(diff);
         self.hist[i1] = self.hash.fold_update(history, diff, self.l2_bits);
         self.last[i1] = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.l1.record(i1);
+            stats.l2.record(history as usize);
+            if let Some(analyzer) = &mut stats.analyzer {
+                analyzer.access(pc, actual);
+            }
+        }
     }
 
     fn storage(&self) -> StorageCost {
@@ -281,6 +293,30 @@ impl ValuePredictor for DfcmPredictor {
             self.hash.label(),
             width
         )
+    }
+
+    fn enable_table_stats(&mut self) {
+        if self.stats.is_none() {
+            // The analyzer replicates a full-width DFCM; with truncated
+            // differences its predictions would drift from ours, so only
+            // table usage is tracked in that configuration.
+            let analyzer = (self.stride_width == StrideWidth::Full).then(|| {
+                AliasAnalyzer::with_hash(AnalyzedKind::Dfcm, self.l1_bits, self.l2_bits, self.hash)
+                    .expect("predictor config was already validated")
+            });
+            self.stats = Some(TwoLevelInstrumentation {
+                l1: TableTracker::new("l1", self.last.len()),
+                l2: TableTracker::new("l2", self.l2.len()),
+                analyzer,
+            });
+        }
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        self.stats.as_ref().map(|s| TableStats {
+            tables: vec![s.l1.usage(), s.l2.usage()],
+            alias: s.analyzer.as_ref().map(AliasAnalyzer::breakdown),
+        })
     }
 }
 

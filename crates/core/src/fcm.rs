@@ -1,8 +1,20 @@
+use crate::alias::{AliasAnalyzer, AnalyzedKind};
 use crate::error::{check_table_bits, ConfigError};
 use crate::hash::HashFunction;
 use crate::predictor::{L2Indexed, ValuePredictor};
 use crate::storage::StorageCost;
+use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
+
+/// Opt-in instrumentation for a two-level predictor: usage trackers for
+/// both tables plus a replicated [`AliasAnalyzer`] classifying every
+/// update into the paper's §4.2 taxonomy.
+#[derive(Debug, Clone)]
+pub(crate) struct TwoLevelInstrumentation {
+    pub(crate) l1: TableTracker,
+    pub(crate) l2: TableTracker,
+    pub(crate) analyzer: Option<AliasAnalyzer>,
+}
 
 /// The two-level finite context method predictor (Sazeides & Smith; §2.3).
 ///
@@ -44,6 +56,7 @@ pub struct FcmPredictor {
     l2_bits: u32,
     hash: HashFunction,
     value_bits: u32,
+    stats: Option<TwoLevelInstrumentation>,
 }
 
 /// Builder for [`FcmPredictor`]; obtained from [`FcmPredictor::builder`].
@@ -119,6 +132,7 @@ impl FcmBuilder {
             l2_bits: self.l2_bits,
             hash: self.hash,
             value_bits: self.value_bits,
+            stats: None,
         })
     }
 }
@@ -169,6 +183,13 @@ impl ValuePredictor for FcmPredictor {
         let history = self.l1[i1];
         self.l2[history as usize] = actual;
         self.l1[i1] = self.hash.fold_update(history, actual, self.l2_bits);
+        if let Some(stats) = &mut self.stats {
+            stats.l1.record(i1);
+            stats.l2.record(history as usize);
+            if let Some(analyzer) = &mut stats.analyzer {
+                analyzer.access(pc, actual);
+            }
+        }
     }
 
     fn storage(&self) -> StorageCost {
@@ -187,6 +208,31 @@ impl ValuePredictor for FcmPredictor {
             self.l2_bits,
             self.hash.label()
         )
+    }
+
+    fn enable_table_stats(&mut self) {
+        if self.stats.is_none() {
+            self.stats = Some(TwoLevelInstrumentation {
+                l1: TableTracker::new("l1", self.l1.len()),
+                l2: TableTracker::new("l2", self.l2.len()),
+                analyzer: Some(
+                    AliasAnalyzer::with_hash(
+                        AnalyzedKind::Fcm,
+                        self.l1_bits,
+                        self.l2_bits,
+                        self.hash,
+                    )
+                    .expect("predictor config was already validated"),
+                ),
+            });
+        }
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        self.stats.as_ref().map(|s| TableStats {
+            tables: vec![s.l1.usage(), s.l2.usage()],
+            alias: s.analyzer.as_ref().map(AliasAnalyzer::breakdown),
+        })
     }
 }
 

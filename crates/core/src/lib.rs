@@ -129,6 +129,7 @@ mod profile;
 mod speculative;
 mod storage;
 mod stride;
+mod table_stats;
 mod tagged;
 
 pub use crate::alias::{AliasAnalyzer, AliasBreakdown, AliasClass, AnalyzedKind};
@@ -150,6 +151,7 @@ pub use crate::profile::{OccupancyStats, StrideOccupancyProfiler};
 pub use crate::speculative::{SpeculativeDfcm, SpeculativeDfcmBuilder};
 pub use crate::storage::StorageCost;
 pub use crate::stride::{StridePredictor, TwoDeltaStridePredictor};
+pub use crate::table_stats::{TableStats, TableUsage};
 pub use crate::tagged::{
     ConfidencePredictor, ConfidentPrediction, TaggedDfcmBuilder, TaggedDfcmPredictor,
 };

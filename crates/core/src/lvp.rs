@@ -1,5 +1,6 @@
 use crate::predictor::ValuePredictor;
 use crate::storage::StorageCost;
+use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
 
 /// The last value predictor (Lipasti; paper §2.1).
@@ -23,6 +24,7 @@ pub struct LastValuePredictor {
     mask: usize,
     bits: u32,
     value_bits: u32,
+    stats: Option<TableTracker>,
 }
 
 impl LastValuePredictor {
@@ -54,6 +56,7 @@ impl LastValuePredictor {
             mask: (1usize << bits) - 1,
             bits,
             value_bits,
+            stats: None,
         }
     }
 
@@ -75,6 +78,9 @@ impl ValuePredictor for LastValuePredictor {
     fn update(&mut self, pc: u64, actual: u64) {
         let idx = self.index(pc);
         self.table[idx] = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.record(idx);
+        }
     }
 
     fn storage(&self) -> StorageCost {
@@ -86,6 +92,19 @@ impl ValuePredictor for LastValuePredictor {
 
     fn name(&self) -> String {
         format!("lvp(2^{})", self.bits)
+    }
+
+    fn enable_table_stats(&mut self) {
+        if self.stats.is_none() {
+            self.stats = Some(TableTracker::new("table", self.table.len()));
+        }
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        self.stats.as_ref().map(|s| TableStats {
+            tables: vec![s.usage()],
+            alias: None,
+        })
     }
 }
 

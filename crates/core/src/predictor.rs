@@ -1,4 +1,5 @@
 use crate::storage::StorageCost;
+use crate::table_stats::TableStats;
 
 /// Result of one predict-then-update step on a value predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +63,19 @@ pub trait ValuePredictor {
     /// A short human-readable name including the configuration, e.g.
     /// `"dfcm(l1=2^16,l2=2^12)"`. Used as a label in reports.
     fn name(&self) -> String;
+
+    /// Turns on table-usage instrumentation (occupancy, writes,
+    /// overwrites, and — where supported — the §4.2 aliasing
+    /// classification). Counting starts from the current state; the
+    /// default implementation ignores the request.
+    fn enable_table_stats(&mut self) {}
+
+    /// The usage counters collected since
+    /// [`enable_table_stats`](ValuePredictor::enable_table_stats), or
+    /// `None` if instrumentation is off or unsupported.
+    fn table_stats(&self) -> Option<TableStats> {
+        None
+    }
 }
 
 impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
@@ -83,6 +97,14 @@ impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn enable_table_stats(&mut self) {
+        (**self).enable_table_stats()
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        (**self).table_stats()
     }
 }
 

@@ -1,6 +1,7 @@
 use crate::counter::SaturatingCounter;
 use crate::predictor::ValuePredictor;
 use crate::storage::StorageCost;
+use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
 
 /// The confidence-guarded stride predictor used throughout the paper (§2.2).
@@ -36,6 +37,7 @@ pub struct StridePredictor {
     mask: usize,
     bits: u32,
     value_bits: u32,
+    stats: Option<TableTracker>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -72,6 +74,7 @@ impl StridePredictor {
             mask: (1usize << bits) - 1,
             bits,
             value_bits,
+            stats: None,
         }
     }
 
@@ -108,6 +111,9 @@ impl ValuePredictor for StridePredictor {
             e.confidence.decrement();
         }
         e.last = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.record(idx);
+        }
     }
 
     fn storage(&self) -> StorageCost {
@@ -119,6 +125,19 @@ impl ValuePredictor for StridePredictor {
 
     fn name(&self) -> String {
         format!("stride(2^{})", self.bits)
+    }
+
+    fn enable_table_stats(&mut self) {
+        if self.stats.is_none() {
+            self.stats = Some(TableTracker::new("table", self.entries.len()));
+        }
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        self.stats.as_ref().map(|s| TableStats {
+            tables: vec![s.usage()],
+            alias: None,
+        })
     }
 }
 
@@ -150,6 +169,7 @@ pub struct TwoDeltaStridePredictor {
     mask: usize,
     bits: u32,
     value_bits: u32,
+    stats: Option<TableTracker>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -186,6 +206,7 @@ impl TwoDeltaStridePredictor {
             mask: (1usize << bits) - 1,
             bits,
             value_bits,
+            stats: None,
         }
     }
 
@@ -214,6 +235,9 @@ impl ValuePredictor for TwoDeltaStridePredictor {
         }
         e.s2 = stride;
         e.last = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.record(idx);
+        }
     }
 
     fn storage(&self) -> StorageCost {
@@ -226,6 +250,19 @@ impl ValuePredictor for TwoDeltaStridePredictor {
 
     fn name(&self) -> String {
         format!("2delta(2^{})", self.bits)
+    }
+
+    fn enable_table_stats(&mut self) {
+        if self.stats.is_none() {
+            self.stats = Some(TableTracker::new("table", self.entries.len()));
+        }
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        self.stats.as_ref().map(|s| TableStats {
+            tables: vec![s.usage()],
+            alias: None,
+        })
     }
 }
 

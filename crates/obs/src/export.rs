@@ -1,0 +1,386 @@
+//! Exporters: JSONL event stream, Chrome trace-event JSON, Prometheus
+//! text exposition.
+//!
+//! All three render from the same pair of inputs — a list of
+//! [`Event`]s and a [`MetricsSnapshot`] — and all files are written
+//! through `dfcm_trace::io::atomic_write`, so a crash mid-export never
+//! leaves a truncated artifact. Standard filenames inside an obs
+//! directory are [`EVENTS_FILE`], [`TRACE_FILE`] and [`PROM_FILE`].
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use dfcm_trace::io::atomic_write;
+
+use crate::json::{json_string, JsonObj};
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::Event;
+
+/// Filename of the JSONL event stream inside an obs directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+/// Filename of the Chrome trace-event JSON inside an obs directory.
+pub const TRACE_FILE: &str = "trace.json";
+/// Filename of the Prometheus text exposition inside an obs directory.
+pub const PROM_FILE: &str = "metrics.prom";
+
+/// Renders events and metrics as a JSONL stream: one `span`, `sample`
+/// or `metric` object per line, in deterministic order (events by
+/// timestamp, then metrics sorted by key).
+pub fn to_jsonl(events: &[Event], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for event in events {
+        let line = match event {
+            Event::Span {
+                name,
+                tid,
+                start_us,
+                dur_us,
+                args,
+            } => JsonObj::new()
+                .str("type", "span")
+                .str("name", name)
+                .u64("tid", *tid)
+                .u64("start_us", *start_us)
+                .u64("dur_us", *dur_us)
+                .str_map("args", args.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+                .finish(),
+            Event::Sample {
+                name,
+                labels,
+                ts_us,
+                value,
+            } => JsonObj::new()
+                .str("type", "sample")
+                .str("name", name)
+                .str_map(
+                    "labels",
+                    labels.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+                )
+                .u64("ts_us", *ts_us)
+                .f64("value", *value, 6)
+                .finish(),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for (key, value) in &metrics.metrics {
+        let obj = JsonObj::new()
+            .str("type", "metric")
+            .str("name", &key.name)
+            .str("kind", value.kind())
+            .str_map(
+                "labels",
+                key.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+            );
+        let obj = match value {
+            MetricValue::Counter(v) => obj.u64("value", *v),
+            MetricValue::Gauge(v) => obj.f64("value", *v, 6),
+            MetricValue::Histogram(h) => obj
+                .raw(
+                    "bounds",
+                    &format!(
+                        "[{}]",
+                        h.bounds
+                            .iter()
+                            .map(|b| format!("{b}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                )
+                .raw(
+                    "counts",
+                    &format!(
+                        "[{}]",
+                        h.counts
+                            .iter()
+                            .map(|c| format!("{c}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                )
+                .f64("sum", h.sum, 6)
+                .u64("count", h.count),
+        };
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+fn label_args(labels: &[(String, String)]) -> String {
+    let mut obj = JsonObj::new();
+    for (k, v) in labels {
+        obj = obj.str(k, v);
+    }
+    obj.finish()
+}
+
+/// Renders spans and samples as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`), loadable in Perfetto and
+/// `chrome://tracing`. Spans become complete (`"ph":"X"`) events;
+/// samples become counter (`"ph":"C"`) events.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut items = Vec::with_capacity(events.len());
+    for event in events {
+        match event {
+            Event::Span {
+                name,
+                tid,
+                start_us,
+                dur_us,
+                args,
+            } => {
+                items.push(
+                    JsonObj::new()
+                        .str("name", name)
+                        .str("ph", "X")
+                        .u64("pid", 1)
+                        .u64("tid", *tid)
+                        .u64("ts", *start_us)
+                        .u64("dur", *dur_us)
+                        .raw("args", &label_args(args))
+                        .finish(),
+                );
+            }
+            Event::Sample {
+                name,
+                labels,
+                ts_us,
+                value,
+            } => {
+                // Counter tracks are distinguished by name, so fold the
+                // label set into it (Chrome has no counter labels).
+                let track = if labels.is_empty() {
+                    name.clone()
+                } else {
+                    let qual: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("{name}{{{}}}", qual.join(","))
+                };
+                items.push(
+                    JsonObj::new()
+                        .str("name", &track)
+                        .str("ph", "C")
+                        .u64("pid", 1)
+                        .u64("tid", 0)
+                        .u64("ts", *ts_us)
+                        .raw("args", &JsonObj::new().f64("value", *value, 6).finish())
+                        .finish(),
+                );
+            }
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}\n", items.join(","))
+}
+
+fn prom_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()))
+}
+
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={}", json_string(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}={}", json_string(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, `name{labels} value` samples, and
+/// `_bucket`/`_sum`/`_count` series for histograms.
+///
+/// # Panics
+///
+/// Panics if a metric name is not a valid Prometheus identifier — the
+/// naming scheme in this workspace is fixed, so that is a programming
+/// error, not input data.
+pub fn to_prometheus(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<&str> = None;
+    for (key, value) in &metrics.metrics {
+        assert!(
+            prom_name_ok(&key.name),
+            "`{}` is not a valid Prometheus metric name",
+            key.name
+        );
+        if last_typed != Some(key.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {}", key.name, value.kind());
+            last_typed = Some(key.name.as_str());
+        }
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", key.name, prom_labels(&key.labels, None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {v}", key.name, prom_labels(&key.labels, None));
+            }
+            MetricValue::Histogram(h) => {
+                for (i, bound) in h.bounds.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        key.name,
+                        prom_labels(&key.labels, Some(("le", &format!("{bound}")))),
+                        h.cumulative(i)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.name,
+                    prom_labels(&key.labels, Some(("le", "+Inf"))),
+                    h.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    key.name,
+                    prom_labels(&key.labels, None),
+                    h.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    key.name,
+                    prom_labels(&key.labels, None),
+                    h.count
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Writes all three export formats into `dir` under the standard
+/// filenames, atomically.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or staging the
+/// files.
+pub fn write_exports(dir: &Path, events: &[Event], metrics: &MetricsSnapshot) -> io::Result<()> {
+    atomic_write(&dir.join(EVENTS_FILE), to_jsonl(events, metrics).as_bytes())?;
+    atomic_write(&dir.join(TRACE_FILE), to_chrome_trace(events).as_bytes())?;
+    atomic_write(&dir.join(PROM_FILE), to_prometheus(metrics).as_bytes())?;
+    Ok(())
+}
+
+/// Writes pre-rendered JSONL `lines` (each already newline-terminated or
+/// not — a trailing newline is ensured per line) to `path` atomically.
+///
+/// This is the one report-writing routine shared by `dfcm-tools
+/// --metrics`, the repro harness and the obs exports, so every JSONL
+/// artifact in the workspace goes through the same staged-rename path.
+///
+/// # Errors
+///
+/// Propagates any I/O error from staging or renaming the file.
+pub fn write_jsonl_report<S: AsRef<str>>(path: &Path, lines: &[S]) -> io::Result<()> {
+    let mut contents = String::new();
+    for line in lines {
+        contents.push_str(line.as_ref());
+        if !line.as_ref().ends_with('\n') {
+            contents.push('\n');
+        }
+    }
+    atomic_write(path, contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_inputs() -> (Vec<Event>, MetricsSnapshot) {
+        let events = vec![
+            Event::Span {
+                name: "engine.attempt".into(),
+                tid: 1,
+                start_us: 10,
+                dur_us: 40,
+                args: vec![("label".into(), "cfg/a".into())],
+            },
+            Event::Sample {
+                name: "occupancy".into(),
+                labels: vec![("table".into(), "l1".into())],
+                ts_us: 25,
+                value: 0.5,
+            },
+        ];
+        let r = MetricsRegistry::new();
+        r.add("engine_tasks_total", &[("outcome", "success")], 3);
+        r.gauge("eval_accuracy", &[("spec", "dfcm")], 0.75);
+        r.observe("engine_task_seconds", &[], &[0.1, 1.0], 0.5);
+        (events, r.snapshot())
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_complete_events() {
+        let (events, _) = sample_inputs();
+        let trace = parse(&to_chrome_trace(&events)).unwrap();
+        let items = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(items[0].get("dur").unwrap().as_u64(), Some(40));
+        assert_eq!(items[1].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            items[1].get("name").unwrap().as_str(),
+            Some("occupancy{table=l1}")
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let (events, metrics) = sample_inputs();
+        let jsonl = to_jsonl(&events, &metrics);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            parse(line).unwrap();
+        }
+        // Metrics sort by name: engine_task_seconds histogram first.
+        let hist = parse(lines[2]).unwrap();
+        assert_eq!(hist.get("kind").unwrap().as_str(), Some("histogram"));
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let (_, metrics) = sample_inputs();
+        let text = to_prometheus(&metrics);
+        assert!(text.contains("# TYPE engine_tasks_total counter"));
+        assert!(text.contains("engine_tasks_total{outcome=\"success\"} 3"));
+        assert!(text.contains("eval_accuracy{spec=\"dfcm\"} 0.75"));
+        assert!(text.contains("engine_task_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("engine_task_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("engine_task_seconds_count 1"));
+    }
+
+    #[test]
+    fn exports_write_all_three_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "dfcm-obs-export-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let (events, metrics) = sample_inputs();
+        write_exports(&dir, &events, &metrics).unwrap();
+        for file in [EVENTS_FILE, TRACE_FILE, PROM_FILE] {
+            assert!(dir.join(file).is_file(), "missing {file}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Workspace observability: spans, metrics and exporters.
+//!
+//! `dfcm-obs` is a std-only crate (the build environment is offline)
+//! providing the three layers the rest of the workspace instruments
+//! itself with:
+//!
+//! 1. **Spans** — hierarchical wall-clock timing through a lock-sharded
+//!    [`span::SpanRecorder`], safe under the simulation engine's worker
+//!    threads ([`span`]).
+//! 2. **Metrics** — counters, gauges and fixed-bucket histograms with
+//!    deterministic merge ([`metrics`]).
+//! 3. **Exporters** — JSONL event stream, Chrome trace-event JSON
+//!    (loadable in Perfetto / `chrome://tracing`) and Prometheus text
+//!    exposition, written atomically ([`export`]); plus loading,
+//!    validation and human-readable summaries ([`summary`]).
+//!
+//! The entry point is [`Obs`], a cheaply clonable handle that is either
+//! *enabled* (shared recorder + registry behind an `Arc`) or *disabled*
+//! (a `None`; every operation is a single branch and performs no
+//! allocation, locking or clock read). Code takes an `Obs` by value and
+//! instruments unconditionally; the disabled path is the zero-cost
+//! default.
+//!
+//! ```
+//! use dfcm_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! {
+//!     let mut span = obs.span("engine.attempt");
+//!     span.arg("label", "cfg/a");
+//!     // ... work ...
+//! } // span records on drop
+//! obs.add("engine_tasks_total", &[("outcome", "success")], 1);
+//! let (events, metrics) = obs.snapshot();
+//! assert_eq!(events.len(), 1);
+//! assert!(!metrics.is_empty());
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod summary;
+
+use std::sync::Arc;
+
+use metrics::{MetricsRegistry, MetricsSnapshot};
+use span::{Event, SpanRecorder};
+
+#[derive(Debug, Default)]
+struct ObsInner {
+    spans: SpanRecorder,
+    metrics: MetricsRegistry,
+}
+
+/// A cheaply clonable observability handle, enabled or disabled.
+///
+/// Clones share the same recorder and registry, so one handle threaded
+/// through engine workers accumulates into a single export. The
+/// [`Default`] handle is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl PartialEq for Obs {
+    /// Two handles are equal when they share the same recorder (or are
+    /// both disabled) — the identity that matters for config equality.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Obs {}
+
+impl Obs {
+    /// A disabled handle: every operation is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A fresh enabled handle with its own recorder and registry;
+    /// timestamps are relative to this call.
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the handle was created (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.spans.now_us())
+    }
+
+    /// Opens a span named `name`; it records its wall-clock interval
+    /// when the returned guard drops. On a disabled handle the guard is
+    /// inert and nothing is allocated.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            inner: self.inner.as_ref().map(|i| {
+                Box::new(SpanGuardInner {
+                    obs: Arc::clone(i),
+                    name: name.to_owned(),
+                    start_us: i.spans.now_us(),
+                    args: Vec::new(),
+                })
+            }),
+        }
+    }
+
+    /// Adds `delta` to the counter `name{labels}`.
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.add(name, labels, delta);
+        }
+    }
+
+    /// Sets the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(i) = &self.inner {
+            i.metrics.gauge(name, labels, value);
+        }
+    }
+
+    /// Observes `value` in the histogram `name{labels}` (created with
+    /// `bounds` on first use).
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        if let Some(i) = &self.inner {
+            i.metrics.observe(name, labels, bounds, value);
+        }
+    }
+
+    /// Records a point-in-time sample (a Chrome trace counter event).
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(i) = &self.inner {
+            i.spans.record_sample(name, labels, value);
+        }
+    }
+
+    /// Merges a metrics snapshot (e.g. per-worker partial results) into
+    /// the registry deterministically.
+    pub fn merge_metrics(&self, snapshot: &MetricsSnapshot) {
+        if let Some(i) = &self.inner {
+            i.metrics.merge(snapshot);
+        }
+    }
+
+    /// A sorted copy of all recorded events and metrics.
+    pub fn snapshot(&self) -> (Vec<Event>, MetricsSnapshot) {
+        match &self.inner {
+            Some(i) => (i.spans.snapshot(), i.metrics.snapshot()),
+            None => (Vec::new(), MetricsSnapshot::default()),
+        }
+    }
+
+    /// Writes all three export formats into `dir` (no-op when
+    /// disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the atomic writes.
+    pub fn write_exports(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        let (events, metrics) = self.snapshot();
+        export::write_exports(dir, &events, &metrics)
+    }
+}
+
+struct SpanGuardInner {
+    obs: Arc<ObsInner>,
+    name: String,
+    start_us: u64,
+    args: Vec<(String, String)>,
+}
+
+/// An open span; records its interval when dropped. Inert (and free)
+/// when produced by a disabled [`Obs`].
+pub struct SpanGuard {
+    inner: Option<Box<SpanGuardInner>>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value annotation (shown in trace viewers).
+    pub fn arg(&mut self, key: &str, value: &str) {
+        if let Some(i) = &mut self.inner {
+            i.args.push((key.to_owned(), value.to_owned()));
+        }
+    }
+
+    /// Whether this guard will record anything on drop.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            let end = i.obs.spans.now_us();
+            i.obs
+                .spans
+                .record_span(i.name, i.start_us, end.saturating_sub(i.start_us), i.args);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let mut span = obs.span("x");
+        span.arg("k", "v");
+        drop(span);
+        obs.add("c", &[], 1);
+        obs.gauge("g", &[], 1.0);
+        obs.observe("h", &[], &[1.0], 0.5);
+        obs.sample("s", &[], 1.0);
+        let (events, metrics) = obs.snapshot();
+        assert!(events.is_empty());
+        assert!(metrics.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.add("c", &[], 2);
+        drop(clone.span("s"));
+        let (events, metrics) = obs.snapshot();
+        assert_eq!(events.len(), 1);
+        assert!(!metrics.is_empty());
+        assert_eq!(obs, obs.clone());
+        assert_ne!(Obs::enabled(), obs);
+        assert_eq!(Obs::disabled(), Obs::default());
+    }
+
+    #[test]
+    fn span_guard_records_interval_with_args() {
+        let obs = Obs::enabled();
+        {
+            let mut span = obs.span("engine.attempt");
+            span.arg("attempt", "1");
+        }
+        let (events, _) = obs.snapshot();
+        let Event::Span { name, args, .. } = &events[0] else {
+            panic!("expected span");
+        };
+        assert_eq!(name, "engine.attempt");
+        assert_eq!(args[0], ("attempt".to_owned(), "1".to_owned()));
+    }
+
+    #[test]
+    fn merge_metrics_folds_worker_snapshots() {
+        let worker = MetricsRegistry::new();
+        worker.add("engine_records_total", &[], 100);
+        let obs = Obs::enabled();
+        obs.add("engine_records_total", &[], 50);
+        obs.merge_metrics(&worker.snapshot());
+        let (_, metrics) = obs.snapshot();
+        assert_eq!(
+            metrics.get("engine_records_total", &[]),
+            Some(&metrics::MetricValue::Counter(150))
+        );
+    }
+}

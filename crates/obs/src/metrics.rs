@@ -1,0 +1,369 @@
+//! Counters, gauges and fixed-bucket histograms with deterministic merge.
+//!
+//! Metrics are keyed by `(name, sorted label set)`. Three kinds exist,
+//! chosen so that merging two registries (or two snapshots of parallel
+//! work) is associative, commutative and deterministic:
+//!
+//! * **Counters** — monotonically increasing `u64`; merge by sum.
+//! * **Gauges** — a last-known `f64`; merge by maximum (the only
+//!   order-independent choice that keeps "high-water" semantics).
+//! * **Histograms** — fixed bucket *upper bounds* declared at first
+//!   observation; per-bucket counts plus sum and count; merge by
+//!   element-wise sum. Merging histograms with different bucket layouts
+//!   is a programming error and panics.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A metric identity: name plus normalized (sorted) labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-compatible: `[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels for a canonical identity.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+}
+
+/// A histogram over fixed bucket upper bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows the last bound.
+    pub bounds: Vec<f64>,
+    /// `counts[i]` = observations `<= bounds[i]` (non-cumulative,
+    /// per-bucket); `counts[bounds.len()]` is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Adds another histogram's observations into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Cumulative count of observations `<= bounds[i]` (Prometheus `le`
+    /// semantics); `i == bounds.len()` gives the total (`+Inf`).
+    pub fn cumulative(&self, i: usize) -> u64 {
+        self.counts[..=i.min(self.bounds.len())].iter().sum()
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-known value (merge takes the maximum).
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// The metric kind as a stable lowercase tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, sorted by key.
+///
+/// Snapshots are plain data: they merge deterministically and all
+/// exporters consume them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(key, value)` pairs sorted by key.
+    pub metrics: Vec<(MetricKey, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let key = MetricKey::new(name, labels);
+        self.metrics
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Merges another snapshot into this one: counters sum, gauges take
+    /// the maximum, histograms sum per bucket. Associative, commutative
+    /// and deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch for the same key, or on histogram
+    /// bucket-layout mismatch — both indicate misuse of a metric name.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut map: BTreeMap<MetricKey, MetricValue> = self.metrics.drain(..).collect();
+        for (key, value) in &other.metrics {
+            match map.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = a.max(*b),
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    (a, b) => panic!(
+                        "metric `{}` merged with conflicting kinds {} vs {}",
+                        key.name,
+                        a.kind(),
+                        b.kind()
+                    ),
+                },
+            }
+        }
+        self.metrics = map.into_iter().collect();
+    }
+
+    /// True when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+/// A thread-safe metrics registry.
+///
+/// Updates take one mutex; the registry is deliberately simple because
+/// hot paths batch their updates (the engine folds per-task metrics in
+/// once per run, not once per record).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<MetricKey, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut BTreeMap<MetricKey, MetricValue>) -> R) -> R {
+        let mut guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Adds `delta` to the counter `name{labels}` (created at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already names a gauge or histogram.
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        self.with_inner(|m| match m.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        });
+    }
+
+    /// Sets the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already names a counter or histogram.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        self.with_inner(
+            |m| match m.entry(key).or_insert(MetricValue::Gauge(value)) {
+                MetricValue::Gauge(v) => *v = value,
+                other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+            },
+        );
+    }
+
+    /// Observes `value` in the histogram `name{labels}`, creating it
+    /// with `bounds` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key names a non-histogram, or if `bounds` differs
+    /// from the layout the histogram was created with.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        let key = MetricKey::new(name, labels);
+        self.with_inner(|m| {
+            match m
+                .entry(key)
+                .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+            {
+                MetricValue::Histogram(h) => {
+                    assert_eq!(
+                        h.bounds, bounds,
+                        "histogram `{name}` re-declared with different buckets"
+                    );
+                    h.observe(value);
+                }
+                other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+            }
+        });
+    }
+
+    /// Merges a snapshot into the registry in place, with
+    /// [`MetricsSnapshot::merge`] semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind or bucket-layout mismatch, as for snapshot merge.
+    pub fn merge(&self, other: &MetricsSnapshot) {
+        self.with_inner(|m| {
+            let mut snapshot = MetricsSnapshot {
+                metrics: m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            };
+            snapshot.merge(other);
+            *m = snapshot.metrics.into_iter().collect();
+        });
+    }
+
+    /// A sorted copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self.with_inner(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_sort() {
+        let r = MetricsRegistry::new();
+        r.add("b_total", &[], 2);
+        r.add("a_total", &[("x", "1")], 1);
+        r.add("b_total", &[], 3);
+        let s = r.snapshot();
+        assert_eq!(s.metrics[0].0.name, "a_total");
+        assert_eq!(s.get("b_total", &[]), Some(&MetricValue::Counter(5)));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = MetricsRegistry::new();
+        r.add("m", &[("b", "2"), ("a", "1")], 1);
+        r.add("m", &[("a", "1"), ("b", "2")], 1);
+        let s = r.snapshot();
+        assert_eq!(s.metrics.len(), 1);
+        assert_eq!(
+            s.get("m", &[("b", "2"), ("a", "1")]),
+            Some(&MetricValue::Counter(2))
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_cumulative() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 8.0, 1.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.cumulative(0), 2);
+        assert_eq!(h.cumulative(3), 5);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let a = MetricsRegistry::new();
+        a.add("c", &[], 1);
+        a.gauge("g", &[], 2.0);
+        a.observe("h", &[], &[1.0], 0.5);
+        let b = MetricsRegistry::new();
+        b.add("c", &[], 10);
+        b.gauge("g", &[], 1.0);
+        b.observe("h", &[], &[1.0], 3.0);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.get("c", &[]), Some(&MetricValue::Counter(11)));
+        assert_eq!(s.get("g", &[]), Some(&MetricValue::Gauge(2.0)));
+        let Some(MetricValue::Histogram(h)) = s.get("h", &[]) else {
+            panic!("missing histogram");
+        };
+        assert_eq!(h.counts, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket layouts")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = Histogram::new(&[1.0]);
+        a.merge(&Histogram::new(&[2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_misuse_panics() {
+        let r = MetricsRegistry::new();
+        r.gauge("m", &[], 1.0);
+        r.add("m", &[], 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Hierarchical wall-clock spans and timestamped samples.
+//!
+//! A [`SpanRecorder`] collects two kinds of events:
+//!
+//! * **Spans** — a named interval of wall-clock time on one thread,
+//!   recorded when its [`crate::SpanGuard`] drops. Nesting happens naturally:
+//!   a guard created while another is live on the same thread produces
+//!   an enclosed interval, which trace viewers (Perfetto,
+//!   `chrome://tracing`) render as a child slice.
+//! * **Samples** — a named scalar at a point in time (Chrome trace
+//!   counter events), used for time series such as table occupancy.
+//!
+//! The recorder is *lock-sharded*: each event lands in one of
+//! [`SHARDS`] mutex-protected vectors selected by the recording
+//! thread's id, so the engine's worker threads append concurrently
+//! without contending on a single lock. Draining merges the shards and
+//! sorts by timestamp, making the collected order deterministic for a
+//! given set of events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of lock shards in a [`SpanRecorder`]. Must be a power of two.
+pub const SHARDS: usize = 16;
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Small dense per-thread id (0, 1, 2, …) in thread-creation order:
+    /// stable within a thread's lifetime and compact enough to use as a
+    /// Chrome trace `tid`.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The dense observability id of the calling thread.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|&id| id)
+}
+
+/// One recorded event: a completed span or a point-in-time sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A completed named interval.
+    Span {
+        /// Span name (e.g. `engine.attempt`).
+        name: String,
+        /// Recording thread (dense id, see [`thread_id`]).
+        tid: u64,
+        /// Start, in microseconds since the recorder's epoch.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+        /// Free-form key/value annotations (outcome, attempt, …).
+        args: Vec<(String, String)>,
+    },
+    /// A named scalar sampled at a point in time.
+    Sample {
+        /// Series name (e.g. `table_occupancy_percent`).
+        name: String,
+        /// Label set qualifying the series (spec, table, …).
+        labels: Vec<(String, String)>,
+        /// Microseconds since the recorder's epoch.
+        ts_us: u64,
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+impl Event {
+    fn ts(&self) -> u64 {
+        match self {
+            Event::Span { start_us, .. } => *start_us,
+            Event::Sample { ts_us, .. } => *ts_us,
+        }
+    }
+}
+
+/// A thread-safe, lock-sharded event recorder.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    shards: Vec<Mutex<Vec<Event>>>,
+}
+
+impl SpanRecorder {
+    /// Creates an empty recorder; timestamps are relative to this call.
+    pub fn new() -> Self {
+        SpanRecorder {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Microseconds elapsed since the recorder's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, event: Event) {
+        let shard = (thread_id() as usize) & (SHARDS - 1);
+        // A poisoned shard only loses the panicking thread's events.
+        let mut guard = self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.push(event);
+    }
+
+    /// Records a completed span directly (the [`crate::SpanGuard`] path
+    /// is the usual entry point).
+    pub fn record_span(
+        &self,
+        name: String,
+        start_us: u64,
+        dur_us: u64,
+        args: Vec<(String, String)>,
+    ) {
+        self.push(Event::Span {
+            name,
+            tid: thread_id(),
+            start_us,
+            dur_us,
+            args,
+        });
+    }
+
+    /// Records a point-in-time sample of `value` under `name{labels}`.
+    pub fn record_sample(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(Event::Sample {
+            name: name.to_owned(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+                .collect(),
+            ts_us: self.now_us(),
+            value,
+        });
+    }
+
+    /// Drains every shard into one list sorted by timestamp (ties keep
+    /// shard order, which makes repeated snapshots of the same recorder
+    /// deterministic).
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let guard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            all.extend(guard.iter().cloned());
+        }
+        all.sort_by_key(Event::ts);
+        all
+    }
+
+    /// Number of recorded events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        SpanRecorder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_record_and_sort_by_time() {
+        let r = SpanRecorder::new();
+        let t0 = r.now_us();
+        r.record_span("b".into(), t0 + 10, 5, Vec::new());
+        r.record_span("a".into(), t0, 20, vec![("k".into(), "v".into())]);
+        let events = r.snapshot();
+        assert_eq!(events.len(), 2);
+        let Event::Span { name, args, .. } = &events[0] else {
+            panic!("expected span");
+        };
+        assert_eq!(name, "a");
+        assert_eq!(args[0].1, "v");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = Arc::new(SpanRecorder::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        r.record_span(format!("t{t}.{i}"), i, 1, Vec::new());
+                        r.record_sample("s", &[("t", "x")], i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.len(), 8 * 200);
+        assert_eq!(r.snapshot().len(), 8 * 200);
+    }
+
+    #[test]
+    fn thread_ids_are_dense_and_stable() {
+        let a = thread_id();
+        assert_eq!(a, thread_id());
+        let b = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! Exporter correctness: Chrome trace structure, Prometheus
+//! round-tripping, and the deterministic/associative histogram merge
+//! (property-tested via the workspace proptest shim).
+
+use dfcm_obs::export::{to_chrome_trace, to_jsonl, to_prometheus};
+use dfcm_obs::json::{parse, Json};
+use dfcm_obs::metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+use dfcm_obs::span::Event;
+use dfcm_obs::summary::parse_prometheus;
+use dfcm_obs::Obs;
+
+use proptest::prelude::*;
+
+fn spanful_obs() -> Obs {
+    let obs = Obs::enabled();
+    {
+        let mut outer = obs.span("engine.worker");
+        outer.arg("worker", "0");
+        let mut inner = obs.span("engine.attempt");
+        inner.arg("label", "cfg/trace");
+        inner.arg("outcome", "success");
+        drop(inner);
+    }
+    obs.sample("table_occupancy_percent", &[("table", "l2")], 42.0);
+    obs.add("engine_tasks_total", &[("outcome", "success")], 1);
+    obs.observe("engine_task_seconds", &[], &[0.01, 0.1, 1.0, 10.0], 0.05);
+    obs
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_matched_events() {
+    let (events, _) = spanful_obs().snapshot();
+    let trace = parse(&to_chrome_trace(&events)).expect("trace.json must parse");
+    let items = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(items.len(), 3);
+    let mut open = 0i64;
+    for item in items {
+        match item.get("ph").and_then(Json::as_str).unwrap() {
+            // Complete events are self-matching; B/E must pair up.
+            "X" => assert!(item.get("dur").and_then(Json::as_u64).is_some()),
+            "B" => open += 1,
+            "E" => {
+                open -= 1;
+                assert!(open >= 0, "E before B");
+            }
+            "C" => assert!(item.get("args").is_some()),
+            other => panic!("unexpected phase {other}"),
+        }
+        assert!(item.get("ts").and_then(Json::as_u64).is_some());
+    }
+    assert_eq!(open, 0, "unmatched B events");
+}
+
+#[test]
+fn nested_span_is_contained_in_parent() {
+    let (events, _) = spanful_obs().snapshot();
+    let spans: Vec<(&str, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span {
+                name,
+                start_us,
+                dur_us,
+                ..
+            } => Some((name.as_str(), *start_us, *dur_us)),
+            _ => None,
+        })
+        .collect();
+    let worker = spans.iter().find(|s| s.0 == "engine.worker").unwrap();
+    let attempt = spans.iter().find(|s| s.0 == "engine.attempt").unwrap();
+    assert!(attempt.1 >= worker.1);
+    assert!(attempt.1 + attempt.2 <= worker.1 + worker.2);
+}
+
+#[test]
+fn prometheus_round_trips_counter_and_histogram() {
+    let (_, metrics) = spanful_obs().snapshot();
+    let text = to_prometheus(&metrics);
+    let samples = parse_prometheus(&text).expect("exposition must parse");
+
+    let counter = samples
+        .iter()
+        .find(|(n, l, _)| n == "engine_tasks_total" && l[0] == ("outcome".into(), "success".into()))
+        .expect("counter present");
+    assert_eq!(counter.2, 1.0);
+
+    let bucket = samples
+        .iter()
+        .find(|(n, l, _)| {
+            n == "engine_task_seconds_bucket" && l.contains(&("le".into(), "0.1".into()))
+        })
+        .expect("bucket present");
+    assert_eq!(bucket.2, 1.0);
+    let sum = samples
+        .iter()
+        .find(|(n, _, _)| n == "engine_task_seconds_sum")
+        .unwrap();
+    assert!((sum.2 - 0.05).abs() < 1e-9);
+    let count = samples
+        .iter()
+        .find(|(n, _, _)| n == "engine_task_seconds_count")
+        .unwrap();
+    assert_eq!(count.2, 1.0);
+}
+
+#[test]
+fn jsonl_stream_parses_line_by_line() {
+    let (events, metrics) = spanful_obs().snapshot();
+    let jsonl = to_jsonl(&events, &metrics);
+    assert!(!jsonl.is_empty());
+    let mut types = std::collections::BTreeSet::new();
+    for line in jsonl.lines() {
+        let value = parse(line).expect("every JSONL line must parse");
+        types.insert(
+            value
+                .get("type")
+                .and_then(Json::as_str)
+                .expect("type field")
+                .to_owned(),
+        );
+    }
+    assert!(types.contains("span"));
+    assert!(types.contains("sample"));
+    assert!(types.contains("metric"));
+}
+
+const BOUNDS: [f64; 3] = [1.0, 4.0, 16.0];
+
+fn hist_from(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(&BOUNDS);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn snap(name: &str, h: Histogram) -> MetricsSnapshot {
+    MetricsSnapshot {
+        metrics: vec![(
+            dfcm_obs::metrics::MetricKey::new(name, &[]),
+            MetricValue::Histogram(h),
+        )],
+    }
+}
+
+proptest! {
+    /// Histogram merge is associative and order-independent: merging
+    /// three observation sets in either association gives bit-identical
+    /// counts, sums and totals.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0.0f64..32.0, 0..32),
+        b in prop::collection::vec(0.0f64..32.0, 0..32),
+        c in prop::collection::vec(0.0f64..32.0, 0..32),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = hist_from(&a);
+        left.merge(&hist_from(&b));
+        left.merge(&hist_from(&c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hist_from(&b);
+        right_tail.merge(&hist_from(&c));
+        let mut right = hist_from(&a);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(left.count as usize, a.len() + b.len() + c.len());
+        // Sum differs only by float association error.
+        prop_assert!((left.sum - right.sum).abs() < 1e-6);
+
+        // The same holds at snapshot level, and commutes.
+        let mut s1 = snap("h", left.clone());
+        s1.merge(&snap("h", hist_from(&[])));
+        let mut s2 = snap("h", hist_from(&[]));
+        s2.merge(&snap("h", left));
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Counter merge at snapshot level is commutative.
+    #[test]
+    fn counter_merge_commutes(x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let r1 = MetricsRegistry::new();
+        r1.add("c", &[], x);
+        let r2 = MetricsRegistry::new();
+        r2.add("c", &[], y);
+        let mut ab = r1.snapshot();
+        ab.merge(&r2.snapshot());
+        let mut ba = r2.snapshot();
+        ba.merge(&r1.snapshot());
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.get("c", &[]), Some(&MetricValue::Counter(x + y)));
+    }
+}

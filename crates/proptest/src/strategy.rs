@@ -166,6 +166,34 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u64 => u128, usize => u128, i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128);
 
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Uniform in [start, end): 53 random bits scaled into
+                    // the unit interval, then into the range. Rounding can
+                    // land exactly on `end`; fall back to `start` to keep
+                    // the half-open contract.
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    let span = self.end as f64 - self.start as f64;
+                    let value = (self.start as f64 + unit * span) as $ty;
+                    if value >= self.start && value < self.end {
+                        value
+                    } else {
+                        self.start
+                    }
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
 macro_rules! tuple_strategy {
     ($(($($name:ident),+))*) => {
         $(

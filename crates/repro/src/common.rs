@@ -34,6 +34,12 @@ pub struct Options {
     /// With `--traces`: refuse damaged trace files outright instead of
     /// salvaging the intact chunks with a warning (`--strict`).
     pub strict: bool,
+    /// Observability handle threaded into the engine and experiments;
+    /// enabled by `--obs DIR` (disabled — zero-cost — otherwise).
+    pub obs: dfcm_obs::Obs,
+    /// Directory the observability exports are written to at the end of
+    /// the run (`--obs DIR`).
+    pub obs_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -49,6 +55,8 @@ impl Default for Options {
             resume: false,
             trace_dir: None,
             strict: false,
+            obs: dfcm_obs::Obs::disabled(),
+            obs_dir: None,
         }
     }
 }
@@ -150,7 +158,27 @@ impl Options {
         EngineConfig {
             threads: self.threads,
             progress: self.progress,
+            obs: self.obs.clone(),
             ..EngineConfig::default()
+        }
+    }
+
+    /// Writes the observability exports into the `--obs` directory, if
+    /// one was given (no-op otherwise). Called once at the end of a run
+    /// so `all` accumulates every experiment into one export.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, like [`Options::emit`].
+    pub fn emit_obs(&self) {
+        if let Some(dir) = &self.obs_dir {
+            self.obs
+                .write_exports(dir)
+                .unwrap_or_else(|e| panic!("writing obs exports to {}: {e}", dir.display()));
+            println!(
+                "observability exports -> {} (events.jsonl, trace.json, metrics.prom)",
+                dir.display()
+            );
         }
     }
 

@@ -41,6 +41,29 @@ fn merged(per_bench: &[(&'static str, AliasBreakdown)]) -> AliasBreakdown {
     total
 }
 
+/// Folds a merged aliasing breakdown into the run's observability
+/// metrics, using the paper's class taxonomy: the per-class
+/// `predictor_alias_total` / `predictor_alias_correct_total` counters
+/// and the matching `eval_accuracy` gauge (so `obs summarize --check`
+/// can reconcile the counts). `spec` carries the figure name so that
+/// figures analyzing the same predictor don't double-count.
+fn record_obs(opts: &Options, spec: &str, total: &AliasBreakdown) {
+    let obs = &opts.obs;
+    if !obs.is_enabled() {
+        return;
+    }
+    for class in AliasClass::ALL {
+        let labels = [("spec", spec), ("class", class.label())];
+        obs.add("predictor_alias_total", &labels, total.class_total(class));
+        obs.add(
+            "predictor_alias_correct_total",
+            &labels,
+            total.class_correct(class),
+        );
+    }
+    obs.gauge("eval_accuracy", &[("spec", spec)], total.overall_accuracy());
+}
+
 fn fraction_table(
     title: &str,
     per_bench: &[(&'static str, AliasBreakdown)],
@@ -74,6 +97,7 @@ pub fn run_fig12(opts: &Options) {
     let traces = opts.traces();
     let fcm = analyze(AnalyzedKind::Fcm, &traces);
     let total = merged(&fcm);
+    record_obs(opts, "fig12/fcm", &total);
     let mut table = TextTable::new(vec!["class", "fraction", "accuracy"]);
     for &class in &AliasClass::ALL {
         table.row(vec![
@@ -100,6 +124,8 @@ pub fn run_fig13(opts: &Options) {
     let traces = opts.traces();
     let fcm = analyze(AnalyzedKind::Fcm, &traces);
     let dfcm = analyze(AnalyzedKind::Dfcm, &traces);
+    record_obs(opts, "fig13/fcm", &merged(&fcm));
+    record_obs(opts, "fig13/dfcm", &merged(&dfcm));
     let mut table = fraction_table("fcm", &fcm, |b, c| b.fraction(c));
     let dfcm_table = fraction_table("dfcm", &dfcm, |b, c| b.fraction(c));
     for row in dfcm_table.rows() {
@@ -128,6 +154,8 @@ pub fn run_fig14(opts: &Options) {
     let traces = opts.traces();
     let fcm = analyze(AnalyzedKind::Fcm, &traces);
     let dfcm = analyze(AnalyzedKind::Dfcm, &traces);
+    record_obs(opts, "fig14/fcm", &merged(&fcm));
+    record_obs(opts, "fig14/dfcm", &merged(&dfcm));
     let mut table = fraction_table("fcm", &fcm, |b, c| b.misprediction_fraction(c));
     let dfcm_table = fraction_table("dfcm", &dfcm, |b, c| b.misprediction_fraction(c));
     for row in dfcm_table.rows() {

@@ -4,6 +4,7 @@
 //! ```text
 //! dfcm-repro <experiment> [--seed N] [--scale F] [--full] [--json] [--out DIR]
 //!                         [--threads N] [--progress] [--traces DIR] [--strict]
+//!                         [--obs DIR]
 //!
 //! experiments:
 //!   table1   benchmark descriptions and trace statistics
@@ -46,6 +47,10 @@
 //!               files are salvaged chunk-by-chunk with a warning
 //!   --strict    with --traces: refuse any damaged or truncated trace file
 //!               outright instead of salvaging it
+//!   --obs DIR   record observability (engine spans, metrics, aliasing
+//!               counters) and write events.jsonl, trace.json (Perfetto)
+//!               and metrics.prom into DIR at the end of the run; render
+//!               with `dfcm-tools obs summarize DIR`
 //!
 //! Engine-backed experiments (table1, fig3, fig10a/b, fig11a/b) also write
 //! run metrics as JSON lines under `<out>/metrics/<experiment>.jsonl`.
@@ -56,7 +61,7 @@ use std::process::ExitCode;
 use dfcm_repro::common::Options;
 use dfcm_repro::experiments;
 
-const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress] [--resume] [--traces DIR] [--strict]";
+const USAGE: &str = "usage: dfcm-repro <table1|fig3|fig4_8|fig6_9|fig10a|fig10b|fig11a|fig11b|fig12|fig13|fig14|fig16|fig17|sec4_4|tags|related|ideal|speedup|vmbench|phases|specupdate|order|all> [--seed N] [--scale F] [--full] [--json] [--out DIR] [--threads N] [--progress] [--resume] [--traces DIR] [--strict] [--obs DIR]";
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -91,6 +96,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.trace_dir = Some(v.into());
             }
             "--strict" => opts.strict = true,
+            "--obs" => {
+                let v = it.next().ok_or("--obs needs a directory")?;
+                opts.obs_dir = Some(v.into());
+                opts.obs = dfcm_obs::Obs::enabled();
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -175,6 +185,7 @@ fn main() -> ExitCode {
         opts.out_dir.display()
     );
     if dispatch(name, &opts) {
+        opts.emit_obs();
         ExitCode::SUCCESS
     } else {
         eprintln!("error: unknown experiment `{name}`");

@@ -47,7 +47,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use dfcm::ValuePredictor;
-use dfcm_trace::io::atomic_write;
+use dfcm_obs::Obs;
 use dfcm_trace::BenchmarkTrace;
 
 use crate::checkpoint::{decode_stats, encode_stats, CheckpointLog};
@@ -207,6 +207,13 @@ pub struct EngineConfig {
     pub deadline: Option<Duration>,
     /// Deterministic fault injection, for testing recovery paths.
     pub faults: Option<FaultPlan>,
+    /// Observability handle: when enabled, the engine records a span per
+    /// task attempt (named `engine.attempt`, with the task label, attempt
+    /// number, any injected fault and the outcome as args), a span per
+    /// worker (`engine.worker`), and folds suite-level counters and the
+    /// task wall-time histogram into the shared metrics registry. The
+    /// default (disabled) handle costs one branch per attempt.
+    pub obs: Obs,
 }
 
 impl EngineConfig {
@@ -421,9 +428,46 @@ impl EngineReport {
     ///
     /// Propagates I/O errors from directory creation or the write.
     pub fn write_jsonl<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        atomic_write(path.as_ref(), self.to_jsonl().as_bytes())
+        let rendered = self.to_jsonl();
+        dfcm_obs::export::write_jsonl_report(path.as_ref(), &rendered.lines().collect::<Vec<_>>())
+    }
+
+    /// Folds this report into an [`Obs`] metrics registry (no-op when
+    /// disabled): `engine_tasks_total{outcome}`, `engine_attempts_total`,
+    /// `engine_records_total` counters, the `engine_task_seconds`
+    /// wall-time histogram, and one `engine_worker_busy_seconds{worker}`
+    /// gauge per worker. Called automatically at the end of every engine
+    /// batch with the batch's own config handle.
+    pub fn record_metrics(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for t in &self.tasks {
+            obs.add("engine_tasks_total", &[("outcome", t.outcome.kind())], 1);
+            obs.observe(
+                "engine_task_seconds",
+                &[],
+                TASK_SECONDS_BOUNDS,
+                t.wall.as_secs_f64(),
+            );
+        }
+        obs.add("engine_attempts_total", &[], self.total_attempts());
+        obs.add("engine_records_total", &[], self.total_records());
+        for w in &self.workers {
+            obs.gauge(
+                "engine_worker_busy_seconds",
+                &[("worker", &w.worker.to_string())],
+                w.busy.as_secs_f64(),
+            );
+        }
     }
 }
+
+/// Fixed bucket bounds for the `engine_task_seconds` histogram: spans
+/// microsecond tasks through minute-long simulations.
+const TASK_SECONDS_BOUNDS: &[f64] = &[
+    0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+];
 
 /// What one engine task returns: its result plus the record count it
 /// simulated (for throughput accounting).
@@ -452,6 +496,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 fn execute_with_retries<T, F>(
     task: &F,
     index: usize,
+    label: &str,
     config: &EngineConfig,
 ) -> (Option<T>, TaskOutcome, u64, u32)
 where
@@ -464,6 +509,17 @@ where
             .faults
             .as_ref()
             .and_then(|p| p.fault_for(index, attempt));
+        let mut span = config.obs.span("engine.attempt");
+        if span.is_enabled() {
+            span.arg("label", label);
+            span.arg("attempt", &attempt.to_string());
+            match injected {
+                Some(InjectedFault::Panic) => span.arg("injected_fault", "panic"),
+                Some(InjectedFault::TransientIo) => span.arg("injected_fault", "transient_io"),
+                Some(InjectedFault::Delay(_)) => span.arg("injected_fault", "delay"),
+                None => {}
+            }
+        }
         let started = Instant::now();
         let caught = panic::catch_unwind(AssertUnwindSafe(|| match injected {
             Some(InjectedFault::Panic) => {
@@ -483,6 +539,7 @@ where
             Ok(Ok(output)) => {
                 if let Some(deadline) = config.deadline {
                     if started.elapsed() > deadline {
+                        span.arg("outcome", "timed_out");
                         return (
                             None,
                             TaskOutcome::TimedOut { deadline },
@@ -491,13 +548,17 @@ where
                         );
                     }
                 }
+                span.arg("outcome", "ok");
                 return (Some(output.value), TaskOutcome::Ok, output.records, attempt);
             }
             Ok(Err(TaskError::Transient(error))) => {
                 if attempt < max_attempts {
+                    span.arg("outcome", "retrying");
+                    drop(span);
                     std::thread::sleep(config.retry.backoff(attempt));
                     continue;
                 }
+                span.arg("outcome", "failed");
                 return (
                     None,
                     TaskOutcome::Failed {
@@ -508,9 +569,11 @@ where
                 );
             }
             Ok(Err(TaskError::Permanent(error))) => {
+                span.arg("outcome", "failed");
                 return (None, TaskOutcome::Failed { error }, 0, attempt);
             }
             Err(payload) => {
+                span.arg("outcome", "panicked");
                 return (
                     None,
                     TaskOutcome::Panicked {
@@ -601,6 +664,8 @@ where
                 let worker_metrics = &worker_metrics;
                 let progress = config.progress;
                 scope.spawn(move || {
+                    let mut worker_span = config.obs.span("engine.worker");
+                    worker_span.arg("worker", &worker.to_string());
                     let mut busy = Duration::ZERO;
                     let mut ran = 0u64;
                     loop {
@@ -609,7 +674,7 @@ where
                         };
                         let task_started = Instant::now();
                         let (value, outcome, records, attempts) =
-                            execute_with_retries(task, index, config);
+                            execute_with_retries(task, index, &labels[index], config);
                         let wall = task_started.elapsed();
                         busy += wall;
                         ran += 1;
@@ -630,6 +695,7 @@ where
                             eprint!("\r[dfcm-sim engine] {}/{} tasks", done.len(), pending_count);
                         }
                     }
+                    worker_span.arg("tasks", &ran.to_string());
                     lock_unpoisoned(worker_metrics).push(WorkerMetric {
                         worker,
                         busy,
@@ -655,15 +721,14 @@ where
         .drain(..)
         .collect::<Vec<_>>();
     workers.sort_by_key(|w| w.worker);
-    (
-        values,
-        EngineReport {
-            threads,
-            wall,
-            tasks,
-            workers,
-        },
-    )
+    let report = EngineReport {
+        threads,
+        wall,
+        tasks,
+        workers,
+    };
+    report.record_metrics(&config.obs);
+    (values, report)
 }
 
 /// [`run_tasks_resumable`] without checkpointing: every task runs, a
@@ -1107,6 +1172,96 @@ mod tests {
             },
             &EngineConfig::threads(1),
         );
+    }
+
+    #[test]
+    fn obs_records_spans_and_engine_metrics() {
+        use dfcm_obs::metrics::MetricValue;
+        use dfcm_obs::span::Event;
+
+        let traces = suite(2, 100);
+        let config = EngineConfig {
+            threads: 2,
+            obs: Obs::enabled(),
+            ..EngineConfig::default()
+        };
+        let (_, report) = sweep_engine(
+            &[4u32],
+            |&bits| LastValuePredictor::new(bits),
+            &traces,
+            &config,
+        );
+        let (events, metrics) = config.obs.snapshot();
+        let attempts = events
+            .iter()
+            .filter(|e| matches!(e, Event::Span { name, .. } if name == "engine.attempt"))
+            .count();
+        let workers = events
+            .iter()
+            .filter(|e| matches!(e, Event::Span { name, .. } if name == "engine.worker"))
+            .count();
+        assert_eq!(attempts as u64, report.total_attempts());
+        assert_eq!(workers, report.workers.len());
+        assert_eq!(
+            metrics.get("engine_tasks_total", &[("outcome", "ok")]),
+            Some(&MetricValue::Counter(report.tasks.len() as u64))
+        );
+        assert_eq!(
+            metrics.get("engine_records_total", &[]),
+            Some(&MetricValue::Counter(report.total_records()))
+        );
+        let Some(MetricValue::Histogram(h)) = metrics.get("engine_task_seconds", &[]) else {
+            panic!("missing task wall-time histogram");
+        };
+        assert_eq!(h.count, report.tasks.len() as u64);
+        assert!(metrics
+            .get("engine_worker_busy_seconds", &[("worker", "0")])
+            .is_some());
+    }
+
+    #[test]
+    fn obs_spans_cover_retries_and_faults() {
+        use dfcm_obs::span::Event;
+
+        let config = EngineConfig {
+            threads: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+            obs: Obs::enabled(),
+            ..EngineConfig::default()
+        };
+        let attempts = std::sync::atomic::AtomicU32::new(0);
+        let (values, report) = run_tasks_ft(
+            vec!["flaky".to_owned()],
+            |_| {
+                if attempts.fetch_add(1, std::sync::atomic::Ordering::SeqCst) < 2 {
+                    Err(TaskError::Transient("hiccup".into()))
+                } else {
+                    Ok(TaskOutput {
+                        value: 7u64,
+                        records: 1,
+                    })
+                }
+            },
+            &config,
+        );
+        assert_eq!(values, vec![Some(7)]);
+        assert_eq!(report.tasks[0].attempts, 3);
+        let (events, _) = config.obs.snapshot();
+        let outcomes: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { name, args, .. } if name == "engine.attempt" => args
+                    .iter()
+                    .find(|(k, _)| k == "outcome")
+                    .map(|(_, v)| v.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes, vec!["retrying", "retrying", "ok"]);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use crate::engine::{
 };
 pub use crate::fault::{FaultPlan, InjectedFault};
 pub use crate::pareto::{pareto_front, ParetoPoint};
-pub use crate::run::{simulate, simulate_n, simulate_trace, RunStats};
+pub use crate::run::{simulate, simulate_n, simulate_trace, simulate_trace_observed, RunStats};
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};
 pub use crate::sweep::{sweep, sweep_parallel, SweepPoint};
 pub use crate::timeline::simulate_timeline;

@@ -1,4 +1,5 @@
-use dfcm::ValuePredictor;
+use dfcm::{AliasClass, ValuePredictor};
+use dfcm_obs::Obs;
 use dfcm_trace::{Trace, TraceSource};
 
 /// Aggregate outcome of running a predictor over a trace.
@@ -71,6 +72,72 @@ where
     for record in trace {
         stats.correct += u64::from(predictor.access(record.pc, record.value).correct);
     }
+    stats
+}
+
+/// [`simulate_trace`] with table-usage observability: when `obs` is
+/// enabled, turns on the predictor's table-stats instrumentation, wraps
+/// the run in an `eval.predictor` span, samples per-table occupancy
+/// (the `table_occupancy_percent` series, 64 points over the trace) and
+/// records the final table-usage counters, the paper-taxonomy aliasing
+/// breakdown (where the predictor provides one) and the `eval_accuracy`
+/// gauge — all labeled with `spec`. With `obs` disabled this is exactly
+/// [`simulate_trace`].
+pub fn simulate_trace_observed<P>(
+    predictor: &mut P,
+    trace: &Trace,
+    obs: &Obs,
+    spec: &str,
+) -> RunStats
+where
+    P: ValuePredictor + ?Sized,
+{
+    if !obs.is_enabled() {
+        return simulate_trace(predictor, trace);
+    }
+    predictor.enable_table_stats();
+    let mut span = obs.span("eval.predictor");
+    span.arg("spec", spec);
+    let stride = (trace.len() / 64).max(1);
+    let mut stats = RunStats {
+        predictions: trace.len() as u64,
+        correct: 0,
+    };
+    for (i, record) in trace.into_iter().enumerate() {
+        stats.correct += u64::from(predictor.access(record.pc, record.value).correct);
+        if (i + 1) % stride == 0 {
+            if let Some(ts) = predictor.table_stats() {
+                for t in &ts.tables {
+                    obs.sample(
+                        "table_occupancy_percent",
+                        &[("spec", spec), ("table", t.name)],
+                        t.occupancy_percent(),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(ts) = predictor.table_stats() {
+        for t in &ts.tables {
+            let labels = [("spec", spec), ("table", t.name)];
+            obs.gauge("predictor_table_entries", &labels, t.entries as f64);
+            obs.gauge("predictor_table_occupied", &labels, t.occupied as f64);
+            obs.add("predictor_table_writes_total", &labels, t.writes);
+            obs.add("predictor_table_overwrites_total", &labels, t.overwrites);
+        }
+        if let Some(alias) = &ts.alias {
+            for class in AliasClass::ALL {
+                let labels = [("spec", spec), ("class", class.label())];
+                obs.add("predictor_alias_total", &labels, alias.class_total(class));
+                obs.add(
+                    "predictor_alias_correct_total",
+                    &labels,
+                    alias.class_correct(class),
+                );
+            }
+        }
+    }
+    obs.gauge("eval_accuracy", &[("spec", spec)], stats.accuracy());
     stats
 }
 

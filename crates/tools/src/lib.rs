@@ -11,6 +11,8 @@
 //! * `trace` — integrity tooling for saved traces: `inspect` (header and
 //!   chunk map), `verify` (fail on any corruption), `salvage` (recover
 //!   intact chunks into a fresh file).
+//! * `obs` — observability tooling: `summarize` renders the table-usage
+//!   report for an export directory, `--check` validates the exports.
 //! * `disasm` — print the assembly listing of a bundled kernel.
 //! * `profile` — execute a kernel and print its execution profile.
 //! * `kernels` / `benchmarks` — list what `gen` accepts.
@@ -28,7 +30,7 @@ use dfcm::{
     ValuePredictor,
 };
 use dfcm_sim::engine::{run_tasks_ft, TaskOutput};
-use dfcm_sim::{simulate_trace, EngineConfig, EngineReport};
+use dfcm_sim::{simulate_trace_observed, EngineConfig, EngineReport};
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
 use dfcm_trace::{inspect_trace, salvage_trace, Trace, TraceFormat, TraceSource};
@@ -179,6 +181,12 @@ pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
 /// report, and the failure stays visible in the report (callers decide
 /// whether that is fatal — the CLI's `--strict` flag does exactly that).
 ///
+/// With `engine.obs` enabled, every predictor additionally runs with
+/// table-usage instrumentation (occupancy samples, write/overwrite
+/// counters, the paper's aliasing taxonomy for FCM/DFCM and the
+/// `eval_accuracy` gauge) accumulated into the shared handle; the CLI's
+/// `--obs DIR` flag dumps the three export formats from it.
+///
 /// # Errors
 ///
 /// Returns [`ToolError`] for unreadable traces or bad predictor specs.
@@ -196,7 +204,7 @@ pub fn eval(
         specs.to_vec(),
         |i| {
             let mut p = predictor_for(&specs[i]).expect("spec validated above");
-            let stats = simulate_trace(&mut p, &trace);
+            let stats = simulate_trace_observed(&mut p, &trace, &engine.obs, &specs[i]);
             Ok(TaskOutput {
                 value: format!(
                     "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
@@ -375,6 +383,35 @@ pub fn trace_salvage(path: &Path, output: &Path) -> Result<String, ToolError> {
     }
     if report.intact() {
         let _ = writeln!(out, "  source was fully intact; output is a clean rewrite");
+    }
+    Ok(out)
+}
+
+/// `obs summarize <dir> [--check]` — renders the table-usage report for
+/// an observability export directory (as written by `eval --obs DIR` or
+/// a repro binary's `--obs DIR`). With `check`, first validates all
+/// three export files (JSONL stream, Chrome trace, Prometheus text) for
+/// well-formedness and internal consistency and fails on any problem.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when the directory's JSONL export is missing or
+/// malformed, or (with `check`) listing every validation problem found.
+pub fn obs_summarize(dir: &Path, check: bool) -> Result<String, ToolError> {
+    if check {
+        dfcm_obs::summary::check(dir).map_err(|problems| {
+            err(format!(
+                "{}: {} problem(s):\n  {}",
+                dir.display(),
+                problems.len(),
+                problems.join("\n  ")
+            ))
+        })?;
+    }
+    let data = dfcm_obs::summary::load(dir).map_err(err)?;
+    let mut out = dfcm_obs::summary::summarize(&data);
+    if check {
+        out.push_str("check: all exports well-formed and consistent\n");
     }
     Ok(out)
 }

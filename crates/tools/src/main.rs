@@ -9,9 +9,12 @@ usage:
   dfcm-tools gen <workload> <records> <out.trc> [--seed N]
   dfcm-tools stats <trace.trc>
   dfcm-tools eval <trace.trc> <predictor>... [--threads N] [--progress] [--metrics FILE]
-             [--retries N] [--inject-faults SEED[:PANIC[:TRANSIENT[:DELAY]]]] [--strict]
+             [--obs DIR] [--retries N] [--inject-faults SEED[:PANIC[:TRANSIENT[:DELAY]]]]
+             [--strict]
              (predictors: lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2;
               --threads 0 = one per hardware thread; --metrics writes engine JSONL;
+              --obs enables table-usage/aliasing observability and writes
+              events.jsonl, trace.json (Perfetto) and metrics.prom into DIR;
               --retries sets attempts per task for transient failures;
               --inject-faults injects deterministic faults at permille rates, for
               testing recovery; failed tasks are reported and, with --strict,
@@ -22,6 +25,10 @@ usage:
              (inspect: header, chunk map and CRC status; verify: exit
               nonzero on any corruption; salvage: recover intact chunks
               into a fresh file, report what was dropped)
+  dfcm-tools obs summarize <dir> [--check]
+             (table-usage report for an --obs export directory; --check
+              validates all three export files and exits nonzero on any
+              malformed or inconsistent export)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools kernels
@@ -80,6 +87,14 @@ fn run() -> Result<String, String> {
                 ));
                 rest.drain(pos..=pos + 1);
             }
+            let mut obs_dir: Option<PathBuf> = None;
+            if let Some(pos) = rest.iter().position(|a| a == "--obs") {
+                obs_dir = Some(PathBuf::from(
+                    rest.get(pos + 1).ok_or("--obs needs a value")?,
+                ));
+                engine.obs = dfcm_obs::Obs::enabled();
+                rest.drain(pos..=pos + 1);
+            }
             if let Some(pos) = rest.iter().position(|a| a == "--retries") {
                 engine.retry.max_attempts = rest
                     .get(pos + 1)
@@ -111,6 +126,12 @@ fn run() -> Result<String, String> {
                     .write_jsonl(&metrics_path)
                     .map_err(|e| format!("writing {}: {e}", metrics_path.display()))?;
             }
+            if let Some(obs_dir) = obs_dir {
+                engine
+                    .obs
+                    .write_exports(&obs_dir)
+                    .map_err(|e| format!("writing {}: {e}", obs_dir.display()))?;
+            }
             if strict && !report.all_ok() {
                 let failed: Vec<&str> = report.failures().map(|t| t.label.as_str()).collect();
                 return Err(format!(
@@ -121,6 +142,15 @@ fn run() -> Result<String, String> {
             }
             Ok(out)
         }
+        "obs" => match rest {
+            [sub, dir] if sub == "summarize" => {
+                dfcm_tools::obs_summarize(&PathBuf::from(dir), false).map_err(|e| e.to_string())
+            }
+            [sub, dir, flag] if sub == "summarize" && flag == "--check" => {
+                dfcm_tools::obs_summarize(&PathBuf::from(dir), true).map_err(|e| e.to_string())
+            }
+            _ => Err(USAGE.to_owned()),
+        },
         "trace" => match rest {
             [sub, path] if sub == "inspect" => {
                 dfcm_tools::trace_inspect(&PathBuf::from(path)).map_err(|e| e.to_string())

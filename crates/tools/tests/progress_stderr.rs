@@ -1,0 +1,104 @@
+//! Regression tests for the binary's stream discipline: progress
+//! chatter must go to stderr only, so `dfcm-tools eval ... > table.txt`
+//! stays machine-consumable, and the `--obs` exports written by a real
+//! binary invocation must pass `obs summarize --check`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dfcm-tools"))
+}
+
+fn run(args: &[&str]) -> Output {
+    let out = bin().args(args).output().expect("spawn dfcm-tools");
+    assert!(
+        out.status.success(),
+        "dfcm-tools {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dfcm_tools_progress_test");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+#[test]
+fn eval_progress_stays_on_stderr_and_obs_exports_check_clean() {
+    let trace = temp("li.trc");
+    let obs_dir = temp("obs");
+    run(&["gen", "li", "10000", trace.to_str().unwrap(), "--seed", "7"]);
+
+    let out = run(&[
+        "eval",
+        trace.to_str().unwrap(),
+        "dfcm:10:10",
+        "fcm:10:10",
+        "--threads",
+        "2",
+        "--progress",
+        "--obs",
+        obs_dir.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // Progress counters belong to stderr; stdout is the results table
+    // and must stay clean enough to parse or redirect to a file.
+    assert!(
+        stderr.contains("tasks"),
+        "expected progress on stderr, got: {stderr}"
+    );
+    assert!(
+        !stdout.contains("[dfcm-sim engine]"),
+        "progress leaked to stdout: {stdout}"
+    );
+    assert!(stdout.contains("accuracy"), "missing table: {stdout}");
+    assert!(stdout.contains("dfcm(l1=2^10,l2=2^10"), "{stdout}");
+    for line in stdout.lines() {
+        assert!(!line.contains('\r'), "carriage return on stdout: {line:?}");
+    }
+
+    // The exports written by the real binary must be well-formed and
+    // internally consistent (alias counters reconcile with accuracy).
+    for file in ["events.jsonl", "trace.json", "metrics.prom"] {
+        assert!(obs_dir.join(file).is_file(), "missing export {file}");
+    }
+    let check = run(&["obs", "summarize", obs_dir.to_str().unwrap(), "--check"]);
+    let summary = String::from_utf8_lossy(&check.stdout);
+    assert!(
+        summary.contains("check: all exports well-formed and consistent"),
+        "{summary}"
+    );
+    assert!(summary.contains("Aliasing breakdown"), "{summary}");
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_dir_all(&obs_dir);
+}
+
+#[test]
+fn eval_without_progress_keeps_stderr_silent() {
+    let trace = temp("quiet.trc");
+    run(&[
+        "gen",
+        "norm",
+        "5000",
+        trace.to_str().unwrap(),
+        "--seed",
+        "3",
+    ]);
+    let out = run(&[
+        "eval",
+        trace.to_str().unwrap(),
+        "stride:10",
+        "--threads",
+        "1",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    let _ = std::fs::remove_file(&trace);
+}
