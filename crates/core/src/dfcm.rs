@@ -2,7 +2,7 @@ use crate::alias::{AliasAnalyzer, AnalyzedKind};
 use crate::error::{check_table_bits, ConfigError};
 use crate::fcm::TwoLevelInstrumentation;
 use crate::hash::HashFunction;
-use crate::predictor::{L2Indexed, ValuePredictor};
+use crate::predictor::{AccessOutcome, L2Indexed, ValuePredictor};
 use crate::storage::StorageCost;
 use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
@@ -34,6 +34,7 @@ impl StrideWidth {
         }
     }
 
+    #[inline]
     fn store(self, diff: u64) -> u64 {
         match self {
             StrideWidth::Full => diff,
@@ -42,6 +43,7 @@ impl StrideWidth {
         }
     }
 
+    #[inline]
     fn load(self, stored: u64) -> u64 {
         match self {
             StrideWidth::Full | StrideWidth::Bits(64) => stored,
@@ -242,6 +244,7 @@ impl DfcmPredictor {
         self.last[crate::predictor::pc_index(pc, self.l1_mask)]
     }
 
+    #[inline]
     fn l1_index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.l1_mask)
     }
@@ -267,6 +270,32 @@ impl ValuePredictor for DfcmPredictor {
             if let Some(analyzer) = &mut stats.analyzer {
                 analyzer.access(pc, actual);
             }
+        }
+    }
+
+    // Fused predict+update: the shared L1 index, the history and the last
+    // value are each read once per record instead of once in `predict` and
+    // again in `update`. Bit-identical to the default predict-then-update.
+    #[inline]
+    fn access(&mut self, pc: u64, actual: u64) -> AccessOutcome {
+        let i1 = self.l1_index(pc);
+        let history = self.hist[i1];
+        let last = self.last[i1];
+        let predicted = last.wrapping_add(self.stride_width.load(self.l2[history as usize]));
+        let diff = actual.wrapping_sub(last);
+        self.l2[history as usize] = self.stride_width.store(diff);
+        self.hist[i1] = self.hash.fold_update(history, diff, self.l2_bits);
+        self.last[i1] = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.l1.record(i1);
+            stats.l2.record(history as usize);
+            if let Some(analyzer) = &mut stats.analyzer {
+                analyzer.access(pc, actual);
+            }
+        }
+        AccessOutcome {
+            predicted,
+            correct: predicted == actual,
         }
     }
 

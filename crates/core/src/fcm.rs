@@ -1,7 +1,7 @@
 use crate::alias::{AliasAnalyzer, AnalyzedKind};
 use crate::error::{check_table_bits, ConfigError};
 use crate::hash::HashFunction;
-use crate::predictor::{L2Indexed, ValuePredictor};
+use crate::predictor::{AccessOutcome, L2Indexed, ValuePredictor};
 use crate::storage::StorageCost;
 use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
@@ -168,6 +168,7 @@ impl FcmPredictor {
         self.l1[crate::predictor::pc_index(pc, self.l1_mask)]
     }
 
+    #[inline]
     fn l1_index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.l1_mask)
     }
@@ -189,6 +190,29 @@ impl ValuePredictor for FcmPredictor {
             if let Some(analyzer) = &mut stats.analyzer {
                 analyzer.access(pc, actual);
             }
+        }
+    }
+
+    // Fused predict+update: the shared L1 index (and the history read off
+    // it) is computed once per record instead of once in `predict` and
+    // again in `update`. Bit-identical to the default predict-then-update.
+    #[inline]
+    fn access(&mut self, pc: u64, actual: u64) -> AccessOutcome {
+        let i1 = self.l1_index(pc);
+        let history = self.l1[i1];
+        let predicted = self.l2[history as usize];
+        self.l2[history as usize] = actual;
+        self.l1[i1] = self.hash.fold_update(history, actual, self.l2_bits);
+        if let Some(stats) = &mut self.stats {
+            stats.l1.record(i1);
+            stats.l2.record(history as usize);
+            if let Some(analyzer) = &mut stats.analyzer {
+                analyzer.access(pc, actual);
+            }
+        }
+        AccessOutcome {
+            predicted,
+            correct: predicted == actual,
         }
     }
 

@@ -60,6 +60,7 @@ impl HashFunction {
     /// # Panics
     ///
     /// Panics if `bits` is 0 or greater than 63.
+    #[inline]
     pub fn fold(value: u64, bits: u32) -> u64 {
         assert!(
             bits > 0 && bits < 64,
@@ -80,10 +81,13 @@ impl HashFunction {
     ///
     /// # Panics
     ///
-    /// Panics if `index_bits` is 0 or greater than 63, or (for
-    /// [`HashFunction::Concat`]) if the configured order does not divide
-    /// `index_bits`. Use [`HashFunction::validate`] to reject bad
-    /// configurations up front.
+    /// Panics if `index_bits` is 0 or greater than 63 (via the shift), or —
+    /// in debug builds only — if a [`HashFunction::Concat`] order does not
+    /// divide `index_bits`. Configurations are rejected up front by
+    /// [`HashFunction::validate`] (every predictor builder calls it), so
+    /// the per-update check is a `debug_assert!` and the release hot path
+    /// stays branch-free.
+    #[inline]
     pub fn fold_update(&self, old: u64, value: u64, index_bits: u32) -> u64 {
         let mask = (1u64 << index_bits) - 1;
         match *self {
@@ -93,7 +97,7 @@ impl HashFunction {
             }
             HashFunction::FoldXor => (old ^ Self::fold(value, index_bits)) & mask,
             HashFunction::Concat { order } => {
-                assert!(
+                debug_assert!(
                     order > 0 && index_bits.is_multiple_of(order),
                     "concat order {order} must divide index width {index_bits}"
                 );

@@ -1,4 +1,4 @@
-use crate::predictor::ValuePredictor;
+use crate::predictor::{AccessOutcome, ValuePredictor};
 use crate::storage::StorageCost;
 use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
@@ -65,6 +65,7 @@ impl LastValuePredictor {
         self.table.len()
     }
 
+    #[inline]
     fn index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.mask)
     }
@@ -80,6 +81,22 @@ impl ValuePredictor for LastValuePredictor {
         self.table[idx] = actual;
         if let Some(stats) = &mut self.stats {
             stats.record(idx);
+        }
+    }
+
+    // Fused predict+update: the table index is computed once per record.
+    // Behaviour is bit-identical to the default predict-then-update.
+    #[inline]
+    fn access(&mut self, pc: u64, actual: u64) -> AccessOutcome {
+        let idx = self.index(pc);
+        let predicted = self.table[idx];
+        self.table[idx] = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.record(idx);
+        }
+        AccessOutcome {
+            predicted,
+            correct: predicted == actual,
         }
     }
 

@@ -126,6 +126,7 @@ pub trait L2Indexed {
 /// this crate is evaluated with (and on the paper's SimpleScalar), so the
 /// two always-zero low bits are dropped before masking — otherwise a
 /// `2^n`-entry table would only ever use a quarter of its entries.
+#[inline]
 pub(crate) fn pc_index(pc: u64, mask: usize) -> usize {
     (pc >> 2) as usize & mask
 }
@@ -145,6 +146,54 @@ mod tests {
             let out = b.access(pc, v);
             assert_eq!(out.predicted, predicted);
             assert_eq!(out.correct, predicted == v);
+        }
+    }
+
+    #[test]
+    fn fused_access_matches_predict_then_update_for_all_predictors() {
+        // Every predictor overrides `access` with a fused single-index
+        // implementation; it must stay bit-identical to the two-call
+        // protocol, including under table-stats instrumentation.
+        let make: Vec<fn() -> Box<dyn ValuePredictor>> = vec![
+            || Box::new(crate::LastValuePredictor::new(4)),
+            || Box::new(crate::StridePredictor::new(4)),
+            || Box::new(crate::TwoDeltaStridePredictor::new(4)),
+            || {
+                Box::new(
+                    crate::FcmPredictor::builder()
+                        .l1_bits(4)
+                        .l2_bits(8)
+                        .build()
+                        .unwrap(),
+                )
+            },
+            || {
+                Box::new(
+                    crate::DfcmPredictor::builder()
+                        .l1_bits(4)
+                        .l2_bits(8)
+                        .build()
+                        .unwrap(),
+                )
+            },
+        ];
+        // A stream mixing constants, strides, resets and pc aliasing.
+        let stream: Vec<(u64, u64)> = (0..500u64)
+            .map(|i| (4 * (i % 21), (i / 7).wrapping_mul(3).wrapping_sub(i % 5)))
+            .collect();
+        for factory in make {
+            let mut fused = factory();
+            let mut split = factory();
+            fused.enable_table_stats();
+            split.enable_table_stats();
+            for &(pc, v) in &stream {
+                let predicted = split.predict(pc);
+                split.update(pc, v);
+                let out = fused.access(pc, v);
+                assert_eq!(out.predicted, predicted, "{}", fused.name());
+                assert_eq!(out.correct, predicted == v);
+            }
+            assert_eq!(fused.table_stats(), split.table_stats(), "{}", fused.name());
         }
     }
 

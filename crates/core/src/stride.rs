@@ -1,5 +1,5 @@
 use crate::counter::SaturatingCounter;
-use crate::predictor::ValuePredictor;
+use crate::predictor::{AccessOutcome, ValuePredictor};
 use crate::storage::StorageCost;
 use crate::table_stats::{TableStats, TableTracker};
 use crate::DEFAULT_VALUE_BITS;
@@ -33,18 +33,16 @@ use crate::DEFAULT_VALUE_BITS;
 /// ```
 #[derive(Debug, Clone)]
 pub struct StridePredictor {
-    entries: Vec<StrideEntry>,
+    // Struct-of-arrays storage: the hot path touches `last` and `stride`
+    // on every access, so keeping each field contiguous maximizes cache
+    // utility in a streaming pass over a trace.
+    last: Vec<u64>,
+    stride: Vec<u64>,
+    confidence: Vec<SaturatingCounter>,
     mask: usize,
     bits: u32,
     value_bits: u32,
     stats: Option<TableTracker>,
-}
-
-#[derive(Debug, Clone, Default)]
-struct StrideEntry {
-    last: u64,
-    stride: u64,
-    confidence: SaturatingCounter,
 }
 
 impl StridePredictor {
@@ -70,7 +68,9 @@ impl StridePredictor {
             "value width must be in 1..=64"
         );
         StridePredictor {
-            entries: vec![StrideEntry::default(); 1 << bits],
+            last: vec![0; 1 << bits],
+            stride: vec![0; 1 << bits],
+            confidence: vec![SaturatingCounter::default(); 1 << bits],
             mask: (1usize << bits) - 1,
             bits,
             value_bits,
@@ -80,9 +80,10 @@ impl StridePredictor {
 
     /// Number of table entries.
     pub fn entries(&self) -> usize {
-        self.entries.len()
+        self.last.len()
     }
 
+    #[inline]
     fn index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.mask)
     }
@@ -90,34 +91,55 @@ impl StridePredictor {
 
 impl ValuePredictor for StridePredictor {
     fn predict(&mut self, pc: u64) -> u64 {
-        let e = &self.entries[self.index(pc)];
-        e.last.wrapping_add(e.stride)
+        let idx = self.index(pc);
+        self.last[idx].wrapping_add(self.stride[idx])
     }
 
     fn update(&mut self, pc: u64, actual: u64) {
         let idx = self.index(pc);
-        let e = &mut self.entries[idx];
-        let predicted = e.last.wrapping_add(e.stride);
+        let predicted = self.last[idx].wrapping_add(self.stride[idx]);
         let correct = predicted == actual;
         // The stride is replaced only while confidence is below saturation;
         // the pre-update counter value gates the replacement so that a
         // high-confidence stride survives a single reset (cf. two-delta).
-        if !e.confidence.is_max() {
-            e.stride = actual.wrapping_sub(e.last);
+        if !self.confidence[idx].is_max() {
+            self.stride[idx] = actual.wrapping_sub(self.last[idx]);
         }
         if correct {
-            e.confidence.increment();
+            self.confidence[idx].increment();
         } else {
-            e.confidence.decrement();
+            self.confidence[idx].decrement();
         }
-        e.last = actual;
+        self.last[idx] = actual;
         if let Some(stats) = &mut self.stats {
             stats.record(idx);
         }
     }
 
+    // Fused predict+update with a single index computation; bit-identical
+    // to the default predict-then-update.
+    #[inline]
+    fn access(&mut self, pc: u64, actual: u64) -> AccessOutcome {
+        let idx = self.index(pc);
+        let predicted = self.last[idx].wrapping_add(self.stride[idx]);
+        let correct = predicted == actual;
+        if !self.confidence[idx].is_max() {
+            self.stride[idx] = actual.wrapping_sub(self.last[idx]);
+        }
+        if correct {
+            self.confidence[idx].increment();
+        } else {
+            self.confidence[idx].decrement();
+        }
+        self.last[idx] = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.record(idx);
+        }
+        AccessOutcome { predicted, correct }
+    }
+
     fn storage(&self) -> StorageCost {
-        let n = self.entries.len() as u64;
+        let n = self.last.len() as u64;
         StorageCost::new()
             .with("last values", n * self.value_bits as u64)
             .with("strides", n * self.value_bits as u64)
@@ -129,7 +151,7 @@ impl ValuePredictor for StridePredictor {
 
     fn enable_table_stats(&mut self) {
         if self.stats.is_none() {
-            self.stats = Some(TableTracker::new("table", self.entries.len()));
+            self.stats = Some(TableTracker::new("table", self.last.len()));
         }
     }
 
@@ -165,18 +187,14 @@ impl ValuePredictor for StridePredictor {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoDeltaStridePredictor {
-    entries: Vec<TwoDeltaEntry>,
+    // Struct-of-arrays storage, as in [`StridePredictor`].
+    last: Vec<u64>,
+    s1: Vec<u64>,
+    s2: Vec<u64>,
     mask: usize,
     bits: u32,
     value_bits: u32,
     stats: Option<TableTracker>,
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct TwoDeltaEntry {
-    last: u64,
-    s1: u64,
-    s2: u64,
 }
 
 impl TwoDeltaStridePredictor {
@@ -202,7 +220,9 @@ impl TwoDeltaStridePredictor {
             "value width must be in 1..=64"
         );
         TwoDeltaStridePredictor {
-            entries: vec![TwoDeltaEntry::default(); 1 << bits],
+            last: vec![0; 1 << bits],
+            s1: vec![0; 1 << bits],
+            s2: vec![0; 1 << bits],
             mask: (1usize << bits) - 1,
             bits,
             value_bits,
@@ -212,9 +232,10 @@ impl TwoDeltaStridePredictor {
 
     /// Number of table entries.
     pub fn entries(&self) -> usize {
-        self.entries.len()
+        self.last.len()
     }
 
+    #[inline]
     fn index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.mask)
     }
@@ -222,26 +243,46 @@ impl TwoDeltaStridePredictor {
 
 impl ValuePredictor for TwoDeltaStridePredictor {
     fn predict(&mut self, pc: u64) -> u64 {
-        let e = &self.entries[self.index(pc)];
-        e.last.wrapping_add(e.s1)
+        let idx = self.index(pc);
+        self.last[idx].wrapping_add(self.s1[idx])
     }
 
     fn update(&mut self, pc: u64, actual: u64) {
         let idx = self.index(pc);
-        let e = &mut self.entries[idx];
-        let stride = actual.wrapping_sub(e.last);
-        if stride == e.s2 {
-            e.s1 = stride;
+        let stride = actual.wrapping_sub(self.last[idx]);
+        if stride == self.s2[idx] {
+            self.s1[idx] = stride;
         }
-        e.s2 = stride;
-        e.last = actual;
+        self.s2[idx] = stride;
+        self.last[idx] = actual;
         if let Some(stats) = &mut self.stats {
             stats.record(idx);
         }
     }
 
+    // Fused predict+update with a single index computation; bit-identical
+    // to the default predict-then-update.
+    #[inline]
+    fn access(&mut self, pc: u64, actual: u64) -> AccessOutcome {
+        let idx = self.index(pc);
+        let predicted = self.last[idx].wrapping_add(self.s1[idx]);
+        let stride = actual.wrapping_sub(self.last[idx]);
+        if stride == self.s2[idx] {
+            self.s1[idx] = stride;
+        }
+        self.s2[idx] = stride;
+        self.last[idx] = actual;
+        if let Some(stats) = &mut self.stats {
+            stats.record(idx);
+        }
+        AccessOutcome {
+            predicted,
+            correct: predicted == actual,
+        }
+    }
+
     fn storage(&self) -> StorageCost {
-        let n = self.entries.len() as u64;
+        let n = self.last.len() as u64;
         StorageCost::new()
             .with("last values", n * self.value_bits as u64)
             .with("strides s1", n * self.value_bits as u64)
@@ -254,7 +295,7 @@ impl ValuePredictor for TwoDeltaStridePredictor {
 
     fn enable_table_stats(&mut self) {
         if self.stats.is_none() {
-            self.stats = Some(TableTracker::new("table", self.entries.len()));
+            self.stats = Some(TableTracker::new("table", self.last.len()));
         }
     }
 

@@ -6,6 +6,9 @@
 //! benchmarks weighted by the number of predicted instructions.
 //!
 //! * [`simulate`] / [`simulate_trace`] — run one predictor over one trace.
+//! * [`stream`] — the single-pass streaming core: one trace decode feeds
+//!   many predictor lanes ([`stream_trace`], [`stream_v2_file`],
+//!   [`stream_suite_engine`]), bit-identical to the reference loop.
 //! * [`run_suite`] — fresh predictor per benchmark, weighted-mean accuracy.
 //! * [`sweep`] — evaluate a family of configurations over a suite.
 //! * [`engine`] — the parallel execution engine: a shared work queue of
@@ -53,6 +56,7 @@ mod pareto;
 pub mod report;
 mod run;
 pub mod speculation;
+pub mod stream;
 mod suite;
 mod sweep;
 mod timeline;
@@ -66,6 +70,10 @@ pub use crate::engine::{
 pub use crate::fault::{FaultPlan, InjectedFault};
 pub use crate::pareto::{pareto_front, ParetoPoint};
 pub use crate::run::{simulate, simulate_n, simulate_trace, simulate_trace_observed, RunStats};
+pub use crate::stream::{
+    stream_records_with, stream_suite_engine, stream_trace, stream_trace_chunked, stream_v2_file,
+    StreamFileReport, StreamPredictor, StreamSuiteResult, STREAM_CHUNK_RECORDS,
+};
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};
 pub use crate::sweep::{sweep, sweep_parallel, SweepPoint};
 pub use crate::timeline::simulate_timeline;

@@ -95,6 +95,34 @@ mod tests {
     fn empty_input() {
         assert!(pareto_front(&[]).is_empty());
     }
+
+    #[test]
+    fn nan_accuracy_sorts_deterministically_without_panicking() {
+        // A NaN accuracy (e.g. a 0/0 run that slipped through) must not
+        // panic the sort — `total_cmp` gives NaN a fixed place in the
+        // order (positive NaN above +inf) — and must not poison the
+        // front: NaN > best is false for every `best`, so the point is
+        // simply dominated away while finite points survive.
+        let pts = vec![p(2.0, f64::NAN), p(1.0, 0.4), p(3.0, 0.6)];
+        let front = pareto_front(&pts);
+        let labels: Vec<&str> = front.iter().map(|q| q.label.as_str()).collect();
+        assert_eq!(labels, vec!["1/0.4", "3/0.6"]);
+        assert!(front.iter().all(|q| !q.accuracy.is_nan()));
+
+        // Deterministic: shuffling the input (including a NaN kbits
+        // point) yields the same front, in the same order.
+        let with_nan_size = vec![p(3.0, 0.6), p(f64::NAN, 0.9), p(2.0, f64::NAN), p(1.0, 0.4)];
+        let a = pareto_front(&with_nan_size);
+        let mut reversed = with_nan_size.clone();
+        reversed.reverse();
+        let b = pareto_front(&reversed);
+        // Compare by label: NaN coordinates are never `==`, but the same
+        // points must survive in the same order from either input order.
+        let labels = |front: &[ParetoPoint]| -> Vec<String> {
+            front.iter().map(|q| q.label.clone()).collect()
+        };
+        assert_eq!(labels(&a), labels(&b));
+    }
 }
 
 #[cfg(test)]

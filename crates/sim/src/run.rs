@@ -22,10 +22,13 @@ impl RunStats {
         }
     }
 
-    /// Merges another run into this one.
+    /// Merges another run into this one. Saturates rather than
+    /// overflowing: merged counters from many chunked sub-runs cap at
+    /// `u64::MAX` instead of wrapping into nonsense (or panicking in
+    /// debug builds).
     pub fn merge(&mut self, other: RunStats) {
-        self.predictions += other.predictions;
-        self.correct += other.correct;
+        self.predictions = self.predictions.saturating_add(other.predictions);
+        self.correct = self.correct.saturating_add(other.correct);
     }
 }
 
@@ -65,11 +68,12 @@ pub fn simulate_trace<P>(predictor: &mut P, trace: &Trace) -> RunStats
 where
     P: ValuePredictor + ?Sized,
 {
-    let mut stats = RunStats {
-        predictions: trace.len() as u64,
-        correct: 0,
-    };
+    // Count incrementally (like `simulate`) rather than pre-populating
+    // `predictions` with `trace.len()`: a chunked or early-exiting caller
+    // must never see more predictions reported than were actually made.
+    let mut stats = RunStats::default();
     for record in trace {
+        stats.predictions += 1;
         stats.correct += u64::from(predictor.access(record.pc, record.value).correct);
     }
     stats
@@ -99,13 +103,15 @@ where
     let mut span = obs.span("eval.predictor");
     span.arg("spec", spec);
     let stride = (trace.len() / 64).max(1);
-    let mut stats = RunStats {
-        predictions: trace.len() as u64,
-        correct: 0,
-    };
+    let mut stats = RunStats::default();
     for (i, record) in trace.into_iter().enumerate() {
+        stats.predictions += 1;
         stats.correct += u64::from(predictor.access(record.pc, record.value).correct);
-        if (i + 1) % stride == 0 {
+        // Sample on every stride boundary, and always at the final record:
+        // when `trace.len() % stride != 0` the trailing partial window
+        // would otherwise never be sampled and the exported occupancy
+        // series would end before the tables reach their final state.
+        if (i + 1) % stride == 0 || i + 1 == trace.len() {
             if let Some(ts) = predictor.table_stats() {
                 for t in &ts.tables {
                     obs.sample(
@@ -191,5 +197,51 @@ mod tests {
         assert_eq!(a.predictions, 40);
         assert_eq!(a.correct, 35);
         assert!((a.accuracy() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = RunStats {
+            predictions: u64::MAX - 1,
+            correct: u64::MAX - 1,
+        };
+        a.merge(RunStats {
+            predictions: 10,
+            correct: 3,
+        });
+        assert_eq!(a.predictions, u64::MAX);
+        assert_eq!(a.correct, u64::MAX);
+    }
+
+    /// Counts the `table_occupancy_percent` samples an observed run emits.
+    fn occupancy_samples(len: u64) -> usize {
+        let trace = constant_trace(len);
+        let mut p = LastValuePredictor::new(4);
+        let obs = Obs::enabled();
+        let stats = simulate_trace_observed(&mut p, &trace, &obs, "lvp:4");
+        assert_eq!(stats.predictions, len, "incremental count matches trace");
+        let (events, _) = obs.snapshot();
+        events
+            .iter()
+            .filter(|e| {
+                matches!(e, dfcm_obs::span::Event::Sample { name, .. }
+                if name == "table_occupancy_percent")
+            })
+            .count()
+    }
+
+    #[test]
+    fn observed_run_samples_final_partial_window() {
+        // 131 = 2 * 65 + 1: stride is 131/64 = 2, so boundaries fall on
+        // even record counts and the last record (131) is off-stride. The
+        // fix guarantees a closing sample there; without it the series
+        // ended at record 130 (65 samples, tables one write stale).
+        assert_eq!(occupancy_samples(131), 65 + 1);
+        // Exact multiples are unchanged: the final record IS a boundary,
+        // and no duplicate sample is emitted for it.
+        assert_eq!(occupancy_samples(128), 64);
+        // Traces shorter than one window (stride clamps to 1) sample at
+        // every record, including the last.
+        assert_eq!(occupancy_samples(3), 3);
     }
 }

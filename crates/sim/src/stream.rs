@@ -1,0 +1,534 @@
+//! Single-pass streaming predictor core.
+//!
+//! The classic evaluation loop ([`simulate_trace`](crate::simulate_trace))
+//! runs *one* predictor over *one* trace; comparing N configurations means
+//! decoding and walking the trace N times through `dyn ValuePredictor`
+//! dispatch. This module restructures that hot path:
+//!
+//! * **One decode, many lanes.** [`stream_trace`] walks the trace once and
+//!   feeds every [`StreamPredictor`] *lane* per record, using the fused
+//!   [`access`](dfcm::ValuePredictor::access) overrides (a single table
+//!   index computation per record per two-level predictor) behind enum —
+//!   not `dyn` — dispatch.
+//! * **Chunked runs with deterministic merge.** [`stream_trace_chunked`]
+//!   produces the same result as one per-chunk [`RunStats`] merge in chunk
+//!   order; [`stream_v2_file`] extends this to on-disk `DFCMTRC2` traces,
+//!   decoding chunks on worker threads while the (stateful) lanes consume
+//!   them strictly in file order — bit-identical to a serial run, any
+//!   thread count.
+//! * **Suite fan-out.** [`stream_suite_engine`] runs one engine task per
+//!   benchmark (cold cloned lanes each), merging per-lane results in
+//!   benchmark order.
+//!
+//! Every path is differentially tested to be bit-identical to the
+//! predict-then-update reference loop (`tests/stream_equiv.rs`).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use dfcm::{
+    AccessOutcome, DfcmPredictor, FcmPredictor, LastValuePredictor, StorageCost, StridePredictor,
+    TableStats, TwoDeltaStridePredictor, ValuePredictor,
+};
+use dfcm_trace::io::RawChunk;
+use dfcm_trace::suite::BenchmarkTrace;
+use dfcm_trace::{Trace, TraceRecord, V2_CHUNK_RECORDS};
+
+use crate::engine::{run_tasks, EngineConfig, EngineReport, TaskOutput};
+use crate::run::RunStats;
+
+/// One lane of the streaming pass: a concrete predictor behind enum
+/// dispatch.
+///
+/// The streaming core deliberately avoids `Box<dyn ValuePredictor>`: an
+/// enum keeps the per-record dispatch a jump table the compiler can see
+/// through (and lanes stay `Clone`, so a cold configuration can be
+/// instantiated once and copied per benchmark). The enum covers the four
+/// paper predictors plus two-delta stride; anything more exotic still
+/// runs through the `dyn` path of [`simulate_trace`](crate::simulate_trace).
+#[derive(Debug, Clone)]
+pub enum StreamPredictor {
+    /// Last value predictor (§2.1).
+    Lvp(LastValuePredictor),
+    /// Stride predictor (§2.2).
+    Stride(StridePredictor),
+    /// Two-delta stride predictor (§2.2).
+    TwoDelta(TwoDeltaStridePredictor),
+    /// Finite context method predictor (§2.3).
+    Fcm(FcmPredictor),
+    /// Differential FCM predictor (§3).
+    Dfcm(DfcmPredictor),
+}
+
+macro_rules! for_each_lane {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            StreamPredictor::Lvp($p) => $body,
+            StreamPredictor::Stride($p) => $body,
+            StreamPredictor::TwoDelta($p) => $body,
+            StreamPredictor::Fcm($p) => $body,
+            StreamPredictor::Dfcm($p) => $body,
+        }
+    };
+}
+
+impl ValuePredictor for StreamPredictor {
+    fn predict(&mut self, pc: u64) -> u64 {
+        for_each_lane!(self, p => p.predict(pc))
+    }
+
+    fn update(&mut self, pc: u64, actual: u64) {
+        for_each_lane!(self, p => p.update(pc, actual))
+    }
+
+    #[inline]
+    fn access(&mut self, pc: u64, actual: u64) -> AccessOutcome {
+        for_each_lane!(self, p => p.access(pc, actual))
+    }
+
+    fn storage(&self) -> StorageCost {
+        for_each_lane!(self, p => p.storage())
+    }
+
+    fn name(&self) -> String {
+        for_each_lane!(self, p => p.name())
+    }
+
+    fn enable_table_stats(&mut self) {
+        for_each_lane!(self, p => p.enable_table_stats())
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        for_each_lane!(self, p => p.table_stats())
+    }
+}
+
+impl From<LastValuePredictor> for StreamPredictor {
+    fn from(p: LastValuePredictor) -> Self {
+        StreamPredictor::Lvp(p)
+    }
+}
+
+impl From<StridePredictor> for StreamPredictor {
+    fn from(p: StridePredictor) -> Self {
+        StreamPredictor::Stride(p)
+    }
+}
+
+impl From<TwoDeltaStridePredictor> for StreamPredictor {
+    fn from(p: TwoDeltaStridePredictor) -> Self {
+        StreamPredictor::TwoDelta(p)
+    }
+}
+
+impl From<FcmPredictor> for StreamPredictor {
+    fn from(p: FcmPredictor) -> Self {
+        StreamPredictor::Fcm(p)
+    }
+}
+
+impl From<DfcmPredictor> for StreamPredictor {
+    fn from(p: DfcmPredictor) -> Self {
+        StreamPredictor::Dfcm(p)
+    }
+}
+
+/// Streams a slice of records through every lane once, observing each
+/// outcome.
+///
+/// The observer receives `(lane index, record index, outcome)` for every
+/// (record, lane) pair — the hook the differential tests use to compare
+/// per-record behaviour against the reference loop. [`stream_trace`]
+/// passes a no-op closure that the optimizer erases.
+pub fn stream_records_with<F>(
+    lanes: &mut [StreamPredictor],
+    records: &[TraceRecord],
+    mut observe: F,
+) -> Vec<RunStats>
+where
+    F: FnMut(usize, usize, AccessOutcome),
+{
+    let mut stats = vec![RunStats::default(); lanes.len()];
+    for (ri, record) in records.iter().enumerate() {
+        for (li, lane) in lanes.iter_mut().enumerate() {
+            let outcome = lane.access(record.pc, record.value);
+            stats[li].predictions += 1;
+            stats[li].correct += u64::from(outcome.correct);
+            observe(li, ri, outcome);
+        }
+    }
+    stats
+}
+
+/// Runs every lane over `trace` in a single pass: one walk of the records
+/// feeds all lanes, and each lane's fused `access` computes its table
+/// index once per record.
+///
+/// Returns one [`RunStats`] per lane, in lane order. Bit-identical to
+/// running [`simulate_trace`](crate::simulate_trace) once per lane.
+pub fn stream_trace(lanes: &mut [StreamPredictor], trace: &Trace) -> Vec<RunStats> {
+    stream_records_with(lanes, trace.records(), |_, _, _| {})
+}
+
+/// [`stream_trace`], processing the trace in chunks of `chunk_records`
+/// and merging the per-chunk [`RunStats`] in chunk order.
+///
+/// Because the lanes are stateful and consume chunks strictly in order,
+/// the result is bit-identical to [`stream_trace`]; the chunk granularity
+/// only decides how often stats are folded (exercising the saturating
+/// [`RunStats::merge`]). Use [`dfcm_trace::V2_CHUNK_RECORDS`] to mirror
+/// the on-disk chunking.
+///
+/// # Panics
+///
+/// Panics if `chunk_records` is 0.
+pub fn stream_trace_chunked(
+    lanes: &mut [StreamPredictor],
+    trace: &Trace,
+    chunk_records: usize,
+) -> Vec<RunStats> {
+    let mut totals = vec![RunStats::default(); lanes.len()];
+    for chunk in trace.chunks(chunk_records) {
+        let chunk_stats = stream_records_with(lanes, chunk, |_, _, _| {});
+        for (total, part) in totals.iter_mut().zip(chunk_stats) {
+            total.merge(part);
+        }
+    }
+    totals
+}
+
+/// Outcome of a [`stream_v2_file`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFileReport {
+    /// Per-lane statistics, in lane order.
+    pub stats: Vec<RunStats>,
+    /// Records streamed (per lane).
+    pub records: u64,
+    /// Chunks the file was decoded in.
+    pub chunks: usize,
+}
+
+/// Streams an on-disk `DFCMTRC2` trace through the lanes, decoding its
+/// chunks on `decode_threads` worker threads.
+///
+/// The v2 format restarts its pc delta chain in every chunk, so chunks
+/// decode independently and in any order — but predictor lanes are
+/// stateful, so decoded chunks are *consumed* strictly in file order (a
+/// reorder buffer bridges the two). Per-chunk stats are merged in chunk
+/// order. The result is therefore bit-identical to a fully serial run
+/// regardless of `decode_threads`; `0` or `1` decodes inline.
+///
+/// # Errors
+///
+/// Propagates open/read errors and chunk corruption
+/// ([`dfcm_trace::TraceFormatError`] wrapped in `InvalidData`). On a
+/// corrupt chunk the error reported is the lowest-indexed one, again
+/// independent of thread scheduling.
+pub fn stream_v2_file<P: AsRef<Path>>(
+    path: P,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+) -> io::Result<StreamFileReport> {
+    let reader = dfcm_trace::V2ChunkReader::open(path)?;
+    let chunks = reader.collect::<io::Result<Vec<RawChunk>>>()?;
+    let mut totals = vec![RunStats::default(); lanes.len()];
+    let mut records = 0u64;
+
+    let mut consume =
+        |lanes: &mut [StreamPredictor], totals: &mut [RunStats], decoded: &[TraceRecord]| {
+            records += decoded.len() as u64;
+            let chunk_stats = stream_records_with(lanes, decoded, |_, _, _| {});
+            for (total, part) in totals.iter_mut().zip(chunk_stats) {
+                total.merge(part);
+            }
+        };
+
+    if decode_threads <= 1 {
+        for chunk in &chunks {
+            consume(lanes, &mut totals, &chunk.decode()?);
+        }
+    } else {
+        stream_chunks_parallel(&chunks, decode_threads, |decoded| {
+            consume(lanes, &mut totals, decoded)
+        })?;
+    }
+    Ok(StreamFileReport {
+        stats: totals,
+        records,
+        chunks: chunks.len(),
+    })
+}
+
+/// Decodes `chunks` on worker threads, handing each decoded chunk to
+/// `consume` strictly in index order. Returns the lowest-indexed decode
+/// error, if any; `consume` never sees chunks at or beyond a failed index.
+fn stream_chunks_parallel<F>(chunks: &[RawChunk], threads: usize, mut consume: F) -> io::Result<()>
+where
+    F: FnMut(&[TraceRecord]),
+{
+    let next = AtomicUsize::new(0);
+    // The channel bound keeps decoded-chunk memory proportional to the
+    // thread count rather than the file size when decoding outpaces
+    // consumption.
+    let (tx, rx) = mpsc::sync_channel::<(usize, io::Result<Vec<TraceRecord>>)>(threads);
+    std::thread::scope(|scope| {
+        // Move the receiver into the scope so it drops on *any* exit from
+        // this closure (including the early decode-error return below) —
+        // that unparks workers blocked on a full channel, letting the
+        // scope join them instead of deadlocking.
+        let rx = rx;
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                // A send error means the consumer bailed (decode error on
+                // an earlier chunk); stop producing.
+                if tx.send((i, chunks[i].decode())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // In-order consumption with a reorder buffer: chunks may arrive
+        // out of order, but lane state only ever advances on the chunk it
+        // is waiting for.
+        let mut pending: BTreeMap<usize, io::Result<Vec<TraceRecord>>> = BTreeMap::new();
+        let mut want = 0usize;
+        while want < chunks.len() {
+            let entry = match pending.remove(&want) {
+                Some(entry) => entry,
+                None => match rx.recv() {
+                    Ok((i, decoded)) if i == want => decoded,
+                    Ok((i, decoded)) => {
+                        pending.insert(i, decoded);
+                        continue;
+                    }
+                    // All workers exited without producing the chunk we
+                    // need — impossible unless a worker panicked.
+                    Err(_) => {
+                        return Err(io::Error::other("chunk decode worker died"));
+                    }
+                },
+            };
+            consume(&entry?);
+            want += 1;
+        }
+        Ok(())
+        // Dropping `rx` here unblocks any worker parked on a full
+        // channel; the scope then joins them.
+    })
+}
+
+/// Per-lane results of a [`stream_suite_engine`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSuiteResult {
+    /// Lane names, in lane order.
+    pub lanes: Vec<String>,
+    /// Per-benchmark, per-lane statistics: `per_benchmark[b][l]` is lane
+    /// `l` on benchmark `b`, in input order.
+    pub per_benchmark: Vec<Vec<RunStats>>,
+    /// Per-lane totals over all benchmarks (merged in benchmark order) —
+    /// the record-weighted suite aggregate.
+    pub total: Vec<RunStats>,
+}
+
+/// Evaluates the lane set over a benchmark suite on the parallel engine:
+/// one task per benchmark, each streaming a *cold clone* of every lane
+/// over that benchmark's trace in a single pass.
+///
+/// Parallelism is across benchmarks (task grain), while each task keeps
+/// the single-decode multi-lane inner loop. Results merge per lane in
+/// benchmark order, so the outcome is deterministic for any thread count.
+///
+/// # Panics
+///
+/// Panics if a worker dies with the panic-isolation machinery disabled
+/// (see [`run_tasks`]).
+pub fn stream_suite_engine(
+    lanes: &[StreamPredictor],
+    traces: &[BenchmarkTrace],
+    config: &EngineConfig,
+) -> (StreamSuiteResult, EngineReport) {
+    let labels: Vec<String> = traces.iter().map(|t| t.name.to_owned()).collect();
+    let (per_benchmark, report) = run_tasks(
+        labels,
+        |i| {
+            let mut cold: Vec<StreamPredictor> = lanes.to_vec();
+            let stats = stream_trace(&mut cold, &traces[i].trace);
+            TaskOutput {
+                records: traces[i].trace.len() as u64 * lanes.len() as u64,
+                value: stats,
+            }
+        },
+        config,
+    );
+    let mut total = vec![RunStats::default(); lanes.len()];
+    for bench in &per_benchmark {
+        for (t, s) in total.iter_mut().zip(bench) {
+            t.merge(*s);
+        }
+    }
+    let result = StreamSuiteResult {
+        lanes: lanes.iter().map(|l| l.name()).collect(),
+        per_benchmark,
+        total,
+    };
+    (result, report)
+}
+
+/// The default chunk granularity for in-memory chunked streaming: the
+/// on-disk v2 chunk size.
+pub const STREAM_CHUNK_RECORDS: usize = V2_CHUNK_RECORDS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_trace;
+    use dfcm_trace::atomic_write;
+
+    fn lanes() -> Vec<StreamPredictor> {
+        vec![
+            LastValuePredictor::new(6).into(),
+            StridePredictor::new(6).into(),
+            TwoDeltaStridePredictor::new(6).into(),
+            FcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(10)
+                .build()
+                .unwrap()
+                .into(),
+            DfcmPredictor::builder()
+                .l1_bits(6)
+                .l2_bits(10)
+                .build()
+                .unwrap()
+                .into(),
+        ]
+    }
+
+    fn mixed_trace(n: u64) -> Trace {
+        (0..n)
+            .map(|i| {
+                TraceRecord::new(
+                    4 * (i % 37),
+                    (i / 5).wrapping_mul(7).wrapping_sub(i % 3) ^ (i / 101),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_matches_simulate_trace_per_lane() {
+        let trace = mixed_trace(4000);
+        let mut streamed = lanes();
+        let stats = stream_trace(&mut streamed, &trace);
+        for (i, mut reference) in lanes().into_iter().enumerate() {
+            let expected = simulate_trace(&mut reference, &trace);
+            assert_eq!(stats[i], expected, "{}", reference.name());
+        }
+    }
+
+    #[test]
+    fn chunked_stream_is_bit_identical_for_any_chunk_size() {
+        let trace = mixed_trace(3000);
+        let mut serial = lanes();
+        let expected = stream_trace(&mut serial, &trace);
+        for chunk in [1, 7, 64, 1000, 3000, 5000] {
+            let mut chunked = lanes();
+            assert_eq!(
+                stream_trace_chunked(&mut chunked, &trace, chunk),
+                expected,
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_streams_to_zero_stats() {
+        let mut l = lanes();
+        let stats = stream_trace(&mut l, &Trace::new());
+        assert!(stats.iter().all(|s| *s == RunStats::default()));
+    }
+
+    #[test]
+    fn observer_sees_every_outcome() {
+        let trace = mixed_trace(50);
+        let mut l = lanes();
+        let mut seen = 0usize;
+        let stats = stream_records_with(&mut l, trace.records(), |li, ri, out| {
+            assert!(li < 5 && ri < 50);
+            assert_eq!(out.correct, out.predicted == trace.records()[ri].value);
+            seen += 1;
+        });
+        assert_eq!(seen, 5 * 50);
+        assert_eq!(stats.len(), 5);
+    }
+
+    #[test]
+    fn file_streaming_matches_in_memory_for_any_thread_count() {
+        // Long enough for several on-disk chunks.
+        let trace = mixed_trace(2 * V2_CHUNK_RECORDS as u64 + 999);
+        let mut buffer = Vec::new();
+        trace.write_v2_to(&mut buffer, 42).unwrap();
+        let path = std::env::temp_dir().join("dfcm_stream_v2_test.trc");
+        atomic_write(&path, &buffer).unwrap();
+
+        let mut reference = lanes();
+        let expected = stream_trace(&mut reference, &trace);
+        for threads in [0, 1, 2, 5] {
+            let mut l = lanes();
+            let report = stream_v2_file(&path, &mut l, threads).unwrap();
+            assert_eq!(report.stats, expected, "{threads} decode threads");
+            assert_eq!(report.records, trace.len() as u64);
+            assert_eq!(report.chunks, 3);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_streaming_reports_corruption() {
+        let trace = mixed_trace(V2_CHUNK_RECORDS as u64 + 10);
+        let mut buffer = Vec::new();
+        trace.write_v2_to(&mut buffer, 0).unwrap();
+        let target = buffer.len() / 2;
+        buffer[target] ^= 0x40;
+        let path = std::env::temp_dir().join("dfcm_stream_v2_corrupt_test.trc");
+        atomic_write(&path, &buffer).unwrap();
+        for threads in [1, 4] {
+            let err = stream_v2_file(&path, &mut lanes(), threads).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{threads} threads");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn suite_engine_matches_serial_suite() {
+        let traces = dfcm_trace::suite::standard_traces(7, 0.01);
+        let base = lanes();
+        let serial: Vec<Vec<RunStats>> = traces
+            .iter()
+            .map(|t| {
+                let mut cold = base.clone();
+                stream_trace(&mut cold, &t.trace)
+            })
+            .collect();
+        let config = EngineConfig {
+            threads: 3,
+            ..EngineConfig::default()
+        };
+        let (result, report) = stream_suite_engine(&base, &traces, &config);
+        assert_eq!(result.per_benchmark, serial);
+        assert_eq!(result.lanes.len(), base.len());
+        let records: u64 = traces.iter().map(|t| t.trace.len() as u64).sum();
+        assert!(result.total.iter().all(|s| s.predictions == records));
+        assert_eq!(report.tasks.len(), traces.len());
+    }
+}

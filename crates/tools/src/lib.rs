@@ -30,7 +30,9 @@ use dfcm::{
     ValuePredictor,
 };
 use dfcm_sim::engine::{run_tasks_ft, TaskOutput};
-use dfcm_sim::{simulate_trace_observed, EngineConfig, EngineReport};
+use dfcm_sim::{
+    simulate_trace_observed, stream_trace, EngineConfig, EngineReport, StreamPredictor,
+};
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
 use dfcm_trace::{inspect_trace, salvage_trace, Trace, TraceFormat, TraceSource};
@@ -165,6 +167,128 @@ pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
             "unknown predictor `{other}` (use lvp|stride|2delta|fcm|dfcm)"
         ))),
     }
+}
+
+/// Builds a streaming lane from the same spec grammar as
+/// [`predictor_for`]. The streaming core dispatches through an enum, so
+/// only the five concrete predictor kinds are available — which is
+/// exactly what the spec grammar covers.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown predictor names or malformed specs.
+pub fn stream_predictor_for(spec: &str) -> Result<StreamPredictor, ToolError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bits = |i: usize| -> Result<u32, ToolError> {
+        parts
+            .get(i)
+            .ok_or_else(|| err(format!("`{spec}`: missing table-size field {i}")))?
+            .parse()
+            .map_err(|_| err(format!("`{spec}`: bad table size")))
+    };
+    match parts[0] {
+        "lvp" => Ok(LastValuePredictor::new(bits(1)?).into()),
+        "stride" => Ok(StridePredictor::new(bits(1)?).into()),
+        "2delta" => Ok(TwoDeltaStridePredictor::new(bits(1)?).into()),
+        "fcm" => Ok(FcmPredictor::builder()
+            .l1_bits(bits(1)?)
+            .l2_bits(bits(2)?)
+            .build()
+            .map_err(|e| err(e.to_string()))?
+            .into()),
+        "dfcm" => Ok(DfcmPredictor::builder()
+            .l1_bits(bits(1)?)
+            .l2_bits(bits(2)?)
+            .build()
+            .map_err(|e| err(e.to_string()))?
+            .into()),
+        other => Err(err(format!(
+            "unknown predictor `{other}` (use lvp|stride|2delta|fcm|dfcm)"
+        ))),
+    }
+}
+
+/// `eval --streaming` — runs every spec as a lane of the single-pass
+/// streaming core: the trace is decoded and walked once, all predictors
+/// update in the same pass (one engine task, so `--metrics`, retries and
+/// `--strict` still apply to it).
+///
+/// Output lines match [`eval`]'s layout and ordering. The streaming pass
+/// is bit-identical to the per-predictor path; what changes is
+/// throughput. With `engine.obs` enabled the per-spec `eval_accuracy`
+/// gauge is still recorded, but the per-predictor occupancy time series
+/// of the observed path is not (use the non-streaming `eval --obs` for
+/// that).
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unreadable traces or bad predictor specs.
+pub fn eval_streaming(
+    path: &Path,
+    specs: &[String],
+    engine: &EngineConfig,
+) -> Result<(String, EngineReport), ToolError> {
+    let trace = Trace::load(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let lanes = specs
+        .iter()
+        .map(|s| stream_predictor_for(s))
+        .collect::<Result<Vec<StreamPredictor>, ToolError>>()?;
+    let label = format!("stream[{}]", specs.join(","));
+    let (mut values, report) = run_tasks_ft(
+        vec![label.clone()],
+        |_| {
+            let mut lanes = lanes.clone();
+            let stats = stream_trace(&mut lanes, &trace);
+            let lines: Vec<String> = lanes
+                .iter()
+                .zip(&stats)
+                .zip(specs)
+                .map(|((lane, s), spec)| {
+                    if engine.obs.is_enabled() {
+                        engine
+                            .obs
+                            .gauge("eval_accuracy", &[("spec", spec)], s.accuracy());
+                    }
+                    format!(
+                        "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
+                        lane.name(),
+                        s.accuracy(),
+                        lane.storage().kbits()
+                    )
+                })
+                .collect();
+            Ok(TaskOutput {
+                // One streaming task touches every record once per lane.
+                records: trace.len() as u64 * specs.len() as u64,
+                value: lines,
+            })
+        },
+        engine,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ({} records, streaming x{}):",
+        path.display(),
+        trace.len(),
+        specs.len()
+    );
+    match values.pop().flatten() {
+        Some(lines) => {
+            for line in lines {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        None => {
+            let outcome = report
+                .tasks
+                .first()
+                .map(|t| t.outcome.to_string())
+                .unwrap_or_default();
+            let _ = writeln!(out, "  {label:<32} FAILED: {outcome}");
+        }
+    }
+    Ok((out, report))
 }
 
 /// `eval <trace.trc> <predictor-spec>...` — runs predictors over a saved
@@ -416,6 +540,165 @@ pub fn obs_summarize(dir: &Path, check: bool) -> Result<String, ToolError> {
     Ok(out)
 }
 
+/// `bench check <file>` — validates a `BENCH_throughput.json` artifact
+/// (as emitted by `cargo bench --bench throughput`) against the
+/// documented `dfcm-bench-throughput/v1` schema, so CI can gate on the
+/// exit status without external JSON tooling.
+///
+/// Checks: well-formed JSON; the schema tag; `mode`, `records` and
+/// `machine` fields; a non-empty `results` array whose entries carry
+/// positive, finite timings; `stream`-path coverage of all four paper
+/// predictors (lvp, stride, fcm, dfcm); and an `aggregate` with a
+/// positive sweep `configs` count whose `speedup` is consistent with its
+/// own numerator and denominator.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] listing every schema violation found.
+pub fn bench_check(path: &Path) -> Result<String, ToolError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    let doc = dfcm_obs::json::parse(&text)
+        .map_err(|e| err(format!("{}: malformed JSON: {e}", path.display())))?;
+    let mut problems: Vec<String> = Vec::new();
+    let mut problem = |p: String| problems.push(p);
+
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("dfcm-bench-throughput/v1") => {}
+        Some(other) => problem(format!("unknown schema `{other}`")),
+        None => problem("missing string field `schema`".into()),
+    }
+    match doc.get("mode").and_then(|v| v.as_str()) {
+        Some("quick") | Some("full") => {}
+        Some(other) => problem(format!("`mode` must be quick|full, got `{other}`")),
+        None => problem("missing string field `mode`".into()),
+    }
+    if doc
+        .get("records")
+        .and_then(|v| v.as_u64())
+        .is_none_or(|n| n == 0)
+    {
+        problem("`records` must be a positive integer".into());
+    }
+    match doc.get("machine") {
+        Some(machine) => {
+            for key in ["os", "arch"] {
+                if machine.get(key).and_then(|v| v.as_str()).is_none() {
+                    problem(format!("`machine.{key}` must be a string"));
+                }
+            }
+            if machine
+                .get("threads")
+                .and_then(|v| v.as_u64())
+                .is_none_or(|n| n == 0)
+            {
+                problem("`machine.threads` must be a positive integer".into());
+            }
+        }
+        None => problem("missing object field `machine`".into()),
+    }
+
+    let mut stream_kinds: Vec<String> = Vec::new();
+    match doc.get("results").and_then(|v| v.as_arr()) {
+        Some([]) => problem("`results` must be non-empty".into()),
+        Some(results) => {
+            for (i, entry) in results.iter().enumerate() {
+                for key in ["predictor", "kind"] {
+                    if entry.get(key).and_then(|v| v.as_str()).is_none() {
+                        problem(format!("results[{i}].{key} must be a string"));
+                    }
+                }
+                let path_kind = entry.get("path").and_then(|v| v.as_str());
+                if !matches!(path_kind, Some("dyn") | Some("stream")) {
+                    problem(format!("results[{i}].path must be dyn|stream"));
+                }
+                if entry
+                    .get("records")
+                    .and_then(|v| v.as_u64())
+                    .is_none_or(|n| n == 0)
+                {
+                    problem(format!("results[{i}].records must be a positive integer"));
+                }
+                for key in ["seconds", "predictions_per_sec"] {
+                    if !entry
+                        .get(key)
+                        .and_then(|v| v.as_f64())
+                        .is_some_and(|x| x.is_finite() && x > 0.0)
+                    {
+                        problem(format!("results[{i}].{key} must be finite and positive"));
+                    }
+                }
+                if path_kind == Some("stream") {
+                    if let Some(kind) = entry.get("kind").and_then(|v| v.as_str()) {
+                        stream_kinds.push(kind.to_owned());
+                    }
+                }
+            }
+        }
+        None => problem("missing array field `results`".into()),
+    }
+    for kind in ["lvp", "stride", "fcm", "dfcm"] {
+        if !stream_kinds.iter().any(|k| k == kind) {
+            problem(format!("no stream-path result for predictor kind `{kind}`"));
+        }
+    }
+
+    match doc.get("aggregate") {
+        Some(agg) => {
+            if agg
+                .get("configs")
+                .and_then(|v| v.as_u64())
+                .is_none_or(|n| n == 0)
+            {
+                problem("`aggregate.configs` must be a positive integer".into());
+            }
+            let field = |key: &str| agg.get(key).and_then(|v| v.as_f64());
+            match (
+                field("baseline_dyn_seconds"),
+                field("stream_seconds"),
+                field("speedup"),
+            ) {
+                (Some(base), Some(stream), Some(speedup))
+                    if base > 0.0 && stream > 0.0 && speedup > 0.0 =>
+                {
+                    // The file rounds each field independently; allow a
+                    // small tolerance around base/stream.
+                    let expected = base / stream;
+                    if (speedup - expected).abs() > 0.05 * expected {
+                        problem(format!(
+                            "aggregate.speedup {speedup} inconsistent with \
+                             {base}/{stream} = {expected:.3}"
+                        ));
+                    }
+                }
+                _ => problem(
+                    "aggregate needs positive baseline_dyn_seconds, \
+                     stream_seconds and speedup"
+                        .into(),
+                ),
+            }
+        }
+        None => problem("missing object field `aggregate`".into()),
+    }
+
+    if problems.is_empty() {
+        Ok(format!(
+            "{}: OK (dfcm-bench-throughput/v1, {} result(s))",
+            path.display(),
+            doc.get("results")
+                .and_then(|v| v.as_arr())
+                .map_or(0, <[_]>::len)
+        ))
+    } else {
+        Err(err(format!(
+            "{}: {} schema problem(s):\n  {}",
+            path.display(),
+            problems.len(),
+            problems.join("\n  ")
+        )))
+    }
+}
+
 /// `disasm <kernel>` — assembly listing of a bundled kernel (assembled and
 /// disassembled, so what is printed is exactly what executes).
 ///
@@ -492,6 +775,134 @@ mod tests {
         assert!(predictor_for("fcm:12").is_err());
         assert!(predictor_for("dfcm:99:12").is_err());
         assert!(predictor_for("dfcm:a:12").is_err());
+    }
+
+    #[test]
+    fn stream_predictor_specs_parse() {
+        for spec in [
+            "lvp:10",
+            "stride:10",
+            "2delta:10",
+            "fcm:12:12",
+            "dfcm:16:12",
+        ] {
+            let lane = stream_predictor_for(spec).unwrap();
+            // The lane reports the same name/cost as the dyn-path build.
+            let boxed = predictor_for(spec).unwrap();
+            assert_eq!(lane.name(), boxed.name());
+            assert_eq!(lane.storage().total_bits(), boxed.storage().total_bits());
+        }
+        assert!(stream_predictor_for("magic:3").is_err());
+        assert!(stream_predictor_for("fcm:12").is_err());
+    }
+
+    #[test]
+    fn eval_streaming_reports_same_lines_as_eval() {
+        let dir = std::env::temp_dir().join("dfcm_tools_stream_eval_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("li.trc");
+        generate("li", 4000, &path, 7).unwrap();
+        let specs: Vec<String> = ["lvp:8", "stride:8", "fcm:8:10", "dfcm:8:10"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let engine = EngineConfig::default();
+        let (classic, _) = eval(&path, &specs, &engine).unwrap();
+        let (streamed, report) = eval_streaming(&path, &specs, &engine).unwrap();
+        // Identical per-spec result lines (headers differ), in spec order.
+        let body = |s: &str| s.lines().skip(1).map(str::to_owned).collect::<Vec<_>>();
+        assert_eq!(body(&streamed), body(&classic));
+        assert!(report.all_ok());
+        // One task, records = trace.len() × lanes.
+        assert_eq!(report.tasks.len(), 1);
+        assert_eq!(report.tasks[0].records, 4000 * 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_streaming_rejects_bad_specs_before_running() {
+        let dir = std::env::temp_dir().join("dfcm_tools_stream_badspec_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trc");
+        generate("li", 100, &path, 1).unwrap();
+        let e = eval_streaming(&path, &["nope:1".to_owned()], &EngineConfig::default());
+        assert!(e.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn bench_doc(speedup: f64) -> String {
+        let result = |kind: &str, path: &str| {
+            format!(
+                r#"{{"predictor":"{kind}(2^16)","kind":"{kind}","path":"{path}","records":100000,"seconds":0.5,"predictions_per_sec":200000.0}}"#
+            )
+        };
+        let results: Vec<String> = ["lvp", "stride", "fcm", "dfcm"]
+            .iter()
+            .flat_map(|k| [result(k, "dyn"), result(k, "stream")])
+            .collect();
+        format!(
+            r#"{{"schema":"dfcm-bench-throughput/v1","mode":"quick","records":100000,
+               "machine":{{"os":"linux","arch":"x86_64","threads":8}},
+               "results":[{}],
+               "aggregate":{{"configs":16,"baseline_dyn_seconds":2.0,"stream_seconds":0.5,"speedup":{speedup}}}}}"#,
+            results.join(",")
+        )
+    }
+
+    #[test]
+    fn bench_check_accepts_valid_artifact() {
+        let path = std::env::temp_dir().join("dfcm_tools_bench_ok.json");
+        std::fs::write(&path, bench_doc(4.0)).unwrap();
+        let out = bench_check(&path).unwrap();
+        assert!(out.contains("OK"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_check_rejects_schema_violations() {
+        let dir = std::env::temp_dir().join("dfcm_tools_bench_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Inconsistent speedup.
+        let p1 = dir.join("speedup.json");
+        std::fs::write(&p1, bench_doc(9.0)).unwrap();
+        assert!(bench_check(&p1)
+            .unwrap_err()
+            .to_string()
+            .contains("speedup"));
+        // Missing stream coverage for dfcm.
+        let p2 = dir.join("coverage.json");
+        std::fs::write(
+            &p2,
+            bench_doc(4.0).replace(
+                r#""kind":"dfcm","path":"stream""#,
+                r#""kind":"dfcm","path":"dyn""#,
+            ),
+        )
+        .unwrap();
+        assert!(bench_check(&p2).unwrap_err().to_string().contains("dfcm"));
+        // Not JSON at all.
+        let p3 = dir.join("garbage.json");
+        std::fs::write(&p3, "not json").unwrap();
+        assert!(bench_check(&p3).is_err());
+        // Wrong schema tag.
+        let p4 = dir.join("tag.json");
+        std::fs::write(
+            &p4,
+            bench_doc(4.0).replace("throughput/v1", "throughput/v9"),
+        )
+        .unwrap();
+        assert!(bench_check(&p4).unwrap_err().to_string().contains("schema"));
+        // Missing sweep config count.
+        let p5 = dir.join("configs.json");
+        std::fs::write(&p5, bench_doc(4.0).replace(r#""configs":16,"#, "")).unwrap();
+        assert!(bench_check(&p5)
+            .unwrap_err()
+            .to_string()
+            .contains("configs"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

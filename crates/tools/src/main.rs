@@ -8,10 +8,12 @@ const USAGE: &str = "\
 usage:
   dfcm-tools gen <workload> <records> <out.trc> [--seed N]
   dfcm-tools stats <trace.trc>
-  dfcm-tools eval <trace.trc> <predictor>... [--threads N] [--progress] [--metrics FILE]
-             [--obs DIR] [--retries N] [--inject-faults SEED[:PANIC[:TRANSIENT[:DELAY]]]]
-             [--strict]
+  dfcm-tools eval <trace.trc> <predictor>... [--streaming] [--threads N] [--progress]
+             [--metrics FILE] [--obs DIR] [--retries N]
+             [--inject-faults SEED[:PANIC[:TRANSIENT[:DELAY]]]] [--strict]
              (predictors: lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2;
+              --streaming decodes and walks the trace once, feeding every
+              predictor in a single pass (same results, higher throughput);
               --threads 0 = one per hardware thread; --metrics writes engine JSONL;
               --obs enables table-usage/aliasing observability and writes
               events.jsonl, trace.json (Perfetto) and metrics.prom into DIR;
@@ -29,6 +31,10 @@ usage:
              (table-usage report for an --obs export directory; --check
               validates all three export files and exits nonzero on any
               malformed or inconsistent export)
+  dfcm-tools bench check <BENCH_throughput.json>
+             (validates a throughput benchmark artifact against the
+              dfcm-bench-throughput/v1 schema; exits nonzero on any
+              violation)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools kernels
@@ -113,14 +119,23 @@ fn run() -> Result<String, String> {
                 strict = true;
                 rest.remove(pos);
             }
+            let mut streaming = false;
+            if let Some(pos) = rest.iter().position(|a| a == "--streaming") {
+                streaming = true;
+                rest.remove(pos);
+            }
             let Some((path, specs)) = rest.split_first() else {
                 return Err(USAGE.to_owned());
             };
             if specs.is_empty() {
                 return Err(USAGE.to_owned());
             }
-            let (out, report) = dfcm_tools::eval(&PathBuf::from(path), specs, &engine)
-                .map_err(|e| e.to_string())?;
+            let (out, report) = if streaming {
+                dfcm_tools::eval_streaming(&PathBuf::from(path), specs, &engine)
+            } else {
+                dfcm_tools::eval(&PathBuf::from(path), specs, &engine)
+            }
+            .map_err(|e| e.to_string())?;
             if let Some(metrics_path) = metrics_path {
                 report
                     .write_jsonl(&metrics_path)
@@ -161,6 +176,12 @@ fn run() -> Result<String, String> {
             [sub, path, flag, out] if sub == "salvage" && flag == "--output" => {
                 dfcm_tools::trace_salvage(&PathBuf::from(path), &PathBuf::from(out))
                     .map_err(|e| e.to_string())
+            }
+            _ => Err(USAGE.to_owned()),
+        },
+        "bench" => match rest {
+            [sub, path] if sub == "check" => {
+                dfcm_tools::bench_check(&PathBuf::from(path)).map_err(|e| e.to_string())
             }
             _ => Err(USAGE.to_owned()),
         },

@@ -656,6 +656,187 @@ fn read_v2_body<R: Read>(r: &mut R) -> io::Result<Trace> {
     Ok(trace)
 }
 
+/// One undecoded v2 chunk: framing fields plus the raw payload bytes.
+///
+/// Produced by [`V2ChunkReader`]. The pc delta chain restarts at zero in
+/// every chunk, so each `RawChunk` decodes independently of the others —
+/// the property that lets a consumer decode chunks on worker threads
+/// while a stateful simulation consumes them strictly in `index` order.
+#[derive(Debug, Clone)]
+pub struct RawChunk {
+    /// Zero-based position of this chunk in the file.
+    pub index: usize,
+    /// Records the chunk holds.
+    pub records: u64,
+    /// CRC-32 (IEEE) stored in the file for the payload.
+    pub crc_stored: u32,
+    /// The still-encoded chunk payload.
+    pub payload: Vec<u8>,
+}
+
+impl RawChunk {
+    /// Decodes the payload into records, verifying the CRC first.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` carrying a
+    /// [`TraceFormatError::ChunkCrcMismatch`] when the payload does not
+    /// match its stored checksum, or a
+    /// [`TraceFormatError::TruncatedTail`] when it does not decode to
+    /// exactly [`records`](RawChunk::records) records.
+    pub fn decode(&self) -> io::Result<Vec<TraceRecord>> {
+        let computed = crc32(&self.payload);
+        if computed != self.crc_stored {
+            return Err(TraceFormatError::ChunkCrcMismatch {
+                chunk: self.index,
+                stored: self.crc_stored,
+                computed,
+            }
+            .into());
+        }
+        decode_chunk_payload(&self.payload, self.records)
+            .map_err(|detail| truncated(self.index, format!("undecodable chunk: {detail}")))
+    }
+}
+
+/// Streams the chunks of a v2 (`DFCMTRC2`) trace without decoding them:
+/// an iterator of [`RawChunk`]s, created by [`v2_chunks`] or
+/// [`V2ChunkReader::open`]. The header is parsed eagerly (so
+/// [`seed`](V2ChunkReader::seed) and
+/// [`declared_records`](V2ChunkReader::declared_records) are available
+/// before the first chunk); chunk framing is validated with the same
+/// plausibility bounds as [`Trace::read_from`], and payload integrity is
+/// checked by [`RawChunk::decode`].
+#[derive(Debug)]
+pub struct V2ChunkReader<R> {
+    reader: R,
+    header: V2Header,
+    remaining: u64,
+    index: usize,
+    /// Set once a framing error is hit so iteration stops permanently.
+    poisoned: bool,
+}
+
+/// Opens a v2 chunk stream over `reader`, which must be positioned at the
+/// start of a `DFCMTRC2` file (magic included).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for v1 files or unrecognized magic (v1 has no
+/// chunking to iterate) and for unreadable v2 headers; propagates I/O
+/// errors from the reader.
+pub fn v2_chunks<R: Read>(mut reader: R) -> io::Result<V2ChunkReader<R>> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC_V2 {
+        return Err(TraceFormatError::BadMagic { found: magic }.into());
+    }
+    let header = read_v2_header(&mut reader)?;
+    Ok(V2ChunkReader {
+        reader,
+        remaining: header.records,
+        header,
+        index: 0,
+        poisoned: false,
+    })
+}
+
+impl V2ChunkReader<BufReader<File>> {
+    /// Opens a v2 trace file as a chunk stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`v2_chunks`], plus file-open errors.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        v2_chunks(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> V2ChunkReader<R> {
+    /// Generator seed stamped in the file header.
+    pub fn seed(&self) -> u64 {
+        self.header.seed
+    }
+
+    /// Record count the header declares for the whole file.
+    pub fn declared_records(&self) -> u64 {
+        self.header.records
+    }
+}
+
+impl<R: Read> V2ChunkReader<R> {
+    /// Reads the next chunk's framing and payload. Framing-level
+    /// corruption (short reads, implausible counts) is reported as an
+    /// `InvalidData` error carrying [`TraceFormatError::TruncatedTail`];
+    /// other I/O errors pass through unchanged.
+    fn read_chunk(&mut self) -> io::Result<RawChunk> {
+        let index = self.index;
+        let records = read_varint(&mut self.reader)
+            .map_err(|e| corruption_at(index, e, "chunk framing cut short"))?;
+        if records == 0 || records > V2_CHUNK_RECORDS as u64 || records > self.remaining {
+            return Err(truncated(
+                index,
+                format!(
+                    "implausible chunk record count {records} ({} outstanding)",
+                    self.remaining
+                ),
+            ));
+        }
+        let payload_bytes = read_varint(&mut self.reader)
+            .map_err(|e| corruption_at(index, e, "chunk framing cut short"))?;
+        if payload_bytes > records * MAX_RECORD_BYTES {
+            return Err(truncated(
+                index,
+                format!("implausible chunk byte length {payload_bytes}"),
+            ));
+        }
+        let mut crc_bytes = [0u8; 4];
+        self.reader
+            .read_exact(&mut crc_bytes)
+            .map_err(|e| corruption_at(index, e, "chunk checksum cut short"))?;
+        let mut payload = vec![0u8; payload_bytes as usize];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| corruption_at(index, e, "chunk payload cut short"))?;
+        self.remaining -= records;
+        self.index += 1;
+        Ok(RawChunk {
+            index,
+            records,
+            crc_stored: u32::from_le_bytes(crc_bytes),
+            payload,
+        })
+    }
+}
+
+/// Wraps a read error hit inside chunk `index`: corruption-shaped errors
+/// (unexpected EOF, invalid data) become a [`TraceFormatError::TruncatedTail`]
+/// naming the chunk; genuine I/O failures pass through untouched.
+fn corruption_at(index: usize, e: io::Error, what: &str) -> io::Error {
+    if is_corruption(&e) {
+        truncated(index, format!("{what}: {e}"))
+    } else {
+        e
+    }
+}
+
+impl<R: Read> Iterator for V2ChunkReader<R> {
+    type Item = io::Result<RawChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.remaining == 0 {
+            return None;
+        }
+        match self.read_chunk() {
+            Ok(chunk) => Some(Ok(chunk)),
+            Err(e) => {
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// A chunk (or tail) that [`salvage_trace`] could not recover.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DroppedChunk {
@@ -1543,6 +1724,114 @@ mod tests {
         assert!(ours.exists(), "our own staging files must survive");
         assert!(other.exists(), "other targets' staging files untouched");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunk_reader_yields_every_chunk() {
+        let trace = multi_chunk_trace();
+        let buffer = v2_bytes(&trace, 0xC0FFEE);
+        let reader = v2_chunks(buffer.as_slice()).unwrap();
+        assert_eq!(reader.seed(), 0xC0FFEE);
+        assert_eq!(reader.declared_records(), trace.len() as u64);
+        let mut restored = Trace::with_capacity(trace.len());
+        let mut chunk_sizes = Vec::new();
+        for (i, chunk) in reader.enumerate() {
+            let chunk = chunk.unwrap();
+            assert_eq!(chunk.index, i);
+            let records = chunk.decode().unwrap();
+            assert_eq!(records.len() as u64, chunk.records);
+            chunk_sizes.push(records.len());
+            restored.extend(records);
+        }
+        assert_eq!(restored, trace);
+        // Chunk boundaries match the writer's fixed chunking, i.e. the
+        // in-memory `Trace::chunks(V2_CHUNK_RECORDS)` partition.
+        let expected: Vec<usize> = trace.chunks(V2_CHUNK_RECORDS).map(<[_]>::len).collect();
+        assert_eq!(chunk_sizes, expected);
+    }
+
+    #[test]
+    fn chunk_reader_decodes_chunks_out_of_order() {
+        // The pc delta chain restarts per chunk, so decoding the chunks in
+        // reverse order must reproduce the same records as in-order decode.
+        let trace = multi_chunk_trace();
+        let buffer = v2_bytes(&trace, 1);
+        let chunks: Vec<RawChunk> = v2_chunks(buffer.as_slice())
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert!(chunks.len() > 1, "need several chunks to be meaningful");
+        let mut decoded: Vec<(usize, Vec<TraceRecord>)> = chunks
+            .iter()
+            .rev()
+            .map(|c| (c.index, c.decode().unwrap()))
+            .collect();
+        decoded.sort_by_key(|(index, _)| *index);
+        let restored: Trace = decoded.into_iter().flat_map(|(_, r)| r).collect();
+        assert_eq!(restored, trace);
+    }
+
+    #[test]
+    fn chunk_reader_flags_corrupt_payload_on_decode() {
+        let trace = multi_chunk_trace();
+        let mut buffer = v2_bytes(&trace, 0);
+        // Flip one payload bit deep in the file (well past header framing).
+        let target = buffer.len() / 2;
+        buffer[target] ^= 0x10;
+        let mut saw_crc_error = false;
+        for chunk in v2_chunks(buffer.as_slice()).unwrap() {
+            // Framing (record/byte counts) stays plausible for a payload
+            // bit flip; the error must surface at decode as a CRC mismatch.
+            let chunk = chunk.unwrap();
+            if let Err(e) = chunk.decode() {
+                assert!(matches!(
+                    TraceFormatError::classify(&e),
+                    Some(TraceFormatError::ChunkCrcMismatch { .. })
+                ));
+                saw_crc_error = true;
+            }
+        }
+        assert!(saw_crc_error, "the flipped bit must be detected");
+    }
+
+    #[test]
+    fn chunk_reader_stops_on_truncated_tail() {
+        let trace = multi_chunk_trace();
+        let mut buffer = v2_bytes(&trace, 0);
+        buffer.truncate(buffer.len() - 100);
+        let mut reader = v2_chunks(buffer.as_slice()).unwrap();
+        let mut good = 0u64;
+        let mut failed = false;
+        for chunk in &mut reader {
+            match chunk {
+                Ok(c) => good += c.records,
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                    failed = true;
+                }
+            }
+        }
+        assert!(failed, "truncation must surface as an error");
+        assert!(good < trace.len() as u64);
+        // The iterator is fused after an error.
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn chunk_reader_rejects_v1_and_garbage() {
+        let trace = sample_trace();
+        let mut v1 = Vec::new();
+        trace.write_to(&mut v1).unwrap();
+        assert!(v2_chunks(v1.as_slice()).is_err(), "v1 has no chunking");
+        assert!(v2_chunks(&b"NOTATRACE..."[..]).is_err());
+    }
+
+    #[test]
+    fn chunk_reader_empty_trace_yields_no_chunks() {
+        let buffer = v2_bytes(&Trace::new(), 3);
+        let mut reader = v2_chunks(buffer.as_slice()).unwrap();
+        assert_eq!(reader.declared_records(), 0);
+        assert!(reader.next().is_none());
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub mod stats;
 pub mod suite;
 
 pub use crate::io::{
-    atomic_write, atomic_write_with, inspect_trace, salvage_trace, ChunkInfo, DroppedChunk,
-    SalvageReport, TraceFormat, TraceFormatError, TraceInfo, V2_CHUNK_RECORDS,
+    atomic_write, atomic_write_with, inspect_trace, salvage_trace, v2_chunks, ChunkInfo,
+    DroppedChunk, RawChunk, SalvageReport, TraceFormat, TraceFormatError, TraceInfo, V2ChunkReader,
+    V2_CHUNK_RECORDS,
 };
 pub use crate::pattern::{Pattern, PatternState};
 pub use crate::phases::PhasedProgram;

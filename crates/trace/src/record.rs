@@ -122,6 +122,21 @@ impl Trace {
         self.records.iter()
     }
 
+    /// Iterates over the records in contiguous chunks of at most
+    /// `records_per_chunk` records (the final chunk holds the remainder).
+    ///
+    /// This is the in-memory counterpart of the v2 on-disk chunking (see
+    /// [`crate::V2_CHUNK_RECORDS`]): chunk-granular consumers — the
+    /// streaming simulation runner, parallel decoders — can process a
+    /// buffered trace with the same boundaries a saved file would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records_per_chunk` is 0.
+    pub fn chunks(&self, records_per_chunk: usize) -> std::slice::Chunks<'_, TraceRecord> {
+        self.records.chunks(records_per_chunk)
+    }
+
     /// A replayable [`TraceSource`] over this trace.
     pub fn source(&self) -> TraceReplay<'_> {
         TraceReplay {
