@@ -84,6 +84,22 @@ impl SaturatingCounter {
         self.value = self.value.saturating_sub(self.dec);
     }
 
+    /// Sets the counter to an exact value, as restored from a serialized
+    /// predictor state.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` (leaving the counter untouched) when `value`
+    /// exceeds the saturation maximum — a counter can never legally reach
+    /// such a state, so the serialized blob is corrupt.
+    pub fn set_value(&mut self, value: u16) -> Result<(), u16> {
+        if value > self.max {
+            return Err(value);
+        }
+        self.value = value;
+        Ok(())
+    }
+
     /// Width of this counter in storage bits.
     pub fn bits(&self) -> u32 {
         16 - self.max.leading_zeros()

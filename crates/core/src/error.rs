@@ -38,6 +38,15 @@ pub enum ConfigError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A serialized predictor state does not fit this configuration
+    /// (wrong word count, or a table entry outside its legal range).
+    /// Produced by the `load_state_words` restore methods; state blobs
+    /// cross a trust boundary (snapshot files), so they are validated
+    /// rather than assumed well-formed.
+    State {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +71,7 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::Hash { reason } => write!(f, "invalid hash configuration: {reason}"),
+            ConfigError::State { reason } => write!(f, "incompatible predictor state: {reason}"),
         }
     }
 }

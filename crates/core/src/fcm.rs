@@ -168,6 +168,50 @@ impl FcmPredictor {
         self.l1[crate::predictor::pc_index(pc, self.l1_mask)]
     }
 
+    /// Serializes the mutable table state (not the configuration) as a
+    /// flat word vector: the level-1 hashed histories, then the level-2
+    /// values, each in index order.
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.l1.len() + self.l2.len());
+        words.extend_from_slice(&self.l1);
+        words.extend_from_slice(&self.l2);
+        words
+    }
+
+    /// Restores state captured by
+    /// [`state_words`](FcmPredictor::state_words) into an identically
+    /// configured predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::State`](crate::ConfigError) when the word
+    /// count does not match, or a level-1 history is not a valid level-2
+    /// index — histories index the level-2 table directly, so an
+    /// out-of-range word (possible only in a corrupt or hostile blob)
+    /// would otherwise panic the next prediction. A failed load leaves
+    /// the predictor unchanged.
+    pub fn load_state_words(&mut self, words: &[u64]) -> Result<(), crate::ConfigError> {
+        let (n1, n2) = (self.l1.len(), self.l2.len());
+        if words.len() != n1 + n2 {
+            return Err(crate::ConfigError::State {
+                reason: format!(
+                    "fcm state holds {} words, tables need {}",
+                    words.len(),
+                    n1 + n2
+                ),
+            });
+        }
+        let (l1, l2) = words.split_at(n1);
+        if let Some((i, &history)) = l1.iter().enumerate().find(|(_, &h)| h >= n2 as u64) {
+            return Err(crate::ConfigError::State {
+                reason: format!("fcm history[{i}] = {history} is not a level-2 index (< {n2})"),
+            });
+        }
+        self.l1.copy_from_slice(l1);
+        self.l2.copy_from_slice(l2);
+        Ok(())
+    }
+
     #[inline]
     fn l1_index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.l1_mask)

@@ -65,6 +65,38 @@ impl LastValuePredictor {
         self.table.len()
     }
 
+    /// Serializes the mutable table state (not the configuration) as a
+    /// flat word vector: the last-value table, in index order. Paired
+    /// with [`load_state_words`](LastValuePredictor::load_state_words)
+    /// for crash-consistent snapshot/restore of serving sessions.
+    pub fn state_words(&self) -> Vec<u64> {
+        self.table.clone()
+    }
+
+    /// Restores state captured by
+    /// [`state_words`](LastValuePredictor::state_words) into an
+    /// identically configured predictor. Table-stats instrumentation, if
+    /// enabled, keeps counting from the restored state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::State`](crate::ConfigError) when the word
+    /// count does not match this configuration; the predictor is left
+    /// unchanged.
+    pub fn load_state_words(&mut self, words: &[u64]) -> Result<(), crate::ConfigError> {
+        if words.len() != self.table.len() {
+            return Err(crate::ConfigError::State {
+                reason: format!(
+                    "lvp state holds {} words, table needs {}",
+                    words.len(),
+                    self.table.len()
+                ),
+            });
+        }
+        self.table.copy_from_slice(words);
+        Ok(())
+    }
+
     #[inline]
     fn index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.mask)

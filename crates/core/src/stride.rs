@@ -83,6 +83,62 @@ impl StridePredictor {
         self.last.len()
     }
 
+    /// Serializes the mutable table state (not the configuration) as a
+    /// flat word vector: the last-value column, the stride column, then
+    /// the confidence-counter values, each in index order.
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(3 * self.last.len());
+        words.extend_from_slice(&self.last);
+        words.extend_from_slice(&self.stride);
+        words.extend(self.confidence.iter().map(|c| u64::from(c.value())));
+        words
+    }
+
+    /// Restores state captured by
+    /// [`state_words`](StridePredictor::state_words) into an identically
+    /// configured predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::State`](crate::ConfigError) when the word
+    /// count does not match, or a serialized confidence value exceeds the
+    /// counter's saturation maximum (a state no real counter can reach,
+    /// so the blob is corrupt). Confidence values are validated before
+    /// any column is written, so a failed load leaves the predictor
+    /// unchanged.
+    pub fn load_state_words(&mut self, words: &[u64]) -> Result<(), crate::ConfigError> {
+        let n = self.last.len();
+        if words.len() != 3 * n {
+            return Err(crate::ConfigError::State {
+                reason: format!(
+                    "stride state holds {} words, table needs {}",
+                    words.len(),
+                    3 * n
+                ),
+            });
+        }
+        let (last, rest) = words.split_at(n);
+        let (stride, confidence) = rest.split_at(n);
+        for (i, &word) in confidence.iter().enumerate() {
+            if u16::try_from(word).map_or(true, |v| v > self.confidence[i].max()) {
+                return Err(crate::ConfigError::State {
+                    reason: format!(
+                        "stride confidence[{i}] = {word} exceeds the counter maximum {}",
+                        self.confidence[i].max()
+                    ),
+                });
+            }
+        }
+        self.last.copy_from_slice(last);
+        self.stride.copy_from_slice(stride);
+        for (counter, &word) in self.confidence.iter_mut().zip(confidence) {
+            counter
+                .set_value(word as u16)
+                .expect("validated against max above");
+        }
+        Ok(())
+    }
+
     #[inline]
     fn index(&self, pc: u64) -> usize {
         crate::predictor::pc_index(pc, self.mask)
@@ -233,6 +289,45 @@ impl TwoDeltaStridePredictor {
     /// Number of table entries.
     pub fn entries(&self) -> usize {
         self.last.len()
+    }
+
+    /// Serializes the mutable table state (not the configuration) as a
+    /// flat word vector: the last-value column, then the s1 (predicting)
+    /// stride column, then the s2 (candidate) stride column.
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(3 * self.last.len());
+        words.extend_from_slice(&self.last);
+        words.extend_from_slice(&self.s1);
+        words.extend_from_slice(&self.s2);
+        words
+    }
+
+    /// Restores state captured by
+    /// [`state_words`](TwoDeltaStridePredictor::state_words) into an
+    /// identically configured predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::State`](crate::ConfigError) when the word
+    /// count does not match this configuration; the predictor is left
+    /// unchanged.
+    pub fn load_state_words(&mut self, words: &[u64]) -> Result<(), crate::ConfigError> {
+        let n = self.last.len();
+        if words.len() != 3 * n {
+            return Err(crate::ConfigError::State {
+                reason: format!(
+                    "2delta state holds {} words, table needs {}",
+                    words.len(),
+                    3 * n
+                ),
+            });
+        }
+        let (last, rest) = words.split_at(n);
+        let (s1, s2) = rest.split_at(n);
+        self.last.copy_from_slice(last);
+        self.s1.copy_from_slice(s1);
+        self.s2.copy_from_slice(s2);
+        Ok(())
     }
 
     #[inline]

@@ -1,0 +1,168 @@
+//! Predictor state serialization round-trips.
+//!
+//! Every predictor the serving daemon can host exposes
+//! `state_words`/`load_state_words` for crash-consistent snapshots. These
+//! tests pin the contract: a restored predictor is behaviourally identical
+//! to the original, and corrupt or hostile blobs are rejected without
+//! mutating the target.
+
+use dfcm::{
+    DfcmPredictor, FcmPredictor, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor,
+    ValuePredictor,
+};
+
+/// A short value stream with constant, stride, and repeating-pattern PCs so
+/// every predictor exercises its tables.
+fn warm_stream() -> Vec<(u64, u64)> {
+    let mut stream = Vec::new();
+    for i in 0..200u64 {
+        stream.push((0x40_0000, 7)); // constant
+        stream.push((0x40_0004, 100 + i * 3)); // stride
+        stream.push((0x40_0008, [5, 9, 2, 9][i as usize % 4])); // pattern
+    }
+    stream
+}
+
+/// Warm `a` on the stream, copy its state into the fresh `b`, then assert
+/// both produce identical outcomes on a continuation stream.
+fn assert_restored_matches<P, F>(make: F)
+where
+    P: ValuePredictor,
+    F: Fn() -> P,
+    P: StateWords,
+{
+    let mut a = make();
+    for &(pc, v) in &warm_stream() {
+        a.access(pc, v);
+    }
+    let words = a.state_words();
+    let mut b = make();
+    b.load_state_words(&words).expect("round-trip load");
+    assert_eq!(
+        words,
+        b.state_words(),
+        "restore must be byte-identical to the snapshot"
+    );
+    for i in 0..100u64 {
+        let (pc, v) = (0x40_0000 + (i % 5) * 4, i.wrapping_mul(17) % 50);
+        let oa = a.access(pc, v);
+        let ob = b.access(pc, v);
+        assert_eq!(oa.predicted, ob.predicted, "step {i}");
+        assert_eq!(oa.correct, ob.correct, "step {i}");
+    }
+}
+
+/// Test-local view over the inherent state methods so the generic helper
+/// can cover all five kinds.
+trait StateWords {
+    fn state_words(&self) -> Vec<u64>;
+    fn load_state_words(&mut self, words: &[u64]) -> Result<(), dfcm::ConfigError>;
+}
+
+macro_rules! forward_state {
+    ($($ty:ty),+) => {$(
+        impl StateWords for $ty {
+            fn state_words(&self) -> Vec<u64> {
+                <$ty>::state_words(self)
+            }
+            fn load_state_words(&mut self, words: &[u64]) -> Result<(), dfcm::ConfigError> {
+                <$ty>::load_state_words(self, words)
+            }
+        }
+    )+};
+}
+
+forward_state!(
+    LastValuePredictor,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+    FcmPredictor,
+    DfcmPredictor
+);
+
+#[test]
+fn lvp_state_round_trips() {
+    assert_restored_matches(|| LastValuePredictor::new(6));
+}
+
+#[test]
+fn stride_state_round_trips() {
+    assert_restored_matches(|| StridePredictor::new(6));
+}
+
+#[test]
+fn two_delta_state_round_trips() {
+    assert_restored_matches(|| TwoDeltaStridePredictor::new(6));
+}
+
+#[test]
+fn fcm_state_round_trips() {
+    assert_restored_matches(|| {
+        FcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(8)
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn dfcm_state_round_trips() {
+    assert_restored_matches(|| {
+        DfcmPredictor::builder()
+            .l1_bits(6)
+            .l2_bits(8)
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn wrong_length_is_rejected_without_mutation() {
+    let mut lvp = LastValuePredictor::new(4);
+    lvp.update(0x40_0000, 42);
+    let before = lvp.state_words();
+    assert!(lvp.load_state_words(&[1, 2, 3]).is_err());
+    assert_eq!(lvp.state_words(), before);
+}
+
+#[test]
+fn hostile_fcm_history_is_rejected() {
+    // A level-1 history word >= the level-2 table length would panic the
+    // next prediction's table lookup; the load must refuse it instead.
+    let mut fcm = FcmPredictor::builder()
+        .l1_bits(4)
+        .l2_bits(6)
+        .build()
+        .unwrap();
+    let mut words = fcm.state_words();
+    words[0] = 1 << 6; // first l1 slot: one past the last valid l2 index
+    let before = fcm.state_words();
+    assert!(fcm.load_state_words(&words).is_err());
+    assert_eq!(fcm.state_words(), before);
+}
+
+#[test]
+fn hostile_dfcm_history_is_rejected() {
+    let mut dfcm = DfcmPredictor::builder()
+        .l1_bits(4)
+        .l2_bits(6)
+        .build()
+        .unwrap();
+    let mut words = dfcm.state_words();
+    words[1 << 4] = u64::MAX; // first hist slot (after the 16 last-values)
+    assert!(dfcm.load_state_words(&words).is_err());
+}
+
+#[test]
+fn hostile_stride_confidence_is_rejected() {
+    // Confidence counters are 3-bit; a stored value above the saturation
+    // maximum can never legally occur.
+    let mut s = StridePredictor::new(4);
+    let mut words = s.state_words();
+    let n = 1 << 4;
+    words[2 * n] = 999; // first confidence slot
+    let before = s.state_words();
+    assert!(s.load_state_words(&words).is_err());
+    assert_eq!(s.state_words(), before);
+}

@@ -1,0 +1,277 @@
+//! A reconnecting client with typed errors and capped backoff.
+//!
+//! The client wraps one session's view of the daemon: it numbers its
+//! requests (the server's exactly-once replay key), reconnects on broken
+//! connections, and retries transient failures — `Overloaded` sheds,
+//! `ShuttingDown` drains, dropped connections — under the engine's
+//! [`RetryPolicy`], classifying failures with the same
+//! [`TaskError`] Transient/Permanent split the simulation engine uses.
+//! Because the sequence number does not change across retries of one
+//! request, a retry that reaches a server which already processed the
+//! original gets the cached reply, not a second state change.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dfcm_sim::engine::{RetryPolicy, TaskError};
+
+use crate::protocol::{encode_frame, read_frame, Reply, Request};
+
+/// One session's connection to the daemon.
+#[derive(Debug)]
+pub struct ServeClient {
+    addr: SocketAddr,
+    session: u64,
+    seq: u64,
+    retry: RetryPolicy,
+    stream: Option<TcpStream>,
+    /// Read timeout on replies; a server stall beyond this is treated as
+    /// a transient failure (reconnect and retry).
+    pub reply_timeout: Duration,
+}
+
+impl ServeClient {
+    /// A client for `session` talking to `addr`, retrying under
+    /// `retry`.
+    pub fn new(addr: SocketAddr, session: u64, retry: RetryPolicy) -> Self {
+        ServeClient {
+            addr,
+            session,
+            seq: 0,
+            retry,
+            stream: None,
+            reply_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// The session id this client drives.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Drops the current connection (the next request reconnects). Used
+    /// by the load generator to inject connection-drop faults.
+    pub fn drop_connection(&mut self) {
+        self.stream = None;
+    }
+
+    /// Sends `bytes` on the wire verbatim, without awaiting a reply —
+    /// the load generator's hook for corrupt-frame and slow-loris
+    /// injection. When `stall` is set, the bytes go out in two halves
+    /// with a pause in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transient [`TaskError`] when the connection fails.
+    pub fn send_raw(&mut self, bytes: &[u8], stall: Option<Duration>) -> Result<(), TaskError> {
+        let stream = self.connect()?;
+        let result = match stall {
+            Some(pause) if bytes.len() > 1 => {
+                let (a, b) = bytes.split_at(bytes.len() / 2);
+                stream.write_all(a).and_then(|()| {
+                    std::thread::sleep(pause);
+                    stream.write_all(b)
+                })
+            }
+            _ => stream.write_all(bytes),
+        };
+        result.map_err(|e| {
+            self.stream = None;
+            TaskError::Transient(format!("raw send: {e}"))
+        })
+    }
+
+    /// Reads predicted value for `pc` without touching predictor state.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskError::Transient`] when retries were exhausted on shed /
+    /// drained / dropped connections; [`TaskError::Permanent`] for
+    /// poisoned sessions or protocol violations.
+    pub fn predict(&mut self, pc: u64) -> Result<u64, TaskError> {
+        self.seq += 1;
+        let request = Request::Predict {
+            session: self.session,
+            seq: self.seq,
+            pc,
+        };
+        match self.request_with_retry(&request)? {
+            Reply::Predicted { value, .. } => Ok(value),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Trains on `(pc, value)` and returns `(predicted, correct)` — the
+    /// server-side [`dfcm::ValuePredictor::access`] outcome.
+    ///
+    /// # Errors
+    ///
+    /// As [`predict`](ServeClient::predict).
+    pub fn update(&mut self, pc: u64, value: u64) -> Result<(u64, bool), TaskError> {
+        self.seq += 1;
+        let request = Request::Update {
+            session: self.session,
+            seq: self.seq,
+            pc,
+            value,
+        };
+        match self.request_with_retry(&request)? {
+            Reply::Updated {
+                predicted, correct, ..
+            } => Ok((predicted, correct)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to write a snapshot; returns its size.
+    ///
+    /// # Errors
+    ///
+    /// As [`predict`](ServeClient::predict); also fails permanently when
+    /// the server has no snapshot path configured.
+    pub fn snapshot(&mut self) -> Result<u64, TaskError> {
+        match self.request_with_retry(&Request::Snapshot)? {
+            Reply::SnapshotDone(bytes) => Ok(bytes),
+            Reply::Failed => Err(TaskError::Permanent("server cannot snapshot".into())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server metrics as Prometheus text.
+    ///
+    /// # Errors
+    ///
+    /// As [`predict`](ServeClient::predict).
+    pub fn stats(&mut self) -> Result<String, TaskError> {
+        match self.request_with_retry(&Request::Stats)? {
+            Reply::StatsText(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Poisons this client's session via the chaos hook; succeeds when
+    /// the server confirms the quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; any reply other than
+    /// [`Reply::Poisoned`] is a protocol violation.
+    pub fn debug_panic(&mut self) -> Result<(), TaskError> {
+        self.seq += 1;
+        let request = Request::DebugPanic {
+            session: self.session,
+            seq: self.seq,
+        };
+        match self.request_with_retry(&request) {
+            Err(TaskError::Permanent(msg)) if msg.contains("poisoned") => Ok(()),
+            Ok(other) => Err(unexpected(&other)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Chaos helper: sends a deliberately corrupt frame (last payload
+    /// byte flipped), then drops the connection — the server answers
+    /// `Malformed` and closes its side, and the next real request starts
+    /// on a fresh connection.
+    pub fn send_corrupt_frame(&mut self) {
+        let mut frame = encode_frame(&Request::Stats.encode());
+        if let Some(last) = frame.last_mut() {
+            *last ^= 0x01;
+        }
+        let _ = self.send_raw(&frame, None);
+        self.drop_connection();
+    }
+
+    /// Chaos helper: a slow-loris stats request — the frame bytes go out
+    /// in two halves with `stall` between them, then the reply is read
+    /// and discarded. Exercises the server's partial-frame buffering and
+    /// idle accounting.
+    ///
+    /// # Errors
+    ///
+    /// Transient [`TaskError`] when the server closes mid-exchange (e.g.
+    /// the stall exceeded its idle timeout).
+    pub fn slow_stats(&mut self, stall: Duration) -> Result<(), TaskError> {
+        let frame = encode_frame(&Request::Stats.encode());
+        self.send_raw(&frame, Some(stall))?;
+        let stream = self.stream.as_mut().expect("send_raw connected");
+        let result = read_frame(stream)
+            .map_err(|e| TaskError::Transient(format!("slow stats recv: {e}")))
+            .and_then(|payload| {
+                Reply::decode(&payload).map_err(|e| TaskError::Transient(format!("bad reply: {e}")))
+            });
+        if result.is_err() {
+            self.stream = None;
+        }
+        result.map(|_| ())
+    }
+
+    /// One request/reply exchange with reconnect-and-retry under the
+    /// policy. Transient outcomes (dropped connection, `Overloaded`,
+    /// `ShuttingDown`, `DeadlineExceeded`) back off and retry with the
+    /// *same* sequence number; the server's replay cache makes that safe.
+    fn request_with_retry(&mut self, request: &Request) -> Result<Reply, TaskError> {
+        let payload = request.encode();
+        let mut last = TaskError::Transient("no attempt made".into());
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+            }
+            match self.exchange(&payload) {
+                Ok(Reply::Overloaded) => {
+                    last = TaskError::Transient("server overloaded".into());
+                }
+                Ok(Reply::ShuttingDown) => {
+                    self.stream = None;
+                    last = TaskError::Transient("server shutting down".into());
+                }
+                Ok(Reply::DeadlineExceeded { .. }) => {
+                    last = TaskError::Transient("request deadline exceeded".into());
+                }
+                Ok(Reply::Poisoned { .. }) => {
+                    return Err(TaskError::Permanent("session poisoned".into()));
+                }
+                Ok(Reply::Malformed) => {
+                    // The server is about to close this connection.
+                    self.stream = None;
+                    return Err(TaskError::Permanent("server rejected frame".into()));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.stream = None;
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    fn exchange(&mut self, payload: &[u8]) -> Result<Reply, TaskError> {
+        let stream = self.connect()?;
+        stream
+            .write_all(&encode_frame(payload))
+            .map_err(|e| TaskError::Transient(format!("send: {e}")))?;
+        let reply_payload =
+            read_frame(stream).map_err(|e| TaskError::Transient(format!("recv: {e}")))?;
+        Reply::decode(&reply_payload).map_err(|e| TaskError::Transient(format!("bad reply: {e}")))
+    }
+
+    fn connect(&mut self) -> Result<&mut TcpStream, TaskError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(2))
+                .map_err(|e| TaskError::Transient(format!("connect {}: {e}", self.addr)))?;
+            stream
+                .set_read_timeout(Some(self.reply_timeout))
+                .map_err(|e| TaskError::Transient(format!("socket: {e}")))?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+}
+
+fn unexpected(reply: &Reply) -> TaskError {
+    TaskError::Permanent(format!("unexpected reply {reply:?}"))
+}

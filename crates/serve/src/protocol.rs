@@ -1,0 +1,555 @@
+//! The wire protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! Every message — request or reply — travels as one frame:
+//!
+//! ```text
+//! payload_len: u32 LE | crc32(payload): u32 LE | payload
+//! ```
+//!
+//! The CRC is the same polynomial the `DFCMTRC2` trace format uses
+//! ([`dfcm_trace::crc::crc32`]), so a bit flip anywhere in the payload is
+//! detected before any field is interpreted. Payload fields are LEB128
+//! varints (shared with the trace codec); multi-byte fixed-width integers
+//! appear only in the frame header.
+//!
+//! Requests carry a `(session, seq)` pair. Sequence numbers are the
+//! exactly-once mechanism: the server remembers each session's last
+//! processed `seq` and replays the cached reply when it sees the same
+//! `seq` again, so a client that lost an ack can safely retry without
+//! double-applying an update.
+
+use std::io::{self, Read, Write};
+
+use dfcm_trace::crc::crc32;
+use dfcm_trace::{read_varint, write_varint};
+
+/// Hard upper bound on a frame payload; anything longer is rejected
+/// before allocation. Stats dumps are the largest legitimate payload and
+/// stay far below this.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// A request frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read the prediction for `pc` without updating any state.
+    Predict {
+        /// Client session id.
+        session: u64,
+        /// Per-session sequence number (starts at 1).
+        seq: u64,
+        /// Program counter to predict for.
+        pc: u64,
+    },
+    /// Fused predict-and-train on the observed `value` (the serving
+    /// analogue of [`dfcm::ValuePredictor::access`]).
+    Update {
+        /// Client session id.
+        session: u64,
+        /// Per-session sequence number (starts at 1).
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+        /// The value the instruction actually produced.
+        value: u64,
+    },
+    /// Ask the server to write a snapshot to its configured path.
+    Snapshot,
+    /// Fetch the server metrics rendered as Prometheus text.
+    Stats,
+    /// Chaos hook: panic inside the worker while holding the session —
+    /// exercises the fault-isolation path (the session is poisoned, the
+    /// server survives).
+    DebugPanic {
+        /// Session to poison.
+        session: u64,
+        /// Sequence number (echoed in the poisoned reply).
+        seq: u64,
+    },
+}
+
+/// A reply frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Prediction for a [`Request::Predict`].
+    Predicted {
+        /// Echo of the request seq.
+        seq: u64,
+        /// The predicted value.
+        value: u64,
+    },
+    /// Outcome of a [`Request::Update`].
+    Updated {
+        /// Echo of the request seq.
+        seq: u64,
+        /// The value that was predicted before training.
+        predicted: u64,
+        /// Whether the prediction matched the observed value.
+        correct: bool,
+    },
+    /// Prometheus-rendered metrics text.
+    StatsText(String),
+    /// Snapshot written; payload is its size in bytes.
+    SnapshotDone(u64),
+    /// The connection queue was full; the request was shed, not queued.
+    /// Retry after backoff.
+    Overloaded,
+    /// The frame failed its CRC or did not parse. The server closes the
+    /// connection after sending this.
+    Malformed,
+    /// The per-request deadline expired before the request was processed.
+    DeadlineExceeded {
+        /// Echo of the request seq.
+        seq: u64,
+    },
+    /// The server is draining for shutdown; reconnect later.
+    ShuttingDown,
+    /// The session was poisoned by an earlier panic; its state is
+    /// quarantined and requests against it fail permanently.
+    Poisoned {
+        /// Echo of the request seq.
+        seq: u64,
+    },
+    /// A server-side operation (e.g. an on-demand snapshot write)
+    /// failed; retrying may help.
+    Failed,
+}
+
+const OP_PREDICT: u8 = 1;
+const OP_UPDATE: u8 = 2;
+const OP_SNAPSHOT: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_DEBUG_PANIC: u8 = 5;
+
+const ST_PREDICTED: u8 = 0;
+const ST_UPDATED: u8 = 1;
+const ST_STATS: u8 = 2;
+const ST_SNAPSHOT_DONE: u8 = 3;
+const ST_OVERLOADED: u8 = 4;
+const ST_MALFORMED: u8 = 5;
+const ST_DEADLINE: u8 = 6;
+const ST_SHUTTING_DOWN: u8 = 7;
+const ST_POISONED: u8 = 8;
+const ST_FAILED: u8 = 9;
+
+/// Why a frame or payload could not be decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The transport failed (or hit its read timeout) mid-frame.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The frame is structurally invalid: oversized length, CRC
+    /// mismatch, unknown opcode/status, or trailing bytes.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Wraps `payload` in a frame: length, CRC, bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Writes `payload` as one frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()
+}
+
+/// Reads one frame payload.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on EOF at a frame boundary, [`FrameError::Io`]
+/// on transport errors (including read timeouts) anywhere, and
+/// [`FrameError::Corrupt`] for oversized frames or CRC mismatches.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 8];
+    match r.read_exact(&mut header[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice"));
+    let want_crc = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Corrupt(format!(
+            "payload of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(FrameError::Corrupt(format!(
+            "crc mismatch: header says {want_crc:#010x}, payload hashes to {got_crc:#010x}"
+        )));
+    }
+    Ok(payload)
+}
+
+impl Request {
+    /// Serializes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Request::Predict { session, seq, pc } => {
+                out.push(OP_PREDICT);
+                put(&mut out, &[*session, *seq, *pc]);
+            }
+            Request::Update {
+                session,
+                seq,
+                pc,
+                value,
+            } => {
+                out.push(OP_UPDATE);
+                put(&mut out, &[*session, *seq, *pc, *value]);
+            }
+            Request::Snapshot => out.push(OP_SNAPSHOT),
+            Request::Stats => out.push(OP_STATS),
+            Request::DebugPanic { session, seq } => {
+                out.push(OP_DEBUG_PANIC);
+                put(&mut out, &[*session, *seq]);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Corrupt`] on empty payloads, unknown opcodes,
+    /// truncated fields, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+        let (&op, mut rest) = payload
+            .split_first()
+            .ok_or_else(|| FrameError::Corrupt("empty payload".into()))?;
+        let request = match op {
+            OP_PREDICT => {
+                let [session, seq, pc] = take(&mut rest)?;
+                Request::Predict { session, seq, pc }
+            }
+            OP_UPDATE => {
+                let [session, seq, pc, value] = take(&mut rest)?;
+                Request::Update {
+                    session,
+                    seq,
+                    pc,
+                    value,
+                }
+            }
+            OP_SNAPSHOT => Request::Snapshot,
+            OP_STATS => Request::Stats,
+            OP_DEBUG_PANIC => {
+                let [session, seq] = take(&mut rest)?;
+                Request::DebugPanic { session, seq }
+            }
+            other => return Err(FrameError::Corrupt(format!("unknown opcode {other}"))),
+        };
+        ensure_drained(rest)?;
+        Ok(request)
+    }
+
+    /// The session this request addresses, if it is session-scoped.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            Request::Predict { session, .. }
+            | Request::Update { session, .. }
+            | Request::DebugPanic { session, .. } => Some(*session),
+            Request::Snapshot | Request::Stats => None,
+        }
+    }
+
+    /// The sequence number carried by this request, if any.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Request::Predict { seq, .. }
+            | Request::Update { seq, .. }
+            | Request::DebugPanic { seq, .. } => Some(*seq),
+            Request::Snapshot | Request::Stats => None,
+        }
+    }
+}
+
+impl Reply {
+    /// Serializes the reply as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Reply::Predicted { seq, value } => {
+                out.push(ST_PREDICTED);
+                put(&mut out, &[*seq, *value]);
+            }
+            Reply::Updated {
+                seq,
+                predicted,
+                correct,
+            } => {
+                out.push(ST_UPDATED);
+                put(&mut out, &[*seq, *predicted]);
+                out.push(u8::from(*correct));
+            }
+            Reply::StatsText(text) => {
+                out.push(ST_STATS);
+                put(&mut out, &[text.len() as u64]);
+                out.extend_from_slice(text.as_bytes());
+            }
+            Reply::SnapshotDone(bytes) => {
+                out.push(ST_SNAPSHOT_DONE);
+                put(&mut out, &[*bytes]);
+            }
+            Reply::Overloaded => out.push(ST_OVERLOADED),
+            Reply::Malformed => out.push(ST_MALFORMED),
+            Reply::DeadlineExceeded { seq } => {
+                out.push(ST_DEADLINE);
+                put(&mut out, &[*seq]);
+            }
+            Reply::ShuttingDown => out.push(ST_SHUTTING_DOWN),
+            Reply::Poisoned { seq } => {
+                out.push(ST_POISONED);
+                put(&mut out, &[*seq]);
+            }
+            Reply::Failed => out.push(ST_FAILED),
+        }
+        out
+    }
+
+    /// Parses a frame payload into a reply.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Corrupt`] on empty payloads, unknown status bytes,
+    /// truncated fields, non-UTF-8 stats text, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Reply, FrameError> {
+        let (&status, mut rest) = payload
+            .split_first()
+            .ok_or_else(|| FrameError::Corrupt("empty payload".into()))?;
+        let reply = match status {
+            ST_PREDICTED => {
+                let [seq, value] = take(&mut rest)?;
+                Reply::Predicted { seq, value }
+            }
+            ST_UPDATED => {
+                let [seq, predicted] = take(&mut rest)?;
+                let (&flag, tail) = rest
+                    .split_first()
+                    .ok_or_else(|| FrameError::Corrupt("missing correct flag".into()))?;
+                rest = tail;
+                Reply::Updated {
+                    seq,
+                    predicted,
+                    correct: flag != 0,
+                }
+            }
+            ST_STATS => {
+                let [len] = take(&mut rest)?;
+                if rest.len() as u64 != len {
+                    return Err(FrameError::Corrupt(format!(
+                        "stats text length {len} does not match remaining {} bytes",
+                        rest.len()
+                    )));
+                }
+                let text = String::from_utf8(rest.to_vec())
+                    .map_err(|_| FrameError::Corrupt("stats text is not utf-8".into()))?;
+                rest = &[];
+                Reply::StatsText(text)
+            }
+            ST_SNAPSHOT_DONE => {
+                let [bytes] = take(&mut rest)?;
+                Reply::SnapshotDone(bytes)
+            }
+            ST_OVERLOADED => Reply::Overloaded,
+            ST_MALFORMED => Reply::Malformed,
+            ST_DEADLINE => {
+                let [seq] = take(&mut rest)?;
+                Reply::DeadlineExceeded { seq }
+            }
+            ST_SHUTTING_DOWN => Reply::ShuttingDown,
+            ST_POISONED => {
+                let [seq] = take(&mut rest)?;
+                Reply::Poisoned { seq }
+            }
+            ST_FAILED => Reply::Failed,
+            other => return Err(FrameError::Corrupt(format!("unknown status {other}"))),
+        };
+        ensure_drained(rest)?;
+        Ok(reply)
+    }
+}
+
+fn put(out: &mut Vec<u8>, fields: &[u64]) {
+    for &v in fields {
+        write_varint(out, v).expect("vec write is infallible");
+    }
+}
+
+fn take<const N: usize>(rest: &mut &[u8]) -> Result<[u64; N], FrameError> {
+    let mut fields = [0u64; N];
+    for field in &mut fields {
+        *field = read_varint(rest).map_err(|e| FrameError::Corrupt(format!("bad varint: {e}")))?;
+    }
+    Ok(fields)
+}
+
+fn ensure_drained(rest: &[u8]) -> Result<(), FrameError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(FrameError::Corrupt(format!(
+            "{} trailing byte(s) after payload",
+            rest.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Predict {
+                session: 7,
+                seq: 1,
+                pc: 0x40_0000,
+            },
+            Request::Update {
+                session: u64::MAX,
+                seq: 1 << 40,
+                pc: 4,
+                value: u64::MAX - 1,
+            },
+            Request::Snapshot,
+            Request::Stats,
+            Request::DebugPanic { session: 0, seq: 9 },
+        ]
+    }
+
+    fn replies() -> Vec<Reply> {
+        vec![
+            Reply::Predicted { seq: 1, value: 42 },
+            Reply::Updated {
+                seq: 2,
+                predicted: u64::MAX,
+                correct: true,
+            },
+            Reply::StatsText("# HELP x\nx 1\n".into()),
+            Reply::SnapshotDone(12345),
+            Reply::Overloaded,
+            Reply::Malformed,
+            Reply::DeadlineExceeded { seq: 3 },
+            Reply::ShuttingDown,
+            Reply::Poisoned { seq: 4 },
+            Reply::Failed,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for request in requests() {
+            assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in replies() {
+            assert_eq!(Reply::decode(&reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let mut wire = Vec::new();
+        for request in requests() {
+            write_frame(&mut wire, &request.encode()).unwrap();
+        }
+        let mut r: &[u8] = &wire;
+        for request in requests() {
+            let payload = read_frame(&mut r).unwrap();
+            assert_eq!(Request::decode(&payload).unwrap(), request);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn every_payload_bit_flip_is_detected() {
+        let request = Request::Update {
+            session: 3,
+            seq: 5,
+            pc: 0x40_0008,
+            value: 17,
+        };
+        let frame = encode_frame(&request.encode());
+        for byte in 8..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let mut r: &[u8] = &bad;
+                assert!(
+                    matches!(read_frame(&mut r), Err(FrameError::Corrupt(_))),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        let mut r: &[u8] = &frame;
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Stats.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(FrameError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_and_status_are_rejected() {
+        assert!(matches!(
+            Request::decode(&[0xEE]),
+            Err(FrameError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Reply::decode(&[0xEE]),
+            Err(FrameError::Corrupt(_))
+        ));
+        assert!(matches!(Request::decode(&[]), Err(FrameError::Corrupt(_))));
+    }
+}

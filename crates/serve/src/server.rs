@@ -1,0 +1,598 @@
+//! The serving daemon: threaded acceptor, worker pool, bounded queue.
+//!
+//! Architecture (all std, no event loop):
+//!
+//! * The **acceptor** (the thread that called [`Server::run`]) accepts
+//!   connections and pushes them onto a bounded queue. A full queue is
+//!   the backpressure signal: the connection is refused with one
+//!   [`Reply::Overloaded`] frame instead of being left to stall.
+//! * **Workers** round-robin over live connections: pop one, poll it for
+//!   a frame in a short read slice, process at most one request, push it
+//!   back. Long-lived idle connections therefore cost a read slice per
+//!   rotation, not a dedicated thread, and more clients than workers
+//!   still all make progress.
+//! * **Fault isolation**: request processing runs under `catch_unwind`.
+//!   A panic poisons only the session that triggered it (all its later
+//!   requests get [`Reply::Poisoned`]); every other session, and the
+//!   daemon itself, keeps serving.
+//! * **Deadlines**: each parsed request gets a monotonic
+//!   [`Deadline`]; expired requests are answered with
+//!   [`Reply::DeadlineExceeded`] rather than processed late. A
+//!   connection that completes no frame within the idle timeout is
+//!   closed, which also bounds slow-loris writers.
+//! * **Graceful shutdown**: [`ServerHandle::shutdown`] (or a signal via
+//!   [`crate::signal`]) stops the acceptor, lets in-flight requests
+//!   finish, answers drained connections with [`Reply::ShuttingDown`],
+//!   and writes a crash-consistent snapshot (temp + fsync + rename) of
+//!   every healthy session before [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use dfcm::ValuePredictor;
+use dfcm_obs::Obs;
+use dfcm_trace::{atomic_write, Deadline};
+
+use crate::protocol::{encode_frame, read_frame, FrameError, Reply, Request};
+use crate::session::SessionStore;
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+
+/// Latency histogram bounds for `serve.request_us`, in microseconds.
+pub const REQUEST_US_BOUNDS: &[f64] = &[
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 50_000.0, 250_000.0,
+];
+
+/// Resource and robustness limits for a serving daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Live session cap; beyond it the least-recently-used session is
+    /// evicted (its client degrades to a cold predictor, it is not
+    /// refused).
+    pub max_sessions: usize,
+    /// Worker threads processing requests.
+    pub workers: usize,
+    /// Live-connection cap: a new connection beyond it is shed with
+    /// [`Reply::Overloaded`] instead of queued.
+    pub queue_depth: usize,
+    /// Per-request processing deadline, measured from the moment the
+    /// request frame has been fully read.
+    pub request_deadline: Duration,
+    /// A connection that completes no frame for this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_sessions: 1024,
+            workers: 4,
+            queue_depth: 64,
+            request_deadline: Duration::from_millis(250),
+            idle_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Predictor spec for new (and evicted-then-recreated) sessions.
+    pub spec: String,
+    /// Resource limits.
+    pub limits: ServeLimits,
+    /// Snapshot file: restored from (salvage-style) at startup if it
+    /// exists, written atomically on graceful shutdown and on
+    /// [`Request::Snapshot`].
+    pub snapshot_path: Option<PathBuf>,
+    /// Observability handle; disabled handles cost one branch per event.
+    pub obs: Obs,
+    /// Test/chaos hook: artificial per-request processing time, used to
+    /// exercise the deadline path deterministically. Zero in production.
+    pub process_delay: Duration,
+}
+
+impl ServeConfig {
+    /// A daemon serving `spec` with default limits, no snapshot file,
+    /// and observability disabled.
+    pub fn new(spec: &str) -> Self {
+        ServeConfig {
+            spec: spec.to_owned(),
+            limits: ServeLimits::default(),
+            snapshot_path: None,
+            obs: Obs::disabled(),
+            process_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// What a gracefully stopped daemon left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Healthy sessions at shutdown.
+    pub sessions: usize,
+    /// Bytes of the final snapshot (0 when no snapshot path is set).
+    pub snapshot_bytes: u64,
+    /// Sessions restored from the snapshot at startup.
+    pub restored: usize,
+}
+
+/// A handle for stopping a running daemon from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: drain, snapshot, return.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A connection owned by the worker pool.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into a frame.
+    buf: Vec<u8>,
+    /// Closes the connection when no frame completes before it expires.
+    idle: Deadline,
+}
+
+/// The bounded connection queue workers rotate over.
+struct ConnQueue {
+    queue: Mutex<VecDeque<Conn>>,
+    available: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a new connection unless `cap` live connections exist
+    /// (queued plus checked-out); returns the stream back on refusal.
+    fn admit(&self, conn: Conn, cap: usize, live: usize) -> Result<(), Conn> {
+        if live >= cap {
+            return Err(conn);
+        }
+        self.lock().push_back(conn);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Returns a connection a worker finished a slice with.
+    fn requeue(&self, conn: Conn) {
+        self.lock().push_back(conn);
+        self.available.notify_one();
+    }
+
+    /// Pops the next connection, waiting briefly; `None` on timeout.
+    fn pop(&self, wait: Duration) -> Option<Conn> {
+        let guard = self.lock();
+        let (mut guard, _) = self
+            .available
+            .wait_timeout_while(guard, wait, |q| q.is_empty())
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+struct ServerCtx {
+    config: ServeConfig,
+    store: SessionStore,
+    queue: ConnQueue,
+    shutdown: Arc<AtomicBool>,
+    /// Connections currently checked out by workers (for the live cap).
+    checked_out: std::sync::atomic::AtomicUsize,
+    restored: usize,
+}
+
+/// A bound, not-yet-running serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+}
+
+/// Errors surfaced while starting a daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup failed.
+    Io(io::Error),
+    /// The predictor spec did not parse.
+    Spec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o: {e}"),
+            ServeError::Spec(e) => write!(f, "serve spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// How often blocking points poll the shutdown flag.
+const POLL_SLICE: Duration = Duration::from_millis(20);
+/// Per-rotation socket read slice.
+const READ_SLICE: Duration = Duration::from_millis(5);
+
+impl Server {
+    /// Binds `addr` and prepares the daemon: parses the spec, and — if a
+    /// snapshot file exists at the configured path — restores every
+    /// salvageable session from it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unparsable predictor spec. A
+    /// missing, truncated, or partially corrupt snapshot is *not* an
+    /// error (salvage restores the healthy prefix); only an unreadable
+    /// file with valid magic... is still not fatal — the daemon starts
+    /// cold and logs via metrics.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let store = SessionStore::new(&config.spec, config.limits.max_sessions)
+            .map_err(|e| ServeError::Spec(e.to_string()))?;
+        let mut restored = 0;
+        if let Some(path) = &config.snapshot_path {
+            if let Ok(bytes) = std::fs::read(path) {
+                match decode_snapshot(&bytes) {
+                    Ok((records, report)) => {
+                        restored = store.restore(&records);
+                        config.obs.add("serve_restored_total", &[], restored as u64);
+                        config
+                            .obs
+                            .add("serve_snapshot_dropped_total", &[], report.dropped as u64);
+                    }
+                    Err(_) => {
+                        config.obs.add("serve_snapshot_unreadable_total", &[], 1);
+                    }
+                }
+            }
+        }
+        Ok(Server {
+            listener,
+            ctx: Arc::new(ServerCtx {
+                config,
+                store,
+                queue: ConnQueue::new(),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                checked_out: std::sync::atomic::AtomicUsize::new(0),
+                restored,
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this daemon from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.ctx.shutdown),
+        }
+    }
+
+    /// Runs the daemon until a shutdown is requested, then drains and
+    /// snapshots. Blocks the calling thread (it becomes the acceptor).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final snapshot write error, if any; serving errors on
+    /// individual connections are handled per connection.
+    pub fn run(self) -> Result<ShutdownReport, ServeError> {
+        let ctx = &self.ctx;
+        std::thread::scope(|scope| {
+            for _ in 0..ctx.config.limits.workers.max(1) {
+                scope.spawn(|| worker_loop(ctx));
+            }
+            // Acceptor loop.
+            while !ctx.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => accept_connection(ctx, stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_SLICE);
+                    }
+                    Err(_) => std::thread::sleep(POLL_SLICE),
+                }
+            }
+        });
+        // Workers have drained: write the final snapshot.
+        let records = ctx.store.records();
+        let mut snapshot_bytes = 0u64;
+        if let Some(path) = &ctx.config.snapshot_path {
+            let bytes = encode_snapshot(&records);
+            snapshot_bytes = bytes.len() as u64;
+            atomic_write(path, &bytes)?;
+        }
+        Ok(ShutdownReport {
+            sessions: records.len(),
+            snapshot_bytes,
+            restored: ctx.restored,
+        })
+    }
+}
+
+fn accept_connection(ctx: &ServerCtx, stream: TcpStream) {
+    let live = ctx.queue.len() + ctx.checked_out.load(Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let conn = Conn {
+        stream,
+        buf: Vec::new(),
+        idle: Deadline::after(ctx.config.limits.idle_timeout),
+    };
+    match ctx.queue.admit(conn, ctx.config.limits.queue_depth, live) {
+        Ok(()) => {
+            ctx.config
+                .obs
+                .gauge("serve_queue_depth", &[], ctx.queue.len() as f64);
+        }
+        Err(mut refused) => {
+            // Shed, never stall: one Overloaded frame, then drop.
+            let _ = refused
+                .stream
+                .write_all(&encode_frame(&Reply::Overloaded.encode()));
+            ctx.config.obs.add("serve_shed_total", &[], 1);
+            count(ctx, "overloaded");
+        }
+    }
+}
+
+fn worker_loop(ctx: &ServerCtx) {
+    loop {
+        let Some(conn) = ctx.queue.pop(POLL_SLICE) else {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        ctx.checked_out.fetch_add(1, Ordering::Relaxed);
+        let keep = serve_slice(ctx, conn);
+        // Requeue before releasing the checked-out slot so the live
+        // count never transiently under-reports (which would let the
+        // acceptor admit past the cap).
+        if let Some(conn) = keep {
+            ctx.queue.requeue(conn);
+        }
+        ctx.checked_out.fetch_sub(1, Ordering::Relaxed);
+        ctx.config
+            .obs
+            .gauge("serve_sessions", &[], ctx.store.len() as f64);
+    }
+}
+
+/// Serves at most one request from `conn`; returns the connection if it
+/// should stay live.
+fn serve_slice(ctx: &ServerCtx, mut conn: Conn) -> Option<Conn> {
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        // Drain: tell the client to come back after the restart.
+        let _ = conn
+            .stream
+            .write_all(&encode_frame(&Reply::ShuttingDown.encode()));
+        count(ctx, "shutting_down");
+        return None;
+    }
+    match poll_frame(&mut conn) {
+        Poll::Frame(payload) => {
+            conn.idle = Deadline::after(ctx.config.limits.idle_timeout);
+            let deadline = Deadline::after(ctx.config.limits.request_deadline);
+            let started = ctx.config.obs.now_us();
+            let (reply_bytes, outcome) = handle_payload(ctx, &payload, deadline);
+            ctx.config.obs.observe(
+                "serve_request_us",
+                &[],
+                REQUEST_US_BOUNDS,
+                (ctx.config.obs.now_us() - started) as f64,
+            );
+            count(ctx, outcome);
+            let closing = outcome == "malformed";
+            if conn.stream.write_all(&encode_frame(&reply_bytes)).is_err() || closing {
+                // Malformed framing is unrecoverable mid-stream: close
+                // so the client reconnects cleanly.
+                return None;
+            }
+            Some(conn)
+        }
+        Poll::NoData => {
+            if conn.idle.expired() {
+                count(ctx, "idle_closed");
+                None
+            } else {
+                Some(conn)
+            }
+        }
+        Poll::Closed => None,
+        Poll::Corrupt => {
+            let _ = conn
+                .stream
+                .write_all(&encode_frame(&Reply::Malformed.encode()));
+            count(ctx, "malformed");
+            None
+        }
+    }
+}
+
+enum Poll {
+    Frame(Vec<u8>),
+    NoData,
+    Closed,
+    Corrupt,
+}
+
+/// Pulls available bytes and tries to complete one frame. A frame
+/// already buffered is returned without touching the socket.
+fn poll_frame(conn: &mut Conn) -> Poll {
+    loop {
+        // Try to parse a complete frame from the buffer.
+        let mut slice: &[u8] = &conn.buf;
+        match read_frame(&mut slice) {
+            Ok(payload) => {
+                let consumed = conn.buf.len() - slice.len();
+                conn.buf.drain(..consumed);
+                return Poll::Frame(payload);
+            }
+            Err(FrameError::Closed) => {} // empty buffer: read more
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Incomplete frame: read more.
+            }
+            Err(FrameError::Corrupt(_)) => return Poll::Corrupt,
+            Err(FrameError::Io(_)) => return Poll::Corrupt,
+        }
+        let mut chunk = [0u8; 4096];
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                return if conn.buf.is_empty() {
+                    Poll::Closed
+                } else {
+                    // EOF mid-frame: nothing more will complete it.
+                    Poll::Corrupt
+                };
+            }
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                return Poll::NoData;
+            }
+            Err(_) => return Poll::Closed,
+        }
+    }
+}
+
+/// Decodes and executes one request payload. Returns the encoded reply
+/// payload and the outcome label for metrics.
+fn handle_payload(ctx: &ServerCtx, payload: &[u8], deadline: Deadline) -> (Vec<u8>, &'static str) {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(_) => return (Reply::Malformed.encode(), "malformed"),
+    };
+    if !ctx.config.process_delay.is_zero() {
+        std::thread::sleep(ctx.config.process_delay);
+    }
+    if deadline.expired() {
+        let seq = request.seq().unwrap_or(0);
+        return (Reply::DeadlineExceeded { seq }.encode(), "deadline");
+    }
+    match request {
+        Request::Predict { session, seq, pc } => run_session_op(ctx, session, seq, move |s| {
+            let value = s.predictor.predict(pc);
+            Reply::Predicted { seq, value }
+        }),
+        Request::Update {
+            session,
+            seq,
+            pc,
+            value,
+        } => run_session_op(ctx, session, seq, move |s| {
+            let outcome = s.predictor.access(pc, value);
+            Reply::Updated {
+                seq,
+                predicted: outcome.predicted,
+                correct: outcome.correct,
+            }
+        }),
+        Request::DebugPanic { session, seq } => run_session_op(ctx, session, seq, move |_| {
+            panic!("injected panic for session {session} seq {seq}")
+        }),
+        Request::Snapshot => {
+            let Some(path) = &ctx.config.snapshot_path else {
+                return (Reply::Failed.encode(), "failed");
+            };
+            let bytes = encode_snapshot(&ctx.store.records());
+            match atomic_write(path, &bytes) {
+                Ok(()) => (Reply::SnapshotDone(bytes.len() as u64).encode(), "ok"),
+                Err(_) => (Reply::Failed.encode(), "failed"),
+            }
+        }
+        Request::Stats => {
+            let (_, metrics) = ctx.config.obs.snapshot();
+            let text = dfcm_obs::export::to_prometheus(&metrics);
+            (Reply::StatsText(text).encode(), "ok")
+        }
+    }
+}
+
+/// Runs a session-scoped operation with exactly-once replay and panic
+/// quarantine.
+fn run_session_op(
+    ctx: &ServerCtx,
+    session: u64,
+    seq: u64,
+    op: impl FnOnce(&mut crate::session::Session) -> Reply,
+) -> (Vec<u8>, &'static str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        ctx.store.with_session(session, |s| {
+            if s.poisoned {
+                return (Reply::Poisoned { seq }.encode(), "poisoned");
+            }
+            if seq != 0 && seq == s.last_seq && !s.last_reply.is_empty() {
+                // Retry of the last processed request: replay the cached
+                // reply instead of double-applying the update.
+                return (s.last_reply.clone(), "replayed");
+            }
+            let bytes = op(s).encode();
+            if seq != 0 {
+                s.last_seq = seq;
+                s.last_reply = bytes.clone();
+            }
+            (bytes, "ok")
+        })
+    }));
+    match result {
+        Ok(reply) => reply,
+        Err(_) => {
+            // The panic unwound out of the shard lock; quarantine the
+            // session so its (possibly half-updated) state is never
+            // served or snapshotted again.
+            ctx.store.poison(session);
+            ctx.config.obs.add("serve_panics_total", &[], 1);
+            (Reply::Poisoned { seq }.encode(), "panicked")
+        }
+    }
+}
+
+fn count(ctx: &ServerCtx, outcome: &str) {
+    ctx.config
+        .obs
+        .add("serve_requests_total", &[("outcome", outcome)], 1);
+    if ctx.store.evictions() > 0 {
+        ctx.config
+            .obs
+            .gauge("serve_evictions", &[], ctx.store.evictions() as f64);
+    }
+}

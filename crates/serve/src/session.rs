@@ -1,0 +1,279 @@
+//! Sharded per-client session state with LRU capacity enforcement.
+//!
+//! Each client session owns a [`StreamPredictor`] plus the exactly-once
+//! replay cache (last processed seq and its encoded reply). Sessions are
+//! sharded by id so worker threads touching different clients never
+//! contend on one lock.
+//!
+//! Capacity is the graceful-degradation lever: when a shard is full, the
+//! least-recently-touched session is evicted to make room. An evicted
+//! client is *not* an error — its next request recreates the session with
+//! a cold predictor, trading accuracy for availability.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use dfcm_sim::{SpecError, StreamPredictor};
+
+use crate::snapshot::SessionRecord;
+
+/// Number of independently locked shards.
+const SHARDS: usize = 8;
+
+/// One client's serving state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The predictor trained by this session's updates.
+    pub predictor: StreamPredictor,
+    /// Last processed sequence number (0 before the first request).
+    pub last_seq: u64,
+    /// Encoded reply payload for `last_seq`, replayed on duplicate seqs.
+    pub last_reply: Vec<u8>,
+    /// Set when a request against this session panicked; the state is
+    /// quarantined and all further requests fail permanently.
+    pub poisoned: bool,
+    /// LRU clock value of the most recent touch.
+    touched: u64,
+}
+
+/// Sharded session map with a per-shard LRU cap.
+#[derive(Debug)]
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<u64, Session>>>,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    spec: String,
+    cold: StreamPredictor,
+    per_shard_cap: usize,
+}
+
+impl SessionStore {
+    /// Creates a store whose new sessions clone a cold predictor built
+    /// from `spec`, holding at most `max_sessions` sessions (rounded up
+    /// to a multiple of the shard count; at least one per shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when `spec` does not parse.
+    pub fn new(spec: &str, max_sessions: usize) -> Result<SessionStore, SpecError> {
+        let cold = StreamPredictor::parse_spec(spec)?;
+        Ok(SessionStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            clock: AtomicU64::new(1),
+            evictions: AtomicU64::new(0),
+            spec: cold.spec(),
+            cold,
+            per_shard_cap: max_sessions.div_ceil(SHARDS).max(1),
+        })
+    }
+
+    /// The canonical spec new sessions are created from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Total live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sessions evicted to the LRU cap since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` over the session `id`, creating it cold (and possibly
+    /// evicting the shard's least-recently-touched session) if absent.
+    /// The shard lock is held for the duration of `f`.
+    pub fn with_session<T>(&self, id: u64, f: impl FnOnce(&mut Session) -> T) -> T {
+        let mut shard = self
+            .shard(id)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        if !shard.contains_key(&id) && shard.len() >= self.per_shard_cap {
+            // Evict the coldest session to stay within the cap: the
+            // evicted client degrades to a cold predictor on its next
+            // request instead of anyone being refused service.
+            if let Some(&coldest) = shard
+                .iter()
+                .min_by_key(|(_, s)| s.touched)
+                .map(|(id, _)| id)
+            {
+                shard.remove(&coldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let session = shard.entry(id).or_insert_with(|| Session {
+            predictor: self.cold.clone(),
+            last_seq: 0,
+            last_reply: Vec::new(),
+            poisoned: false,
+            touched: tick,
+        });
+        session.touched = tick;
+        f(session)
+    }
+
+    /// Marks session `id` poisoned (creating it if needed, so the
+    /// quarantine survives an eviction race).
+    pub fn poison(&self, id: u64) {
+        self.with_session(id, |s| s.poisoned = true);
+    }
+
+    /// Serializes every healthy session for a snapshot. Poisoned
+    /// sessions are quarantined state and deliberately not persisted —
+    /// a restart gives the client a fresh cold session.
+    pub fn records(&self) -> Vec<SessionRecord> {
+        let mut records = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (&id, session) in shard.iter() {
+                if session.poisoned {
+                    continue;
+                }
+                records.push(SessionRecord {
+                    id,
+                    last_seq: session.last_seq,
+                    last_reply: session.last_reply.clone(),
+                    spec: session.predictor.spec(),
+                    words: session.predictor.state_words(),
+                });
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// Materializes snapshot records into live sessions, replacing any
+    /// current state for the same ids. Records whose spec does not parse
+    /// or whose state words do not fit are skipped (the client degrades
+    /// to a cold session); returns how many were restored.
+    pub fn restore(&self, records: &[SessionRecord]) -> usize {
+        let mut restored = 0;
+        for record in records {
+            let Ok(mut predictor) = StreamPredictor::parse_spec(&record.spec) else {
+                continue;
+            };
+            if predictor.load_state_words(&record.words).is_err() {
+                continue;
+            }
+            let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+            let mut shard = self
+                .shard(record.id)
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            shard.insert(
+                record.id,
+                Session {
+                    predictor,
+                    last_seq: record.last_seq,
+                    last_reply: record.last_reply.clone(),
+                    poisoned: false,
+                    touched: tick,
+                },
+            );
+            restored += 1;
+        }
+        restored
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Session>> {
+        // splitmix-style spread so consecutive ids land on different
+        // shards.
+        let mut h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        &self.shards[(h as usize) % SHARDS]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_created_cold_and_persist() {
+        let store = SessionStore::new("lvp:4", 64).unwrap();
+        store.with_session(1, |s| {
+            assert_eq!(s.last_seq, 0);
+            s.last_seq = 5;
+        });
+        store.with_session(1, |s| assert_eq!(s.last_seq, 5));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn cap_evicts_least_recently_touched() {
+        // Cap of 8 = 1 per shard: a second id on any shard evicts the
+        // first.
+        let store = SessionStore::new("lvp:4", 1).unwrap();
+        for id in 0..64 {
+            store.with_session(id, |s| s.last_seq = id + 1);
+        }
+        assert!(store.len() <= 8);
+        assert!(store.evictions() > 0);
+        // An evicted id comes back cold rather than erroring.
+        store.with_session(0, |s| assert_eq!(s.last_seq, 0));
+    }
+
+    #[test]
+    fn snapshot_records_skip_poisoned_sessions() {
+        let store = SessionStore::new("stride:4", 64).unwrap();
+        store.with_session(1, |s| s.last_seq = 1);
+        store.with_session(2, |s| s.last_seq = 2);
+        store.poison(2);
+        let records = store.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, 1);
+    }
+
+    #[test]
+    fn restore_round_trips_state() {
+        let store = SessionStore::new("dfcm:4:6", 64).unwrap();
+        store.with_session(7, |s| {
+            for i in 0..100u64 {
+                s.predictor
+                    .load_state_words(&s.predictor.state_words())
+                    .unwrap();
+                use dfcm::ValuePredictor;
+                s.predictor.access(0x40_0000 + (i % 8) * 4, i * 3);
+            }
+            s.last_seq = 100;
+            s.last_reply = vec![1, 2, 3];
+        });
+        let records = store.records();
+        let other = SessionStore::new("dfcm:4:6", 64).unwrap();
+        assert_eq!(other.restore(&records), 1);
+        assert_eq!(other.records(), records);
+    }
+
+    #[test]
+    fn restore_skips_bad_records() {
+        let store = SessionStore::new("lvp:4", 64).unwrap();
+        let bad_spec = SessionRecord {
+            id: 1,
+            last_seq: 0,
+            last_reply: Vec::new(),
+            spec: "bogus:1".into(),
+            words: Vec::new(),
+        };
+        let bad_words = SessionRecord {
+            id: 2,
+            last_seq: 0,
+            last_reply: Vec::new(),
+            spec: "lvp:4".into(),
+            words: vec![0; 3],
+        };
+        assert_eq!(store.restore(&[bad_spec, bad_words]), 0);
+        assert!(store.is_empty());
+    }
+}

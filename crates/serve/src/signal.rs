@@ -1,0 +1,68 @@
+//! Minimal std-only POSIX signal hookup for graceful shutdown.
+//!
+//! The daemon needs exactly one bit from the OS: "a terminate signal
+//! arrived". Rather than pull in a signal-handling crate, this module
+//! declares libc's `signal(2)` directly and installs an async-signal-safe
+//! handler that sets an atomic flag; the serving loop polls
+//! [`shutdown_requested`] and performs the actual drain-and-snapshot on a
+//! normal thread.
+//!
+//! On non-Unix targets [`install_shutdown_signals`] is a no-op and the
+//! flag can still be raised programmatically for tests via
+//! [`request_shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one relaxed store.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs handlers for `SIGTERM` and `SIGINT` that raise the shutdown
+/// flag. Safe to call more than once. No-op off Unix.
+pub fn install_shutdown_signals() {
+    imp::install();
+}
+
+/// Whether a shutdown signal (or [`request_shutdown`]) has been seen.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Raises the shutdown flag programmatically (tests, embedding).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn programmatic_shutdown_raises_the_flag() {
+        super::request_shutdown();
+        assert!(super::shutdown_requested());
+    }
+}

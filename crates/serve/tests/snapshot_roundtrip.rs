@@ -1,0 +1,130 @@
+//! Property tests of the `DFCMSNAP1` snapshot format.
+//!
+//! Mirrors `crates/trace/tests/fuzz_decode.rs`: round-trips must be
+//! exact for every predictor kind and arbitrary warm-up streams, and no
+//! truncation or bit flip may panic the decoder or smuggle altered state
+//! into a restored session.
+
+use dfcm::ValuePredictor;
+use dfcm_serve::{decode_snapshot, encode_snapshot, SessionRecord, SessionStore};
+use dfcm_sim::StreamPredictor;
+use proptest::prelude::*;
+
+const SPECS: &[&str] = &["lvp:4", "stride:4", "2delta:4", "fcm:4:6", "dfcm:4:6"];
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..32, 0u64..100_000), 0..200).prop_map(|v| {
+        v.into_iter()
+            .map(|(pc, value)| (0x40_0000 + pc * 4, value))
+            .collect()
+    })
+}
+
+/// Builds one warmed session record per predictor kind from the stream.
+fn warmed_records(stream: &[(u64, u64)]) -> Vec<SessionRecord> {
+    SPECS
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut predictor = StreamPredictor::parse_spec(spec).unwrap();
+            for &(pc, value) in stream {
+                predictor.access(pc, value);
+            }
+            SessionRecord {
+                id: i as u64 + 1,
+                last_seq: stream.len() as u64,
+                last_reply: vec![i as u8; i],
+                spec: (*spec).to_owned(),
+                words: predictor.state_words(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Serialize → decode → re-encode is byte-identical, and restoring
+    /// into a store reproduces the same records, for every predictor
+    /// kind and any warm-up stream.
+    #[test]
+    fn snapshot_round_trips_for_every_predictor_kind(stream in arb_stream()) {
+        let records = warmed_records(&stream);
+        let bytes = encode_snapshot(&records);
+        let (decoded, report) = decode_snapshot(&bytes).unwrap();
+        prop_assert!(report.clean_end);
+        prop_assert_eq!(report.restored, records.len());
+        prop_assert_eq!(&decoded, &records);
+        prop_assert_eq!(encode_snapshot(&decoded), bytes);
+
+        // Materializing through a live store keeps state identical too.
+        let store = SessionStore::new("lvp:4", 64).unwrap();
+        prop_assert_eq!(store.restore(&decoded), records.len());
+        prop_assert_eq!(store.records(), records);
+    }
+
+    /// Behavioural equivalence: a predictor restored from snapshot words
+    /// produces the same outcomes as the original on a continuation.
+    #[test]
+    fn restored_predictors_behave_identically(stream in arb_stream()) {
+        for spec in SPECS {
+            let mut original = StreamPredictor::parse_spec(spec).unwrap();
+            for &(pc, value) in &stream {
+                original.access(pc, value);
+            }
+            let mut restored = StreamPredictor::parse_spec(spec).unwrap();
+            restored.load_state_words(&original.state_words()).unwrap();
+            for i in 0..50u64 {
+                let (pc, value) = (0x40_0000 + (i % 16) * 4, i.wrapping_mul(31) % 1000);
+                let a = original.access(pc, value);
+                let b = restored.access(pc, value);
+                prop_assert_eq!(a.predicted, b.predicted);
+                prop_assert_eq!(a.correct, b.correct);
+            }
+        }
+    }
+
+    /// Any truncation salvages a prefix of intact sessions and never
+    /// panics.
+    #[test]
+    fn truncation_salvages_a_prefix(stream in arb_stream(), cut_frac in 0.0f64..1.0) {
+        let records = warmed_records(&stream);
+        let bytes = encode_snapshot(&records);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        match decode_snapshot(&bytes[..cut.min(bytes.len())]) {
+            Ok((decoded, _)) => {
+                // Salvaged sessions must be a bit-identical prefix.
+                prop_assert!(decoded.len() <= records.len());
+                for (d, r) in decoded.iter().zip(&records) {
+                    prop_assert_eq!(d, r);
+                }
+            }
+            Err(_) => {
+                // Only a cut inside the magic may be fatal.
+                prop_assert!(cut < 9);
+            }
+        }
+    }
+
+    /// Any single bit flip either drops sections or leaves only
+    /// bit-identical sessions — never an altered one (mirrors the trace
+    /// fuzz harness's integrity property).
+    #[test]
+    fn bit_flips_cannot_corrupt_restored_sessions(
+        stream in arb_stream(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let records = warmed_records(&stream);
+        let bytes = encode_snapshot(&records);
+        let idx = 9 + ((bytes.len() - 10) as f64 * byte_frac) as usize;
+        let mut bad = bytes.clone();
+        bad[idx] ^= 1 << bit;
+        if let Ok((decoded, _)) = decode_snapshot(&bad) {
+            for d in &decoded {
+                prop_assert!(
+                    records.iter().any(|r| r == d),
+                    "flip at byte {} restored an altered session", idx
+                );
+            }
+        }
+    }
+}

@@ -72,7 +72,7 @@ pub use crate::pareto::{pareto_front, ParetoPoint};
 pub use crate::run::{simulate, simulate_n, simulate_trace, simulate_trace_observed, RunStats};
 pub use crate::stream::{
     stream_records_with, stream_suite_engine, stream_trace, stream_trace_chunked, stream_v2_file,
-    StreamFileReport, StreamPredictor, StreamSuiteResult, STREAM_CHUNK_RECORDS,
+    SpecError, StreamFileReport, StreamPredictor, StreamSuiteResult, STREAM_CHUNK_RECORDS,
 };
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};
 pub use crate::sweep::{sweep, sweep_parallel, SweepPoint};

@@ -75,6 +75,134 @@ macro_rules! for_each_lane {
     };
 }
 
+/// A predictor spec string that could not be parsed by
+/// [`StreamPredictor::parse_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl StreamPredictor {
+    /// Parses a lane from a spec string — the grammar shared by the CLI,
+    /// the serving daemon, and snapshot files:
+    ///
+    /// `lvp:B | stride:B | 2delta:B | fcm:L1:L2 | dfcm:L1:L2`
+    ///
+    /// where each field is a power-of-two table-size exponent. The
+    /// canonical inverse is [`spec`](StreamPredictor::spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for unknown predictor names, missing or
+    /// non-numeric fields, trailing fields, and configurations the
+    /// underlying builders reject.
+    pub fn parse_spec(spec: &str) -> Result<StreamPredictor, SpecError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let bits = |i: usize| -> Result<u32, SpecError> {
+            parts
+                .get(i)
+                .ok_or_else(|| SpecError(format!("`{spec}`: missing table-size field {i}")))?
+                .parse()
+                .map_err(|_| SpecError(format!("`{spec}`: bad table size")))
+        };
+        let arity = |n: usize| -> Result<(), SpecError> {
+            if parts.len() > n {
+                return Err(SpecError(format!(
+                    "`{spec}`: expected {} table-size field(s)",
+                    n - 1
+                )));
+            }
+            Ok(())
+        };
+        let build_err = |e: dfcm::ConfigError| SpecError(format!("`{spec}`: {e}"));
+        // Table exponents above 30 are rejected by the builders; lvp and
+        // the stride predictors assert instead, so pre-check here to keep
+        // parse_spec panic-free on arbitrary input.
+        let checked = |b: u32| -> Result<u32, SpecError> {
+            if b > 30 {
+                return Err(SpecError(format!(
+                    "`{spec}`: table exponent {b} exceeds 30"
+                )));
+            }
+            Ok(b)
+        };
+        match parts[0] {
+            "lvp" => {
+                arity(2)?;
+                Ok(LastValuePredictor::new(checked(bits(1)?)?).into())
+            }
+            "stride" => {
+                arity(2)?;
+                Ok(StridePredictor::new(checked(bits(1)?)?).into())
+            }
+            "2delta" => {
+                arity(2)?;
+                Ok(TwoDeltaStridePredictor::new(checked(bits(1)?)?).into())
+            }
+            "fcm" => {
+                arity(3)?;
+                Ok(FcmPredictor::builder()
+                    .l1_bits(bits(1)?)
+                    .l2_bits(bits(2)?)
+                    .build()
+                    .map_err(build_err)?
+                    .into())
+            }
+            "dfcm" => {
+                arity(3)?;
+                Ok(DfcmPredictor::builder()
+                    .l1_bits(bits(1)?)
+                    .l2_bits(bits(2)?)
+                    .build()
+                    .map_err(build_err)?
+                    .into())
+            }
+            other => Err(SpecError(format!(
+                "unknown predictor `{other}` (use lvp|stride|2delta|fcm|dfcm)"
+            ))),
+        }
+    }
+
+    /// The canonical spec string for this lane's configuration:
+    /// `parse_spec(lane.spec())` reconstructs an identically configured
+    /// cold lane. Snapshots store this string so a restored session can
+    /// rebuild its predictor before loading the state words.
+    pub fn spec(&self) -> String {
+        match self {
+            StreamPredictor::Lvp(p) => format!("lvp:{}", p.entries().trailing_zeros()),
+            StreamPredictor::Stride(p) => format!("stride:{}", p.entries().trailing_zeros()),
+            StreamPredictor::TwoDelta(p) => format!("2delta:{}", p.entries().trailing_zeros()),
+            StreamPredictor::Fcm(p) => format!("fcm:{}:{}", p.l1_bits(), p.l2_bits()),
+            StreamPredictor::Dfcm(p) => format!("dfcm:{}:{}", p.l1_bits(), p.l2_bits()),
+        }
+    }
+
+    /// Serializes the lane's mutable table state as a flat word vector
+    /// (see the per-predictor `state_words` methods for layouts).
+    pub fn state_words(&self) -> Vec<u64> {
+        for_each_lane!(self, p => p.state_words())
+    }
+
+    /// Restores state captured by
+    /// [`state_words`](StreamPredictor::state_words) into an identically
+    /// configured lane (same [`spec`](StreamPredictor::spec)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::State`](dfcm::ConfigError) when the words
+    /// do not fit this configuration or encode an illegal table state;
+    /// the lane is left unchanged.
+    pub fn load_state_words(&mut self, words: &[u64]) -> Result<(), dfcm::ConfigError> {
+        for_each_lane!(self, p => p.load_state_words(words))
+    }
+}
+
 impl ValuePredictor for StreamPredictor {
     fn predict(&mut self, pc: u64) -> u64 {
         for_each_lane!(self, p => p.predict(pc))
@@ -507,6 +635,55 @@ mod tests {
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{threads} threads");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for spec in [
+            "lvp:12",
+            "stride:14",
+            "2delta:14",
+            "fcm:12:10",
+            "dfcm:16:12",
+        ] {
+            let lane = StreamPredictor::parse_spec(spec).unwrap();
+            assert_eq!(lane.spec(), spec);
+            assert_eq!(
+                StreamPredictor::parse_spec(&lane.spec()).unwrap().name(),
+                lane.name(),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_not_panicked() {
+        for spec in [
+            "magic:3",
+            "fcm:12",
+            "lvp",
+            "lvp:x",
+            "lvp:99",
+            "stride:12:9",
+            "dfcm:12:10:8",
+            "",
+        ] {
+            assert!(StreamPredictor::parse_spec(spec).is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn lane_state_round_trips_through_spec_and_words() {
+        let trace = mixed_trace(500);
+        for mut lane in lanes() {
+            stream_trace(std::slice::from_mut(&mut lane), &trace);
+            let mut restored = StreamPredictor::parse_spec(&lane.spec()).unwrap();
+            restored.load_state_words(&lane.state_words()).unwrap();
+            assert_eq!(restored.state_words(), lane.state_words());
+            // Mismatched configurations are rejected.
+            let mut other = StreamPredictor::parse_spec("lvp:3").unwrap();
+            assert!(other.load_state_words(&lane.state_words()).is_err() || lane.spec() == "lvp:3");
+        }
     }
 
     #[test]

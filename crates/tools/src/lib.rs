@@ -13,6 +13,12 @@
 //!   intact chunks into a fresh file).
 //! * `obs` — observability tooling: `summarize` renders the table-usage
 //!   report for an export directory, `--check` validates the exports.
+//! * `bench` — validate benchmark artifacts (`BENCH_throughput.json`,
+//!   `BENCH_serve.json`) for CI gating.
+//! * `serve` — run the crash-tolerant prediction daemon (the
+//!   `dfcm-serve` crate) until a shutdown signal.
+//! * `loadgen` — chaos-driven load generation against a running daemon,
+//!   with shadow-predictor verification.
 //! * `disasm` — print the assembly listing of a bundled kernel.
 //! * `profile` — execute a kernel and print its execution profile.
 //! * `kernels` / `benchmarks` — list what `gen` accepts.
@@ -23,12 +29,13 @@
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::BufReader;
-use std::path::Path;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-use dfcm::{
-    DfcmPredictor, FcmPredictor, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor,
-    ValuePredictor,
-};
+use dfcm::ValuePredictor;
 use dfcm_sim::engine::{run_tasks_ft, TaskOutput};
 use dfcm_sim::{
     simulate_trace_observed, stream_trace, EngineConfig, EngineReport, StreamPredictor,
@@ -137,36 +144,7 @@ pub fn stats(path: &Path) -> Result<String, ToolError> {
 ///
 /// Returns [`ToolError`] for unknown predictor names or malformed specs.
 pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let bits = |i: usize| -> Result<u32, ToolError> {
-        parts
-            .get(i)
-            .ok_or_else(|| err(format!("`{spec}`: missing table-size field {i}")))?
-            .parse()
-            .map_err(|_| err(format!("`{spec}`: bad table size")))
-    };
-    match parts[0] {
-        "lvp" => Ok(Box::new(LastValuePredictor::new(bits(1)?))),
-        "stride" => Ok(Box::new(StridePredictor::new(bits(1)?))),
-        "2delta" => Ok(Box::new(TwoDeltaStridePredictor::new(bits(1)?))),
-        "fcm" => Ok(Box::new(
-            FcmPredictor::builder()
-                .l1_bits(bits(1)?)
-                .l2_bits(bits(2)?)
-                .build()
-                .map_err(|e| err(e.to_string()))?,
-        )),
-        "dfcm" => Ok(Box::new(
-            DfcmPredictor::builder()
-                .l1_bits(bits(1)?)
-                .l2_bits(bits(2)?)
-                .build()
-                .map_err(|e| err(e.to_string()))?,
-        )),
-        other => Err(err(format!(
-            "unknown predictor `{other}` (use lvp|stride|2delta|fcm|dfcm)"
-        ))),
-    }
+    Ok(Box::new(stream_predictor_for(spec)?))
 }
 
 /// Builds a streaming lane from the same spec grammar as
@@ -178,34 +156,7 @@ pub fn predictor_for(spec: &str) -> Result<Box<dyn ValuePredictor>, ToolError> {
 ///
 /// Returns [`ToolError`] for unknown predictor names or malformed specs.
 pub fn stream_predictor_for(spec: &str) -> Result<StreamPredictor, ToolError> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let bits = |i: usize| -> Result<u32, ToolError> {
-        parts
-            .get(i)
-            .ok_or_else(|| err(format!("`{spec}`: missing table-size field {i}")))?
-            .parse()
-            .map_err(|_| err(format!("`{spec}`: bad table size")))
-    };
-    match parts[0] {
-        "lvp" => Ok(LastValuePredictor::new(bits(1)?).into()),
-        "stride" => Ok(StridePredictor::new(bits(1)?).into()),
-        "2delta" => Ok(TwoDeltaStridePredictor::new(bits(1)?).into()),
-        "fcm" => Ok(FcmPredictor::builder()
-            .l1_bits(bits(1)?)
-            .l2_bits(bits(2)?)
-            .build()
-            .map_err(|e| err(e.to_string()))?
-            .into()),
-        "dfcm" => Ok(DfcmPredictor::builder()
-            .l1_bits(bits(1)?)
-            .l2_bits(bits(2)?)
-            .build()
-            .map_err(|e| err(e.to_string()))?
-            .into()),
-        other => Err(err(format!(
-            "unknown predictor `{other}` (use lvp|stride|2delta|fcm|dfcm)"
-        ))),
-    }
+    StreamPredictor::parse_spec(spec).map_err(|e| err(e.to_string()))
 }
 
 /// `eval --streaming` — runs every spec as a lane of the single-pass
@@ -540,17 +491,22 @@ pub fn obs_summarize(dir: &Path, check: bool) -> Result<String, ToolError> {
     Ok(out)
 }
 
-/// `bench check <file>` — validates a `BENCH_throughput.json` artifact
-/// (as emitted by `cargo bench --bench throughput`) against the
-/// documented `dfcm-bench-throughput/v1` schema, so CI can gate on the
-/// exit status without external JSON tooling.
+/// `bench check <file>` — validates a benchmark artifact against its
+/// declared schema, so CI can gate on the exit status without external
+/// JSON tooling. Dispatches on the `schema` field:
 ///
-/// Checks: well-formed JSON; the schema tag; `mode`, `records` and
-/// `machine` fields; a non-empty `results` array whose entries carry
-/// positive, finite timings; `stream`-path coverage of all four paper
-/// predictors (lvp, stride, fcm, dfcm); and an `aggregate` with a
-/// positive sweep `configs` count whose `speedup` is consistent with its
-/// own numerator and denominator.
+/// * `dfcm-bench-throughput/v1` (`BENCH_throughput.json`, emitted by
+///   `cargo bench --bench throughput`): `mode`, `records` and `machine`
+///   fields; a non-empty `results` array whose entries carry positive,
+///   finite timings; `stream`-path coverage of all four paper predictors
+///   (lvp, stride, fcm, dfcm); and an `aggregate` with a positive sweep
+///   `configs` count whose `speedup` is consistent with its own
+///   numerator and denominator.
+/// * `dfcm-bench-serve/v1` (`BENCH_serve.json`, emitted by
+///   `dfcm-tools loadgen --bench-out`): counter fields present, every
+///   request accounted for (`acked + failed == requests`), zero
+///   `corrupted` acknowledgements, `verified ≤ acked`, ordered latency
+///   percentiles, and finite timing/throughput numbers.
 ///
 /// # Errors
 ///
@@ -561,13 +517,33 @@ pub fn bench_check(path: &Path) -> Result<String, ToolError> {
     let doc = dfcm_obs::json::parse(&text)
         .map_err(|e| err(format!("{}: malformed JSON: {e}", path.display())))?;
     let mut problems: Vec<String> = Vec::new();
-    let mut problem = |p: String| problems.push(p);
-
-    match doc.get("schema").and_then(|v| v.as_str()) {
-        Some("dfcm-bench-throughput/v1") => {}
-        Some(other) => problem(format!("unknown schema `{other}`")),
-        None => problem("missing string field `schema`".into()),
+    let summary = match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("dfcm-bench-throughput/v1") => check_bench_throughput(&doc, &mut problems),
+        Some("dfcm-bench-serve/v1") => check_bench_serve(&doc, &mut problems),
+        Some(other) => {
+            problems.push(format!("unknown schema `{other}`"));
+            String::new()
+        }
+        None => {
+            problems.push("missing string field `schema`".into());
+            String::new()
+        }
+    };
+    if problems.is_empty() {
+        Ok(format!("{}: OK ({summary})", path.display()))
+    } else {
+        Err(err(format!(
+            "{}: {} schema problem(s):\n  {}",
+            path.display(),
+            problems.len(),
+            problems.join("\n  ")
+        )))
     }
+}
+
+/// The `dfcm-bench-throughput/v1` validator (see [`bench_check`]).
+fn check_bench_throughput(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> String {
+    let mut problem = |p: String| problems.push(p);
     match doc.get("mode").and_then(|v| v.as_str()) {
         Some("quick") | Some("full") => {}
         Some(other) => problem(format!("`mode` must be quick|full, got `{other}`")),
@@ -681,22 +657,269 @@ pub fn bench_check(path: &Path) -> Result<String, ToolError> {
         None => problem("missing object field `aggregate`".into()),
     }
 
-    if problems.is_empty() {
-        Ok(format!(
-            "{}: OK (dfcm-bench-throughput/v1, {} result(s))",
-            path.display(),
-            doc.get("results")
-                .and_then(|v| v.as_arr())
-                .map_or(0, <[_]>::len)
-        ))
-    } else {
-        Err(err(format!(
-            "{}: {} schema problem(s):\n  {}",
-            path.display(),
-            problems.len(),
-            problems.join("\n  ")
-        )))
+    format!(
+        "dfcm-bench-throughput/v1, {} result(s)",
+        doc.get("results")
+            .and_then(|v| v.as_arr())
+            .map_or(0, <[_]>::len)
+    )
+}
+
+/// The `dfcm-bench-serve/v1` validator (see [`bench_check`]): the
+/// loadgen artifact written by `dfcm-tools loadgen --bench-out`.
+fn check_bench_serve(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> String {
+    let field = |key: &str| doc.get(key).and_then(|v| v.as_u64());
+    let mut problem = |p: String| problems.push(p);
+    for key in ["clients", "requests"] {
+        if field(key).is_none_or(|n| n == 0) {
+            problem(format!("`{key}` must be a positive integer"));
+        }
     }
+    for key in [
+        "acked",
+        "failed",
+        "corrupted",
+        "verified",
+        "p50_us",
+        "p99_us",
+        "max_us",
+    ] {
+        if field(key).is_none() {
+            problem(format!("`{key}` must be a non-negative integer"));
+        }
+    }
+    if let (Some(requests), Some(acked), Some(failed)) =
+        (field("requests"), field("acked"), field("failed"))
+    {
+        if acked.checked_add(failed) != Some(requests) {
+            problem(format!(
+                "acked {acked} + failed {failed} != requests {requests}: \
+                 requests unaccounted for"
+            ));
+        }
+    }
+    if field("corrupted").is_some_and(|n| n > 0) {
+        problem(
+            "`corrupted` must be 0: an acknowledged reply contradicted \
+             the shadow predictor"
+                .into(),
+        );
+    }
+    if let (Some(verified), Some(acked)) = (field("verified"), field("acked")) {
+        if verified > acked {
+            problem(format!("verified {verified} exceeds acked {acked}"));
+        }
+    }
+    if let (Some(p50), Some(p99), Some(max)) = (field("p50_us"), field("p99_us"), field("max_us")) {
+        if p50 > p99 || p99 > max {
+            problem(format!(
+                "latency percentiles out of order: p50 {p50}, p99 {p99}, max {max}"
+            ));
+        }
+    }
+    for key in ["elapsed_s", "throughput_rps"] {
+        if !doc
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .is_some_and(|x| x.is_finite() && x >= 0.0)
+        {
+            problem(format!("`{key}` must be finite and non-negative"));
+        }
+    }
+    format!(
+        "dfcm-bench-serve/v1, {}/{} acked",
+        field("acked").unwrap_or(0),
+        field("requests").unwrap_or(0)
+    )
+}
+
+/// Options for the `serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Listen address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Predictor spec for new sessions (`lvp:B | stride:B | 2delta:B |
+    /// fcm:L1:L2 | dfcm:L1:L2`).
+    pub spec: String,
+    /// Snapshot file: restored at startup, written on graceful shutdown.
+    pub snapshot: Option<PathBuf>,
+    /// Resource and robustness limits.
+    pub limits: dfcm_serve::ServeLimits,
+}
+
+impl ServeOpts {
+    /// Defaults for serving `spec` on `addr`, no snapshot.
+    pub fn new(addr: &str, spec: &str) -> Self {
+        ServeOpts {
+            addr: addr.to_owned(),
+            spec: spec.to_owned(),
+            snapshot: None,
+            limits: dfcm_serve::ServeLimits::default(),
+        }
+    }
+}
+
+/// `serve <addr> <predictor> [--snapshot FILE] [--max-sessions N]
+/// [--workers N] [--queue N] [--deadline-ms N] [--idle-ms N]` — runs the
+/// prediction daemon until `SIGTERM`/`SIGINT`, then drains, snapshots
+/// and returns a shutdown summary.
+///
+/// Prints a `listening on <addr>` line to stdout once the socket is
+/// bound, so scripts can wait for readiness.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when the address cannot be bound, the spec does
+/// not parse, or the serving loop fails.
+pub fn serve(opts: &ServeOpts) -> Result<String, ToolError> {
+    let mut config = dfcm_serve::ServeConfig::new(&opts.spec);
+    config.limits = opts.limits.clone();
+    config.snapshot_path = opts.snapshot.clone();
+    config.obs = dfcm_obs::Obs::enabled();
+    let server = dfcm_serve::Server::bind(opts.addr.as_str(), config)
+        .map_err(|e| err(format!("{}: {e}", opts.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| err(format!("{}: {e}", opts.addr)))?;
+    println!("dfcm-serve listening on {addr} ({})", opts.spec);
+
+    dfcm_serve::install_shutdown_signals();
+    let handle = server.handle();
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                if dfcm_serve::shutdown_requested() {
+                    handle.shutdown();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
+    let result = server.run();
+    done.store(true, Ordering::Relaxed);
+    let _ = watcher.join();
+    let report = result.map_err(|e| err(e.to_string()))?;
+    Ok(format!(
+        "dfcm-serve stopped: {} session(s) snapshotted ({} bytes), {} restored at startup",
+        report.sessions, report.snapshot_bytes, report.restored
+    ))
+}
+
+/// Options for the `loadgen` subcommand.
+#[derive(Debug, Clone)]
+pub struct LoadGenOpts {
+    /// Daemon address to load.
+    pub addr: String,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Predictor spec the daemon serves (the shadow predictors must
+    /// match it for verification to be meaningful).
+    pub spec: String,
+    /// First session id; client `i` uses `session_base + i`.
+    pub session_base: u64,
+    /// Fault-injection spec `SEED[:PANIC[:TRANSIENT[:DELAY]]]` (permille
+    /// rates, as for `eval --inject-faults`); `None` for a clean run.
+    pub faults: Option<String>,
+    /// With `true`, unacknowledged requests fail the command (corrupted
+    /// acknowledgements always do).
+    pub strict: bool,
+    /// Write the `dfcm-bench-serve/v1` artifact here.
+    pub bench_out: Option<PathBuf>,
+    /// Write the latency histogram as JSONL here.
+    pub hist_out: Option<PathBuf>,
+}
+
+impl LoadGenOpts {
+    /// A clean 4-client run against `addr`.
+    pub fn new(addr: &str, spec: &str) -> Self {
+        LoadGenOpts {
+            addr: addr.to_owned(),
+            clients: 4,
+            spec: spec.to_owned(),
+            session_base: 1,
+            faults: None,
+            strict: false,
+            bench_out: None,
+            hist_out: None,
+        }
+    }
+}
+
+/// `loadgen <trace.trc> <addr> <predictor> [--clients N]
+/// [--session-base N] [--inject-faults SEED[:P[:T[:D]]]] [--strict]
+/// [--bench-out FILE] [--hist-out FILE]` — replays a saved trace against
+/// a running daemon with shadow-predictor verification and optional
+/// deterministic chaos, and reports throughput and latency percentiles.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when the trace, address, spec or fault plan is
+/// invalid, when an output file cannot be written, when any
+/// acknowledged reply contradicted the shadow predictor, or (with
+/// `strict`) when any request went unacknowledged.
+pub fn loadgen(trace_path: &Path, opts: &LoadGenOpts) -> Result<String, ToolError> {
+    let trace =
+        Trace::load(trace_path).map_err(|e| err(format!("{}: {e}", trace_path.display())))?;
+    let addr: SocketAddr = opts
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| err(format!("{}: {e}", opts.addr)))?
+        .next()
+        .ok_or_else(|| err(format!("{}: no usable address", opts.addr)))?;
+    let mut config = dfcm_serve::LoadGenConfig::new(addr, opts.clients, &opts.spec);
+    config.session_base = opts.session_base;
+    if let Some(spec) = &opts.faults {
+        config.faults = Some(dfcm_sim::FaultPlan::parse(spec).map_err(err)?);
+    }
+    let report = dfcm_serve::run_loadgen(&config, &trace).map_err(err)?;
+
+    if let Some(path) = &opts.bench_out {
+        let mut json = dfcm_serve::bench_json(&report);
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    }
+    if let Some(path) = &opts.hist_out {
+        let mut lines = dfcm_serve::histogram_jsonl(&report).join("\n");
+        lines.push('\n');
+        std::fs::write(path, lines).map_err(|e| err(format!("{}: {e}", path.display())))?;
+    }
+
+    let mut out = format!(
+        "loadgen: {} client(s) x {} record(s) against {addr} ({})\n",
+        report.clients,
+        trace.len(),
+        opts.spec
+    );
+    let _ = writeln!(
+        out,
+        "  acked {}/{} (failed {}, corrupted {}, verified {})",
+        report.acked, report.requests, report.failed, report.corrupted, report.verified
+    );
+    let _ = writeln!(
+        out,
+        "  {:.1} req/s over {:.3}s; latency p50 {}us p99 {}us max {}us",
+        report.throughput_rps,
+        report.elapsed.as_secs_f64(),
+        report.p50_us,
+        report.p99_us,
+        report.max_us
+    );
+    if report.corrupted > 0 {
+        return Err(err(format!(
+            "{out}error: {} acknowledged repl(ies) contradicted the shadow predictor",
+            report.corrupted
+        )));
+    }
+    if opts.strict && report.failed > 0 {
+        return Err(err(format!(
+            "{out}error: {} request(s) unacknowledged under --strict",
+            report.failed
+        )));
+    }
+    Ok(out)
 }
 
 /// `disasm <kernel>` — assembly listing of a bundled kernel (assembled and
@@ -902,6 +1125,105 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("configs"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn serve_bench_doc() -> String {
+        r#"{"schema":"dfcm-bench-serve/v1","clients":2,"requests":400,
+            "acked":400,"failed":0,"corrupted":0,"verified":400,
+            "elapsed_s":0.5,"throughput_rps":800.0,
+            "p50_us":40,"p99_us":900,"max_us":1500}"#
+            .to_owned()
+    }
+
+    #[test]
+    fn bench_check_accepts_valid_serve_artifact() {
+        let path = std::env::temp_dir().join("dfcm_tools_bench_serve_ok.json");
+        std::fs::write(&path, serve_bench_doc()).unwrap();
+        let out = bench_check(&path).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("dfcm-bench-serve/v1"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_check_rejects_serve_schema_violations() {
+        let dir = std::env::temp_dir().join("dfcm_tools_bench_serve_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let reject = |name: &str, doc: String, needle: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, doc).unwrap();
+            let msg = bench_check(&path).unwrap_err().to_string();
+            assert!(msg.contains(needle), "{name}: {msg}");
+        };
+        // A corrupted acknowledgement is a hard failure.
+        reject(
+            "corrupted.json",
+            serve_bench_doc().replace(r#""corrupted":0"#, r#""corrupted":1"#),
+            "corrupted",
+        );
+        // Requests must be fully accounted for by acked + failed.
+        reject(
+            "unaccounted.json",
+            serve_bench_doc().replace(r#""acked":400"#, r#""acked":399"#),
+            "unaccounted",
+        );
+        // Percentiles must be ordered.
+        reject(
+            "percentiles.json",
+            serve_bench_doc().replace(r#""p50_us":40"#, r#""p50_us":4000"#),
+            "out of order",
+        );
+        // Verification cannot exceed acknowledgements.
+        reject(
+            "verified.json",
+            serve_bench_doc().replace(r#""verified":400"#, r#""verified":401"#),
+            "exceeds",
+        );
+        // Missing counter field.
+        reject(
+            "missing.json",
+            serve_bench_doc().replace(r#""failed":0,"#, ""),
+            "failed",
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loadgen_artifacts_pass_bench_check() {
+        let dir = std::env::temp_dir().join("dfcm_tools_loadgen_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("load.trc");
+        generate("li", 300, &trace_path, 3).unwrap();
+
+        let server =
+            dfcm_serve::Server::bind("127.0.0.1:0", dfcm_serve::ServeConfig::new("dfcm:6:8"))
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        let mut opts = LoadGenOpts::new(&addr.to_string(), "dfcm:6:8");
+        opts.clients = 2;
+        opts.strict = true;
+        opts.bench_out = Some(dir.join("BENCH_serve.json"));
+        opts.hist_out = Some(dir.join("latency_hist.jsonl"));
+        let out = loadgen(&trace_path, &opts).unwrap();
+        assert!(out.contains("acked 600/600"), "{out}");
+
+        // The emitted artifact validates, and the histogram is JSONL.
+        let checked = bench_check(&dir.join("BENCH_serve.json")).unwrap();
+        assert!(checked.contains("dfcm-bench-serve/v1"), "{checked}");
+        let hist = std::fs::read_to_string(dir.join("latency_hist.jsonl")).unwrap();
+        assert!(hist.lines().count() > 1);
+        for line in hist.lines() {
+            dfcm_obs::json::parse(line).unwrap();
+        }
+
+        handle.shutdown();
+        join.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -31,10 +31,28 @@ usage:
              (table-usage report for an --obs export directory; --check
               validates all three export files and exits nonzero on any
               malformed or inconsistent export)
-  dfcm-tools bench check <BENCH_throughput.json>
-             (validates a throughput benchmark artifact against the
-              dfcm-bench-throughput/v1 schema; exits nonzero on any
-              violation)
+  dfcm-tools bench check <BENCH_file.json>
+             (validates a benchmark artifact against its declared schema —
+              dfcm-bench-throughput/v1 or dfcm-bench-serve/v1; exits
+              nonzero on any violation)
+  dfcm-tools serve <addr> <predictor> [--snapshot FILE] [--max-sessions N]
+             [--workers N] [--queue N] [--deadline-ms N] [--idle-ms N]
+             (runs the prediction daemon until SIGTERM/SIGINT, then drains
+              in-flight requests and writes a crash-consistent snapshot;
+              --snapshot is also restored, salvage-style, at startup;
+              --queue caps live connections — beyond it new connections are
+              shed with an explicit Overloaded reply)
+  dfcm-tools loadgen <trace.trc> <addr> <predictor> [--clients N]
+             [--session-base N] [--inject-faults SEED[:P[:T[:D]]]]
+             [--strict] [--bench-out FILE] [--hist-out FILE]
+             (replays the trace as N concurrent sessions, verifying every
+              acknowledged reply against a local shadow predictor;
+              --inject-faults adds deterministic chaos — connection drops,
+              corrupt frames, slow-loris stalls — at permille rates;
+              corrupted acknowledgements always exit nonzero, unacked
+              requests only under --strict; --bench-out writes the
+              dfcm-bench-serve/v1 artifact for `bench check`, --hist-out
+              the latency histogram as JSONL)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools kernels
@@ -185,6 +203,95 @@ fn run() -> Result<String, String> {
             }
             _ => Err(USAGE.to_owned()),
         },
+        "serve" => {
+            let mut rest = rest.to_vec();
+            let mut take_value = |flag: &str| -> Result<Option<String>, String> {
+                match rest.iter().position(|a| a == flag) {
+                    Some(pos) => {
+                        let value = rest
+                            .get(pos + 1)
+                            .cloned()
+                            .ok_or_else(|| format!("{flag} needs a value"))?;
+                        rest.drain(pos..=pos + 1);
+                        Ok(Some(value))
+                    }
+                    None => Ok(None),
+                }
+            };
+            let snapshot = take_value("--snapshot")?;
+            let max_sessions = take_value("--max-sessions")?;
+            let workers = take_value("--workers")?;
+            let queue = take_value("--queue")?;
+            let deadline_ms = take_value("--deadline-ms")?;
+            let idle_ms = take_value("--idle-ms")?;
+            let [addr, spec] = rest.as_slice() else {
+                return Err(USAGE.to_owned());
+            };
+            let mut opts = dfcm_tools::ServeOpts::new(addr, spec);
+            opts.snapshot = snapshot.map(PathBuf::from);
+            let parsed = |v: Option<String>, what: &str| -> Result<Option<u64>, String> {
+                v.map(|s| s.parse().map_err(|_| format!("bad {what}")))
+                    .transpose()
+            };
+            if let Some(n) = parsed(max_sessions, "--max-sessions")? {
+                opts.limits.max_sessions = n as usize;
+            }
+            if let Some(n) = parsed(workers, "--workers")? {
+                opts.limits.workers = n as usize;
+            }
+            if let Some(n) = parsed(queue, "--queue")? {
+                opts.limits.queue_depth = n as usize;
+            }
+            if let Some(n) = parsed(deadline_ms, "--deadline-ms")? {
+                opts.limits.request_deadline = std::time::Duration::from_millis(n);
+            }
+            if let Some(n) = parsed(idle_ms, "--idle-ms")? {
+                opts.limits.idle_timeout = std::time::Duration::from_millis(n);
+            }
+            dfcm_tools::serve(&opts).map_err(|e| e.to_string())
+        }
+        "loadgen" => {
+            let mut rest = rest.to_vec();
+            let mut take_value = |flag: &str| -> Result<Option<String>, String> {
+                match rest.iter().position(|a| a == flag) {
+                    Some(pos) => {
+                        let value = rest
+                            .get(pos + 1)
+                            .cloned()
+                            .ok_or_else(|| format!("{flag} needs a value"))?;
+                        rest.drain(pos..=pos + 1);
+                        Ok(Some(value))
+                    }
+                    None => Ok(None),
+                }
+            };
+            let clients = take_value("--clients")?;
+            let session_base = take_value("--session-base")?;
+            let faults = take_value("--inject-faults")?;
+            let bench_out = take_value("--bench-out")?;
+            let hist_out = take_value("--hist-out")?;
+            let strict = if let Some(pos) = rest.iter().position(|a| a == "--strict") {
+                rest.remove(pos);
+                true
+            } else {
+                false
+            };
+            let [trace, addr, spec] = rest.as_slice() else {
+                return Err(USAGE.to_owned());
+            };
+            let mut opts = dfcm_tools::LoadGenOpts::new(addr, spec);
+            if let Some(n) = clients {
+                opts.clients = n.parse().map_err(|_| "bad --clients".to_owned())?;
+            }
+            if let Some(n) = session_base {
+                opts.session_base = n.parse().map_err(|_| "bad --session-base".to_owned())?;
+            }
+            opts.faults = faults;
+            opts.strict = strict;
+            opts.bench_out = bench_out.map(PathBuf::from);
+            opts.hist_out = hist_out.map(PathBuf::from);
+            dfcm_tools::loadgen(&PathBuf::from(trace), &opts).map_err(|e| e.to_string())
+        }
         "disasm" => {
             let [kernel] = rest else {
                 return Err(USAGE.to_owned());

@@ -1,0 +1,116 @@
+//! A monotonic wall-clock deadline.
+//!
+//! Timeout logic appears in several places in this workspace — the VM's
+//! [`VmLimits`] wall-clock guard, the serving daemon's per-request
+//! deadlines and per-connection idle timeouts — and each hand-rolled
+//! `Instant`/`Duration` pair invites a different bug (re-deriving "now"
+//! from a non-monotonic clock, forgetting saturation near expiry, mixing
+//! up elapsed-vs-remaining). [`Deadline`] is the one shared helper: it
+//! anchors a budget to a [`Instant`] captured once, and every query is
+//! answered from that monotonic anchor.
+//!
+//! [`VmLimits`]: https://docs.rs/dfcm-vm
+
+use std::time::{Duration, Instant};
+
+/// A fixed time budget anchored to a monotonic start instant.
+///
+/// ```
+/// use std::time::Duration;
+/// use dfcm_trace::Deadline;
+///
+/// let d = Deadline::after(Duration::from_secs(3600));
+/// assert!(!d.expired());
+/// assert!(d.remaining() > Duration::from_secs(3599));
+///
+/// let instant = Deadline::after(Duration::ZERO);
+/// assert!(instant.expired());
+/// assert_eq!(instant.remaining(), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now. The anchor [`Instant`] is captured
+    /// exactly once, here; all later queries measure against it.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// A deadline `budget` from an anchor captured earlier by the caller
+    /// (e.g. when the budget should start at "first byte read", not at
+    /// construction time).
+    pub fn starting_at(start: Instant, budget: Duration) -> Self {
+        Deadline { start, budget }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Monotonic time elapsed since the anchor.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// True once the budget has been spent. Never un-expires: the clock
+    /// behind [`Instant`] is monotonic.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() > self.budget
+    }
+
+    /// Time left before expiry, saturating at zero.
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_is_unexpired() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(59));
+        assert!(d.elapsed() < Duration::from_secs(1));
+        assert_eq!(d.budget(), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        // `expired` uses strict >, so an untouched zero-budget deadline
+        // flips as soon as any time at all has passed; `remaining` is
+        // already saturated.
+        assert_eq!(d.remaining(), Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn starting_at_backdates_the_anchor() {
+        let anchor = Instant::now() - Duration::from_secs(10);
+        let expired = Deadline::starting_at(anchor, Duration::from_secs(5));
+        assert!(expired.expired());
+        assert_eq!(expired.remaining(), Duration::ZERO);
+        let live = Deadline::starting_at(anchor, Duration::from_secs(3600));
+        assert!(!live.expired());
+        assert!(live.elapsed() >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn copy_preserves_the_anchor() {
+        let a = Deadline::after(Duration::from_secs(60));
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

@@ -274,8 +274,22 @@ where
         let mut w = BufWriter::new(File::create(&staged)?);
         write(&mut w)?;
         w.flush()?;
+        // Durability ordering: the temp file's *data* must be on stable
+        // storage before the rename publishes it, or a power loss right
+        // after the rename could surface an empty/truncated "atomic"
+        // artifact under the final name.
         w.get_ref().sync_all()?;
-        fs::rename(&staged, path)
+        fs::rename(&staged, path)?;
+        // Best-effort: persist the rename itself (the directory entry).
+        // Failure to sync the directory does not un-write the file, and
+        // some filesystems/platforms reject directory fsync — so errors
+        // here are ignored rather than failing an already-complete write.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
     })();
     if result.is_err() {
         let _ = fs::remove_file(&staged);
@@ -365,7 +379,15 @@ impl<R: Read> Read for FaultyReader<R> {
     }
 }
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+/// Writes `v` as an LEB128 varint (7 payload bits per byte, high bit =
+/// continuation). This is the integer encoding used throughout the trace
+/// formats and, via reuse, the serving daemon's frame protocol and
+/// snapshot format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -376,7 +398,15 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+/// Reads a varint written by [`write_varint`]. Non-canonical encodings
+/// (payload bits shifted past bit 63, or an 11th byte) are rejected as
+/// `InvalidData` rather than silently truncated.
+///
+/// # Errors
+///
+/// Propagates I/O errors; returns `InvalidData` for over-long or
+/// overflowing encodings.
+pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
@@ -1694,6 +1724,26 @@ mod tests {
             .map(|e| e.unwrap().file_name())
             .collect();
         assert_eq!(siblings, vec![std::ffi::OsString::from("out.bin")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_survives_unsyncable_parent() {
+        // The post-rename parent-directory sync is best-effort: a path
+        // whose parent cannot be opened for fsync (here: the process cwd
+        // addressed with a bare file name, which has no parent component)
+        // must still write successfully through the sync-then-rename
+        // path, and relative single-component paths must not panic on the
+        // empty parent.
+        let dir = std::env::temp_dir().join("dfcm_io_dirsync_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("synced.bin");
+        atomic_write(&path, b"durable contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"durable contents");
+        // Overwrite through the same path: the rename replaces the old
+        // complete file with the new complete file.
+        atomic_write(&path, b"second version").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second version");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod crc;
+mod deadline;
 pub mod io;
 mod pattern;
 mod phases;
@@ -45,10 +46,11 @@ mod rng;
 pub mod stats;
 pub mod suite;
 
+pub use crate::deadline::Deadline;
 pub use crate::io::{
-    atomic_write, atomic_write_with, inspect_trace, salvage_trace, v2_chunks, ChunkInfo,
-    DroppedChunk, RawChunk, SalvageReport, TraceFormat, TraceFormatError, TraceInfo, V2ChunkReader,
-    V2_CHUNK_RECORDS,
+    atomic_write, atomic_write_with, inspect_trace, read_varint, salvage_trace, v2_chunks,
+    write_varint, ChunkInfo, DroppedChunk, RawChunk, SalvageReport, TraceFormat, TraceFormatError,
+    TraceInfo, V2ChunkReader, V2_CHUNK_RECORDS,
 };
 pub use crate::pattern::{Pattern, PatternState};
 pub use crate::phases::PhasedProgram;

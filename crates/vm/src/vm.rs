@@ -9,9 +9,9 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use dfcm_trace::{Trace, TraceRecord, TraceSource};
+use dfcm_trace::{Deadline, Trace, TraceRecord, TraceSource};
 
 use crate::asm::{Program, DATA_BASE};
 use crate::isa::{Inst, NUM_REGS};
@@ -220,8 +220,11 @@ pub struct Vm {
     steps: u64,
     error: Option<VmError>,
     limits: VmLimits,
-    /// When the first instruction executed; anchors the deadline.
-    started: Option<Instant>,
+    /// The wall-clock guard, armed (once) when the first instruction
+    /// executes. Shared [`Deadline`] helper: the anchor instant is
+    /// captured exactly once and every poll measures against it — the
+    /// clock is never re-derived mid-run.
+    deadline: Option<Deadline>,
     limit_stop: Option<StopReason>,
 }
 
@@ -285,7 +288,7 @@ impl Vm {
             steps: 0,
             error: None,
             limits,
-            started: None,
+            deadline: None,
             limit_stop: None,
         })
     }
@@ -392,8 +395,10 @@ impl Vm {
             }
         }
         if let Some(deadline) = self.limits.deadline {
-            let started = *self.started.get_or_insert_with(Instant::now);
-            if self.steps & DEADLINE_POLL_MASK == 0 && started.elapsed() > deadline {
+            let guard = *self
+                .deadline
+                .get_or_insert_with(|| Deadline::after(deadline));
+            if self.steps & DEADLINE_POLL_MASK == 0 && guard.expired() {
                 return Err(self.trip_limit(
                     StopReason::DeadlineExceeded { deadline },
                     VmError::DeadlineExceeded { deadline },
