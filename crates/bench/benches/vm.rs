@@ -1,0 +1,215 @@
+//! VM execution-tier benchmark: interpreter vs fast tier.
+//!
+//! Runs every bundled kernel to the same record cap on both tiers,
+//! checks the emitted traces are bit-identical (the fast tier's whole
+//! contract), and emits `BENCH_vm.json` (schema `dfcm-bench-vm/v1`,
+//! validated by `dfcm-tools bench check`) at the repo root so the
+//! speedup can be compared across commits.
+//!
+//! The timed window is execution only (`try_take_trace` on a freshly
+//! built `Vm`): a constructed machine generates traces for an entire
+//! workload, so construction — the fast tier's pre-decode, profiling
+//! and fusion passes — is a per-workload cost, reported separately as
+//! `setup_seconds` per tier rather than folded into the rate. Rates are
+//! instructions/sec (`vm.steps()` / wall time) — both tiers execute
+//! exactly the same instruction count, so the per-kernel `speedup` is
+//! also the wall-time ratio.
+//!
+//! Not a Criterion bench: the in-workspace criterion shim measures
+//! internally but does not expose timings, and this suite must write
+//! its numbers out. `--test` / `--quick` (or `DFCM_BENCH_QUICK=1`)
+//! selects a small-cap smoke mode for CI; `DFCM_BENCH_OUT` overrides
+//! the output path.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dfcm_obs::json::JsonObj;
+use dfcm_trace::Trace;
+use dfcm_vm::{assemble, programs, Program, Tier, TierStats, Vm, VmLimits};
+
+/// One tier's measured run of one kernel.
+struct TierRun {
+    trace: Trace,
+    steps: u64,
+    setup_seconds: f64,
+    seconds: f64,
+    stats: Option<TierStats>,
+}
+
+/// Best-of-`reps` execution wall time (construction timed separately);
+/// the last rep's trace and stats are kept for the equivalence check.
+fn run_tier(program: &Program, tier: Tier, max_records: usize, reps: usize) -> TierRun {
+    let mut best_setup = f64::INFINITY;
+    let mut best = f64::INFINITY;
+    let mut last: Option<TierRun> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut vm = Vm::with_tier(program.clone(), VmLimits::default(), tier)
+            .expect("bundled kernels load");
+        best_setup = best_setup.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let trace = vm
+            .try_take_trace(max_records)
+            .expect("bundled kernels run clean");
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(TierRun {
+            trace,
+            steps: vm.steps(),
+            setup_seconds: 0.0,
+            seconds: 0.0,
+            stats: vm.tier_stats().cloned(),
+        });
+    }
+    let mut run = last.expect("reps >= 1");
+    run.setup_seconds = best_setup;
+    run.seconds = best;
+    run
+}
+
+/// One kernel's interp-vs-fast comparison.
+struct KernelResult {
+    kernel: &'static str,
+    instructions: u64,
+    interp_seconds: f64,
+    fast_seconds: f64,
+    interp_setup_seconds: f64,
+    fast_setup_seconds: f64,
+    fused_fraction: f64,
+    replay_fraction: f64,
+    equivalent: bool,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.interp_seconds / self.fast_seconds
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--test" || a == "--quick")
+        || std::env::var_os("DFCM_BENCH_QUICK").is_some();
+    let mode = if quick { "quick" } else { "full" };
+    let max_records = if quick { 20_000 } else { 200_000 };
+    let reps = if quick { 1 } else { 5 };
+
+    eprintln!(
+        "vm: running {} kernels on both tiers ({mode} mode, {max_records} record cap)...",
+        programs::all().len()
+    );
+
+    let mut results: Vec<KernelResult> = Vec::new();
+    let mut records: u64 = 0;
+    for (kernel, src) in programs::all() {
+        let program = assemble(src).expect("bundled kernels assemble");
+        let interp = run_tier(&program, Tier::Interp, max_records, reps);
+        let fast = run_tier(&program, Tier::Fast, max_records, reps);
+        // Bit-identity is the contract being benchmarked: traces AND
+        // retired-instruction counts must match exactly.
+        let equivalent = interp.trace == fast.trace && interp.steps == fast.steps;
+        let stats = fast.stats.expect("fast tier reports stats");
+        let instructions = fast.steps;
+        records += fast.trace.len() as u64;
+        results.push(KernelResult {
+            kernel,
+            instructions,
+            interp_seconds: interp.seconds,
+            fast_seconds: fast.seconds,
+            interp_setup_seconds: interp.setup_seconds,
+            fast_setup_seconds: fast.setup_seconds,
+            // A fused superinstruction retires two architectural
+            // instructions in one dispatch.
+            fused_fraction: 2.0 * stats.fused_executed as f64 / instructions as f64,
+            replay_fraction: stats.replay_instructions as f64 / instructions as f64,
+            equivalent,
+        });
+    }
+
+    let equivalent = results.iter().all(|r| r.equivalent);
+    let speedups: Vec<f64> = results.iter().map(KernelResult::speedup).collect();
+    let min_speedup = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_speedup = speedups.iter().copied().fold(0.0f64, f64::max);
+    let geomean_speedup =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+
+    println!("VM tier speedup, interp -> fast ({mode} mode):");
+    for r in &results {
+        println!(
+            "  {:<10} {:>10} inst  interp {:>9.4}s  fast {:>9.4}s  {:>6.2}x  \
+             fused {:>4.0}%  replay {:>4.0}%{}",
+            r.kernel,
+            r.instructions,
+            r.interp_seconds,
+            r.fast_seconds,
+            r.speedup(),
+            100.0 * r.fused_fraction,
+            100.0 * r.replay_fraction,
+            if r.equivalent { "" } else { "  TRACE MISMATCH" },
+        );
+    }
+    println!(
+        "  aggregate: min {min_speedup:.2}x  geomean {geomean_speedup:.2}x  max {max_speedup:.2}x"
+    );
+
+    let out_path = std::env::var_os("DFCM_BENCH_OUT").map_or_else(
+        || {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_vm.json")
+        },
+        PathBuf::from,
+    );
+    let kernel_objs: Vec<String> = results
+        .iter()
+        .map(|r| {
+            JsonObj::new()
+                .str("kernel", r.kernel)
+                .u64("instructions", r.instructions)
+                .f64("interp_seconds", r.interp_seconds, 6)
+                .f64("interp_ips", r.instructions as f64 / r.interp_seconds, 1)
+                .f64("fast_seconds", r.fast_seconds, 6)
+                .f64("fast_ips", r.instructions as f64 / r.fast_seconds, 1)
+                .f64("speedup", r.speedup(), 3)
+                .f64("interp_setup_seconds", r.interp_setup_seconds, 6)
+                .f64("fast_setup_seconds", r.fast_setup_seconds, 6)
+                .f64("fused_fraction", r.fused_fraction, 4)
+                .f64("replay_fraction", r.replay_fraction, 4)
+                .finish()
+        })
+        .collect();
+    let machine = JsonObj::new()
+        .str("os", std::env::consts::OS)
+        .str("arch", std::env::consts::ARCH)
+        .u64(
+            "threads",
+            std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        )
+        .finish();
+    let aggregate = JsonObj::new()
+        .u64("kernels", results.len() as u64)
+        .f64("min_speedup", min_speedup, 3)
+        .f64("geomean_speedup", geomean_speedup, 3)
+        .f64("max_speedup", max_speedup, 3)
+        .finish();
+    let doc = JsonObj::new()
+        .str("schema", "dfcm-bench-vm/v1")
+        .str("mode", mode)
+        .u64("records", records)
+        .raw("machine", &machine)
+        .raw("equivalent", if equivalent { "true" } else { "false" })
+        .raw("kernels", &format!("[{}]", kernel_objs.join(",")))
+        .raw("aggregate", &aggregate)
+        .finish();
+    match dfcm_trace::atomic_write(&out_path, format!("{doc}\n").as_bytes()) {
+        Ok(()) => println!("wrote {}", out_path.display()),
+        Err(e) => {
+            eprintln!("error writing {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+    if !equivalent {
+        eprintln!("error: tiers diverged — the artifact records the failure");
+        std::process::exit(1);
+    }
+}

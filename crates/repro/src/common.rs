@@ -40,6 +40,10 @@ pub struct Options {
     /// Directory the observability exports are written to at the end of
     /// the run (`--obs DIR`).
     pub obs_dir: Option<PathBuf>,
+    /// VM execution tier for kernel workloads (`--vm-tier fast|interp`).
+    /// The tiers are bit-identical, so this never changes results —
+    /// `interp` exists as the always-correct baseline and escape hatch.
+    pub vm_tier: dfcm_vm::Tier,
 }
 
 impl Default for Options {
@@ -57,6 +61,7 @@ impl Default for Options {
             strict: false,
             obs: dfcm_obs::Obs::disabled(),
             obs_dir: None,
+            vm_tier: dfcm_vm::Tier::Fast,
         }
     }
 }

@@ -9,9 +9,9 @@
 //! loses.
 
 use dfcm::{DfcmPredictor, FcmPredictor, StridePredictor};
+use dfcm_sim::kernel_traces_observed;
 use dfcm_sim::report::{fmt_accuracy, TextTable};
 use dfcm_sim::run_suite;
-use dfcm_vm::suite::kernel_traces;
 
 use crate::common::{banner, Options};
 
@@ -19,10 +19,13 @@ use crate::common::{banner, Options};
 pub fn run(opts: &Options) {
     banner(
         "Extension: FCM vs DFCM on real programs (VM kernels, 2^12/2^12)",
-        "Genuine program traces from the interpreter, uncalibrated.",
+        "Genuine program traces from the VM, uncalibrated.",
     );
     let max_records = ((opts.scale * 10_000_000.0) as usize).clamp(20_000, 2_000_000);
-    let traces = kernel_traces(max_records);
+    // The tier never affects the traces (differentially verified
+    // bit-identical); with `--obs` the fast tier's fusion/replay
+    // mechanics land in the export as `vm_*` metrics.
+    let traces = kernel_traces_observed(max_records, opts.vm_tier, &opts.obs);
 
     let stride = run_suite(|| StridePredictor::new(12), &traces);
     let fcm = run_suite(

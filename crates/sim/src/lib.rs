@@ -25,6 +25,8 @@
 //!   predictors (the §4.2 extension).
 //! * [`speculation`] — a first-order cycles-saved model for issued
 //!   predictions.
+//! * [`kernel_traces_observed`] — instrumented VM trace generation:
+//!   per-kernel spans plus the fast tier's `vm_*` fusion/replay metrics.
 //! * [`report`] — ASCII tables and CSV output for the repro binaries.
 //! * [`chart`] — terminal scatter and bar charts for figure rendering.
 //!
@@ -60,6 +62,7 @@ pub mod stream;
 mod suite;
 mod sweep;
 mod timeline;
+mod vm_tasks;
 
 pub use crate::confidence::{simulate_confidence, ConfidenceStats};
 pub use crate::engine::{
@@ -77,3 +80,4 @@ pub use crate::stream::{
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};
 pub use crate::sweep::{sweep, sweep_parallel, SweepPoint};
 pub use crate::timeline::simulate_timeline;
+pub use crate::vm_tasks::{kernel_traces_observed, record_tier_stats};

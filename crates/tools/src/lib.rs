@@ -43,7 +43,7 @@ use dfcm_sim::{
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
 use dfcm_trace::{inspect_trace, salvage_trace, Trace, TraceFormat, TraceSource};
-use dfcm_vm::{assemble, disassemble, programs, Vm, VmLimits};
+use dfcm_vm::{assemble, classify_pair, disassemble, programs, Tier, Vm, VmLimits};
 
 /// Errors surfaced to the command line.
 #[derive(Debug)]
@@ -74,7 +74,24 @@ pub fn generate(
     out: &Path,
     seed: u64,
 ) -> Result<String, ToolError> {
-    let trace = trace_for(workload, records, seed)?;
+    generate_tiered(workload, records, out, seed, Tier::Fast)
+}
+
+/// [`generate`] with an explicit VM execution tier (`--vm-tier`). The
+/// tiers are differentially verified bit-identical, so this only changes
+/// wall-clock for kernel workloads; synthetic benchmarks ignore it.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown workloads or I/O failures.
+pub fn generate_tiered(
+    workload: &str,
+    records: usize,
+    out: &Path,
+    seed: u64,
+    tier: Tier,
+) -> Result<String, ToolError> {
+    let trace = trace_for_tiered(workload, records, seed, tier)?;
     trace
         .save_with(out, TraceFormat::V2 { seed })
         .map_err(|e| err(format!("writing {}: {e}", out.display())))?;
@@ -92,6 +109,21 @@ pub fn generate(
 /// Returns [`ToolError`] if the name matches neither a synthetic
 /// benchmark nor a bundled kernel.
 pub fn trace_for(workload: &str, records: usize, seed: u64) -> Result<Trace, ToolError> {
+    trace_for_tiered(workload, records, seed, Tier::Fast)
+}
+
+/// [`trace_for`] with an explicit VM execution tier for kernel workloads.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] if the name matches neither a synthetic
+/// benchmark nor a bundled kernel.
+pub fn trace_for_tiered(
+    workload: &str,
+    records: usize,
+    seed: u64,
+    tier: Tier,
+) -> Result<Trace, ToolError> {
     if let Some(spec) = standard_suite().into_iter().find(|b| b.name() == workload) {
         return Ok(spec.program(seed).take_trace(records));
     }
@@ -109,7 +141,7 @@ pub fn trace_for(workload: &str, records: usize, seed: u64) -> Result<Trace, Too
             ..VmLimits::default()
         };
         let mut vm =
-            Vm::with_limits(program, limits).map_err(|e| err(format!("{workload}: {e}")))?;
+            Vm::with_tier(program, limits, tier).map_err(|e| err(format!("{workload}: {e}")))?;
         return vm
             .try_take_trace(records)
             .map_err(|e| err(format!("{workload} faulted: {e}")));
@@ -520,6 +552,7 @@ pub fn bench_check(path: &Path) -> Result<String, ToolError> {
     let summary = match doc.get("schema").and_then(|v| v.as_str()) {
         Some("dfcm-bench-throughput/v1") => check_bench_throughput(&doc, &mut problems),
         Some("dfcm-bench-serve/v1") => check_bench_serve(&doc, &mut problems),
+        Some("dfcm-bench-vm/v1") => check_bench_vm(&doc, &mut problems),
         Some(other) => {
             problems.push(format!("unknown schema `{other}`"));
             String::new()
@@ -731,6 +764,144 @@ fn check_bench_serve(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> 
         field("acked").unwrap_or(0),
         field("requests").unwrap_or(0)
     )
+}
+
+/// The `dfcm-bench-vm/v1` validator (see [`bench_check`]): the VM-tier
+/// benchmark artifact written by `cargo bench --bench vm`. Unknown
+/// fields are ignored, like the other validators; missing kernels and
+/// non-positive rates are rejected.
+fn check_bench_vm(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> String {
+    let mut problem = |p: String| problems.push(p);
+    match doc.get("mode").and_then(|v| v.as_str()) {
+        Some("quick") | Some("full") => {}
+        Some(other) => problem(format!("`mode` must be quick|full, got `{other}`")),
+        None => problem("missing string field `mode`".into()),
+    }
+    if doc
+        .get("records")
+        .and_then(|v| v.as_u64())
+        .is_none_or(|n| n == 0)
+    {
+        problem("`records` must be a positive integer".into());
+    }
+    match doc.get("machine") {
+        Some(machine) => {
+            for key in ["os", "arch"] {
+                if machine.get(key).and_then(|v| v.as_str()).is_none() {
+                    problem(format!("`machine.{key}` must be a string"));
+                }
+            }
+            if machine
+                .get("threads")
+                .and_then(|v| v.as_u64())
+                .is_none_or(|n| n == 0)
+            {
+                problem("`machine.threads` must be a positive integer".into());
+            }
+        }
+        None => problem("missing object field `machine`".into()),
+    }
+    // The whole point of the fast tier is that it is bit-identical; an
+    // artifact that measured divergent tiers is invalid, not just slow.
+    match doc.get("equivalent") {
+        Some(dfcm_obs::json::Json::Bool(true)) => {}
+        Some(dfcm_obs::json::Json::Bool(false)) => {
+            problem("`equivalent` is false: the tiers emitted different traces".into());
+        }
+        _ => problem("missing boolean field `equivalent`".into()),
+    }
+
+    let mut seen: Vec<String> = Vec::new();
+    match doc.get("kernels").and_then(|v| v.as_arr()) {
+        Some([]) => problem("`kernels` must be non-empty".into()),
+        Some(entries) => {
+            for (i, entry) in entries.iter().enumerate() {
+                match entry.get("kernel").and_then(|v| v.as_str()) {
+                    Some(name) => seen.push(name.to_owned()),
+                    None => problem(format!("kernels[{i}].kernel must be a string")),
+                }
+                if entry
+                    .get("instructions")
+                    .and_then(|v| v.as_u64())
+                    .is_none_or(|n| n == 0)
+                {
+                    problem(format!(
+                        "kernels[{i}].instructions must be a positive integer"
+                    ));
+                }
+                let rate = |key: &str| entry.get(key).and_then(|v| v.as_f64());
+                for key in [
+                    "interp_seconds",
+                    "interp_ips",
+                    "fast_seconds",
+                    "fast_ips",
+                    "speedup",
+                ] {
+                    if !rate(key).is_some_and(|x| x.is_finite() && x > 0.0) {
+                        problem(format!("kernels[{i}].{key} must be finite and positive"));
+                    }
+                }
+                if let (Some(interp), Some(fast), Some(speedup)) = (
+                    rate("interp_seconds"),
+                    rate("fast_seconds"),
+                    rate("speedup"),
+                ) {
+                    if interp > 0.0 && fast > 0.0 && speedup > 0.0 {
+                        let expected = interp / fast;
+                        if (speedup - expected).abs() > 0.05 * expected {
+                            problem(format!(
+                                "kernels[{i}].speedup {speedup} inconsistent with \
+                                 {interp}/{fast} = {expected:.3}"
+                            ));
+                        }
+                    }
+                }
+                for key in ["fused_fraction", "replay_fraction"] {
+                    if !rate(key).is_some_and(|x| (0.0..=1.0).contains(&x)) {
+                        problem(format!("kernels[{i}].{key} must be within [0, 1]"));
+                    }
+                }
+            }
+        }
+        None => problem("missing array field `kernels`".into()),
+    }
+    for (name, _) in programs::all() {
+        if !seen.iter().any(|k| k == name) {
+            problem(format!("bundled kernel `{name}` missing from `kernels`"));
+        }
+    }
+
+    match doc.get("aggregate") {
+        Some(agg) => {
+            if agg
+                .get("kernels")
+                .and_then(|v| v.as_u64())
+                .is_none_or(|n| n as usize != seen.len())
+            {
+                problem(format!(
+                    "`aggregate.kernels` must equal the kernel entry count ({})",
+                    seen.len()
+                ));
+            }
+            let field = |key: &str| agg.get(key).and_then(|v| v.as_f64());
+            match (
+                field("min_speedup"),
+                field("geomean_speedup"),
+                field("max_speedup"),
+            ) {
+                (Some(min), Some(geo), Some(max))
+                    if min > 0.0 && geo > 0.0 && max > 0.0 && min <= geo && geo <= max => {}
+                _ => problem(
+                    "aggregate needs positive, ordered min_speedup <= \
+                     geomean_speedup <= max_speedup"
+                        .into(),
+                ),
+            }
+        }
+        None => problem("missing object field `aggregate`".into()),
+    }
+
+    format!("dfcm-bench-vm/v1, {} kernel(s)", seen.len())
 }
 
 /// Options for the `serve` subcommand.
@@ -965,6 +1136,61 @@ pub fn profile(kernel: &str, max_steps: u64) -> Result<String, ToolError> {
     Ok(out)
 }
 
+/// `vm profile <kernel> [max_steps]` — the fast-tier planning view of a
+/// kernel: the per-opcode execution histogram and the hot adjacent-pair
+/// histogram from the profiling pass, with each pair classified against
+/// the superinstruction patterns ([`classify_pair`]). This is the data
+/// the fast tier's fusion selection runs on — the report shows *why* the
+/// fusion set is what it is.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown kernels or faulting runs.
+pub fn vm_profile(kernel: &str, max_steps: u64) -> Result<String, ToolError> {
+    let src = programs::by_name(kernel).ok_or_else(|| err(format!("unknown kernel `{kernel}`")))?;
+    let mut vm = Vm::new(assemble(src).map_err(|e| err(format!("{kernel}: {e}")))?);
+    let profile = dfcm_vm::profile::run_profiled(&mut vm, max_steps)
+        .map_err(|e| err(format!("{kernel}: {e}")))?;
+
+    let mut out = format!("{kernel}: {} instruction(s) profiled\n", profile.total);
+    let _ = writeln!(out, "\n  per-opcode histogram:");
+    for (mnemonic, count) in profile.mnemonic_counts() {
+        let _ = writeln!(
+            out,
+            "    {mnemonic:<6} {count:>10}x  {:5.1}%",
+            100.0 * count as f64 / profile.total.max(1) as f64
+        );
+    }
+
+    let _ = writeln!(out, "\n  hot adjacent pairs (fusion candidates marked):");
+    let mut fusible_dynamic = 0u64;
+    for ((a, b), count) in profile.hot_pairs(10) {
+        let (Some(fst), Some(snd)) = (vm.inst_at(a), vm.inst_at(b)) else {
+            continue;
+        };
+        let kind = classify_pair(fst, snd);
+        if kind.is_some() {
+            fusible_dynamic += count;
+        }
+        let _ = writeln!(
+            out,
+            "    {:#08x}  {count:>10}x  {} ; {}{}",
+            dfcm_vm::profile::pc_of_index(a),
+            dfcm_vm::render_inst(&fst),
+            dfcm_vm::render_inst(&snd),
+            kind.map(|k| format!("  [{}]", k.label()))
+                .unwrap_or_default()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n  {:.1}% of profiled instructions sit in a top-10 pair matching a \
+         superinstruction pattern",
+        100.0 * (2 * fusible_dynamic) as f64 / profile.total.max(1) as f64
+    );
+    Ok(out)
+}
+
 /// `kernels` — the bundled kernel names.
 pub fn kernels() -> String {
     programs::all()
@@ -1188,6 +1414,107 @@ mod tests {
             "failed",
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn vm_bench_doc() -> String {
+        let kernels: Vec<String> = dfcm_vm::programs::all()
+            .into_iter()
+            .map(|(name, _)| {
+                format!(
+                    r#"{{"kernel":"{name}","instructions":500000,
+                        "interp_seconds":0.8,"interp_ips":625000.0,
+                        "fast_seconds":0.05,"fast_ips":10000000.0,"speedup":16.0,
+                        "fused_fraction":0.4,"replay_fraction":0.9}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"schema":"dfcm-bench-vm/v1","mode":"quick","records":500000,
+               "machine":{{"os":"linux","arch":"x86_64","threads":8}},
+               "equivalent":true,
+               "kernels":[{}],
+               "aggregate":{{"kernels":{},"min_speedup":16.0,"geomean_speedup":16.0,"max_speedup":16.0}}}}"#,
+            kernels.join(","),
+            dfcm_vm::programs::all().len()
+        )
+    }
+
+    #[test]
+    fn bench_check_accepts_valid_vm_artifact() {
+        let path = std::env::temp_dir().join("dfcm_tools_bench_vm_ok.json");
+        // Unknown fields must be ignored, like the other validators.
+        let doc = vm_bench_doc().replace(
+            r#""mode":"quick""#,
+            r#""mode":"quick","future_field":{"nested":1}"#,
+        );
+        std::fs::write(&path, doc).unwrap();
+        let out = bench_check(&path).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("dfcm-bench-vm/v1"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_check_rejects_vm_schema_violations() {
+        let dir = std::env::temp_dir().join("dfcm_tools_bench_vm_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let reject = |name: &str, doc: String, needle: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, doc).unwrap();
+            let msg = bench_check(&path).unwrap_err().to_string();
+            assert!(msg.contains(needle), "{name}: {msg}");
+        };
+        // A bundled kernel dropped from the artifact.
+        reject(
+            "missing_kernel.json",
+            vm_bench_doc().replace(r#""kernel":"sieve""#, r#""kernel":"sievex""#),
+            "`sieve` missing",
+        );
+        // Non-equivalent tiers invalidate the whole measurement.
+        reject(
+            "divergent.json",
+            vm_bench_doc().replace(r#""equivalent":true"#, r#""equivalent":false"#),
+            "different traces",
+        );
+        // Rates must be positive.
+        reject(
+            "rate.json",
+            vm_bench_doc().replace(r#""fast_ips":10000000.0"#, r#""fast_ips":0.0"#),
+            "fast_ips",
+        );
+        // Speedup must match the measured seconds.
+        reject(
+            "speedup.json",
+            vm_bench_doc().replace(r#""speedup":16.0"#, r#""speedup":2.0"#),
+            "inconsistent",
+        );
+        // Fractions live in [0, 1].
+        reject(
+            "fraction.json",
+            vm_bench_doc().replace(r#""replay_fraction":0.9"#, r#""replay_fraction":1.5"#),
+            "replay_fraction",
+        );
+        // Aggregate speedups must be ordered.
+        reject(
+            "aggregate.json",
+            vm_bench_doc().replace(r#""min_speedup":16.0"#, r#""min_speedup":99.0"#),
+            "ordered",
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vm_profile_reports_opcode_and_pair_histograms() {
+        let out = vm_profile("sieve", 200_000).unwrap();
+        assert!(out.contains("instruction(s) profiled"), "{out}");
+        // Loop-dominated kernels must surface at least one fusible pair.
+        assert!(
+            out.contains("compare+branch") || out.contains("load+"),
+            "{out}"
+        );
+        assert!(out.contains("superinstruction pattern"), "{out}");
+        assert!(vm_profile("nope", 1_000).is_err());
     }
 
     #[test]

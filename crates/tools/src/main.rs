@@ -6,7 +6,10 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
-  dfcm-tools gen <workload> <records> <out.trc> [--seed N]
+  dfcm-tools gen <workload> <records> <out.trc> [--seed N] [--vm-tier fast|interp]
+             (--vm-tier picks the VM execution tier for kernel workloads;
+              the tiers are bit-identical — fast, the default, is just
+              faster)
   dfcm-tools stats <trace.trc>
   dfcm-tools eval <trace.trc> <predictor>... [--streaming] [--threads N] [--progress]
              [--metrics FILE] [--obs DIR] [--retries N]
@@ -33,8 +36,8 @@ usage:
               malformed or inconsistent export)
   dfcm-tools bench check <BENCH_file.json>
              (validates a benchmark artifact against its declared schema —
-              dfcm-bench-throughput/v1 or dfcm-bench-serve/v1; exits
-              nonzero on any violation)
+              dfcm-bench-throughput/v1, dfcm-bench-serve/v1 or
+              dfcm-bench-vm/v1; exits nonzero on any violation)
   dfcm-tools serve <addr> <predictor> [--snapshot FILE] [--max-sessions N]
              [--workers N] [--queue N] [--deadline-ms N] [--idle-ms N]
              (runs the prediction daemon until SIGTERM/SIGINT, then drains
@@ -55,6 +58,11 @@ usage:
               the latency histogram as JSONL)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
+  dfcm-tools vm profile <kernel> [max_steps]
+             (fast-tier planning view: per-opcode histogram plus the hot
+              adjacent-pair histogram with superinstruction-fusion
+              classification — the data the fast tier's fusion selection
+              runs on)
   dfcm-tools kernels
   dfcm-tools benchmarks";
 
@@ -67,6 +75,7 @@ fn run() -> Result<String, String> {
         "gen" => {
             let mut rest = rest.to_vec();
             let mut seed = 12345u64;
+            let mut tier = dfcm_vm::Tier::Fast;
             if let Some(pos) = rest.iter().position(|a| a == "--seed") {
                 let value = rest
                     .get(pos + 1)
@@ -76,11 +85,19 @@ fn run() -> Result<String, String> {
                 seed = value;
                 rest.drain(pos..=pos + 1);
             }
+            if let Some(pos) = rest.iter().position(|a| a == "--vm-tier") {
+                tier = rest
+                    .get(pos + 1)
+                    .ok_or("--vm-tier needs a value")?
+                    .parse()
+                    .map_err(|e: String| e)?;
+                rest.drain(pos..=pos + 1);
+            }
             let [workload, records, out] = rest.as_slice() else {
                 return Err(USAGE.to_owned());
             };
             let records: usize = records.parse().map_err(|_| "bad record count".to_owned())?;
-            dfcm_tools::generate(workload, records, &PathBuf::from(out), seed)
+            dfcm_tools::generate_tiered(workload, records, &PathBuf::from(out), seed, tier)
                 .map_err(|e| e.to_string())
         }
         "stats" => {
@@ -308,6 +325,17 @@ fn run() -> Result<String, String> {
                 _ => return Err(USAGE.to_owned()),
             };
             dfcm_tools::profile(kernel, max_steps).map_err(|e| e.to_string())
+        }
+        "vm" => {
+            let (kernel, max_steps) = match rest {
+                [sub, kernel] if sub == "profile" => (kernel, 1_000_000),
+                [sub, kernel, steps] if sub == "profile" => (
+                    kernel,
+                    steps.parse().map_err(|_| "bad step count".to_owned())?,
+                ),
+                _ => return Err(USAGE.to_owned()),
+            };
+            dfcm_tools::vm_profile(kernel, max_steps).map_err(|e| e.to_string())
         }
         "kernels" => Ok(dfcm_tools::kernels()),
         "benchmarks" => Ok(dfcm_tools::benchmarks()),

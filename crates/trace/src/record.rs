@@ -22,6 +22,7 @@ pub struct TraceRecord {
 
 impl TraceRecord {
     /// Convenience constructor.
+    #[inline]
     pub fn new(pc: u64, value: u64) -> Self {
         TraceRecord { pc, value }
     }
@@ -98,11 +99,13 @@ impl Trace {
     }
 
     /// Appends a record.
+    #[inline]
     pub fn push(&mut self, record: TraceRecord) {
         self.records.push(record);
     }
 
     /// Number of records.
+    #[inline]
     pub fn len(&self) -> usize {
         self.records.len()
     }

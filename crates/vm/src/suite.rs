@@ -10,23 +10,35 @@
 use dfcm_trace::BenchmarkTrace;
 
 use crate::asm::assemble;
+use crate::fast::Tier;
 use crate::programs;
-use crate::vm::Vm;
+use crate::vm::{Vm, VmLimits};
 
 /// Generates traces for every bundled kernel, each capped at
 /// `max_records` records (kernels that halt earlier contribute their full
-/// run).
+/// run). Runs on [`Tier::Fast`]; the tiers are differentially verified to
+/// be bit-identical, so callers see the exact interpreter trace, faster.
 ///
 /// # Panics
 ///
 /// Panics if a bundled kernel fails to assemble or faults — both indicate
 /// a broken build, not a caller error.
 pub fn kernel_traces(max_records: usize) -> Vec<BenchmarkTrace> {
+    kernel_traces_with(max_records, Tier::Fast)
+}
+
+/// As [`kernel_traces`] with an explicit execution tier.
+///
+/// # Panics
+///
+/// Panics if a bundled kernel fails to assemble or faults.
+pub fn kernel_traces_with(max_records: usize, tier: Tier) -> Vec<BenchmarkTrace> {
     programs::all()
         .into_iter()
         .map(|(name, src)| {
             let program = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let mut vm = Vm::new(program);
+            let mut vm = Vm::with_tier(program, VmLimits::default(), tier)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             let trace = vm
                 .try_take_trace(max_records)
                 .unwrap_or_else(|e| panic!("{name} faulted: {e}"));
@@ -35,11 +47,17 @@ pub fn kernel_traces(max_records: usize) -> Vec<BenchmarkTrace> {
         .collect()
 }
 
-/// Generates a trace for one bundled kernel by name.
+/// Generates a trace for one bundled kernel by name (on [`Tier::Fast`]).
 pub fn kernel_trace(name: &str, max_records: usize) -> Option<BenchmarkTrace> {
+    kernel_trace_with(name, max_records, Tier::Fast)
+}
+
+/// As [`kernel_trace`] with an explicit execution tier.
+pub fn kernel_trace_with(name: &str, max_records: usize, tier: Tier) -> Option<BenchmarkTrace> {
     let src = programs::by_name(name)?;
     let program = assemble(src).expect("bundled kernel assembles");
-    let mut vm = Vm::new(program);
+    let mut vm =
+        Vm::with_tier(program, VmLimits::default(), tier).unwrap_or_else(|e| panic!("{name}: {e}"));
     let registered = programs::all().iter().find(|&&(n, _)| n == name)?.0;
     Some(BenchmarkTrace {
         name: registered,
@@ -74,6 +92,14 @@ mod tests {
     #[test]
     fn traces_are_deterministic() {
         assert_eq!(kernel_traces(3_000), kernel_traces(3_000));
+    }
+
+    #[test]
+    fn fast_tier_matches_interpreter_on_suite() {
+        assert_eq!(
+            kernel_traces_with(2_000, Tier::Fast),
+            kernel_traces_with(2_000, Tier::Interp)
+        );
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Differential verification of the fast execution tier.
+//!
+//! The contract: [`Tier::Fast`] and [`Tier::Interp`] are the *same
+//! machine*. Over the whole kernel suite and under proptest-generated
+//! programs, both tiers must emit bit-identical value traces, stop for
+//! identical [`StopReason`]s/[`VmError`]s with identical step counts, and
+//! leave identical architectural state — including every `VmLimits` edge
+//! case: budgets landing mid-replay or between the components of a fused
+//! pair, deadlines expiring during trace recording, and record caps
+//! splitting superinstructions.
+
+use std::time::Duration;
+
+use dfcm_trace::TraceSource;
+use dfcm_vm::{assemble, programs, suite, Tier, TierConfig, Vm, VmError, VmLimits};
+use proptest::prelude::*;
+
+/// An aggressive tier configuration: static fusion (every matching pair),
+/// near-immediate loop recording, small bodies. Maximizes fused/replay
+/// coverage so the differential tests actually exercise those paths.
+fn aggressive() -> TierConfig {
+    TierConfig {
+        profile_steps: 0,
+        fusion_min_count: 1,
+        hot_threshold: 2,
+        max_trace_len: 256,
+        fusion: true,
+        replay: true,
+    }
+}
+
+/// Builds the two machines for one source under the same limits.
+fn pair(src: &str, limits: VmLimits, config: TierConfig) -> (Vm, Vm) {
+    let interp = Vm::with_limits(assemble(src).expect("assembles"), limits).expect("loads");
+    let fast = Vm::with_tier_config(
+        assemble(src).expect("assembles"),
+        limits,
+        Tier::Fast,
+        config,
+    )
+    .expect("loads");
+    (interp, fast)
+}
+
+/// Asserts complete architectural equality of two machines.
+fn assert_same_state(interp: &Vm, fast: &Vm, context: &str) {
+    assert_eq!(interp.steps(), fast.steps(), "{context}: steps");
+    assert_eq!(interp.halted(), fast.halted(), "{context}: halted");
+    assert_eq!(interp.pc_index(), fast.pc_index(), "{context}: pc");
+    assert_eq!(interp.error(), fast.error(), "{context}: error");
+    assert_eq!(
+        interp.limit_stop(),
+        fast.limit_stop(),
+        "{context}: limit_stop"
+    );
+    for r in 0..32 {
+        assert_eq!(interp.reg(r), fast.reg(r), "{context}: r{r}");
+    }
+}
+
+#[test]
+fn kernel_suite_traces_bit_identical() {
+    // The acceptance-criterion check: every bundled kernel, default
+    // fast-tier configuration, bit-identical value traces.
+    let interp = suite::kernel_traces_with(25_000, Tier::Interp);
+    let fast = suite::kernel_traces_with(25_000, Tier::Fast);
+    assert_eq!(interp.len(), fast.len());
+    for (i, f) in interp.iter().zip(&fast) {
+        assert_eq!(i.name, f.name);
+        assert_eq!(i.trace, f.trace, "kernel {} diverged", i.name);
+    }
+}
+
+#[test]
+fn kernel_suite_stop_reasons_and_state_match_across_run_windows() {
+    // Chunked `run` calls (odd window sizes force stops at arbitrary
+    // points, including mid-replay) must agree step-for-step.
+    for (name, src) in programs::all() {
+        let (mut interp, mut fast) = pair(src, VmLimits::default(), aggressive());
+        for window in 0..40 {
+            let max_steps = 7_001 + 13 * window;
+            let a = interp.run(max_steps).expect("kernels do not fault");
+            let b = fast.run(max_steps).expect("kernels do not fault");
+            assert_eq!(a.trace, b.trace, "{name} window {window}: trace");
+            assert_eq!(a.steps, b.steps, "{name} window {window}: steps");
+            assert_eq!(a.halted, b.halted, "{name} window {window}: halted");
+            assert_eq!(
+                a.stop_reason(),
+                b.stop_reason(),
+                "{name} window {window}: stop reason"
+            );
+            assert_same_state(&interp, &fast, &format!("{name} window {window}"));
+            if a.halted {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_actually_engages_on_loop_kernels() {
+    // Guard against the differential tests silently comparing two
+    // interpreters: the fast tier must fuse and replay on loop kernels.
+    let program = assemble(programs::by_name("matmul").unwrap()).unwrap();
+    let mut vm =
+        Vm::with_tier_config(program, VmLimits::default(), Tier::Fast, aggressive()).unwrap();
+    vm.try_take_trace(25_000).unwrap();
+    let stats = vm.tier_stats().copied().unwrap();
+    assert!(stats.fusion_sites > 0, "no fusion sites: {stats:?}");
+    assert!(stats.fused_executed > 0, "fusion never executed: {stats:?}");
+    assert!(stats.traces_recorded > 0, "no loop recorded: {stats:?}");
+    assert!(
+        stats.replay_iterations > 100,
+        "replay never engaged: {stats:?}"
+    );
+    assert!(stats.replay_instructions > 0 && stats.instructions >= stats.replay_instructions);
+}
+
+#[test]
+fn instruction_budget_trips_identically_including_mid_replay() {
+    // A dense budget sweep over a loop-heavy kernel: every budget value
+    // must trip on exactly the same instruction in both tiers — budgets
+    // landing mid-replay, mid-recording, and between the components of a
+    // fused pair included. 4095..4097 straddle the deadline poll mask.
+    let src = programs::by_name("sieve").unwrap();
+    let budgets = [
+        1u64, 2, 3, 17, 100, 101, 1_000, 4_095, 4_096, 4_097, 10_000, 20_011, 50_000,
+    ];
+    for &budget in &budgets {
+        let limits = VmLimits {
+            max_instructions: Some(budget),
+            ..VmLimits::default()
+        };
+        let (mut interp, mut fast) = pair(src, limits, aggressive());
+        let a = interp.try_take_trace(1_000_000);
+        let b = fast.try_take_trace(1_000_000);
+        assert_eq!(a, b, "budget {budget}: result");
+        assert_eq!(
+            a.unwrap_err(),
+            VmError::InstructionBudgetExhausted { budget },
+            "budget {budget}: error"
+        );
+        assert_same_state(&interp, &fast, &format!("budget {budget}"));
+        assert_eq!(fast.steps(), budget, "budget {budget}: charged exactly");
+    }
+    // Prove the sweep crossed active replay at the larger budgets.
+    let limits = VmLimits {
+        max_instructions: Some(50_000),
+        ..VmLimits::default()
+    };
+    let program = assemble(src).unwrap();
+    let mut vm = Vm::with_tier_config(program, limits, Tier::Fast, aggressive()).unwrap();
+    let _ = vm.try_take_trace(1_000_000);
+    assert!(vm.tier_stats().unwrap().replay_iterations > 0);
+}
+
+#[test]
+fn record_caps_split_fused_pairs_identically() {
+    // lw+add and add+sw pairs fuse under static selection; record caps
+    // that land between the two components must stop the fast tier at
+    // exactly the interpreter's boundary, then resume cleanly.
+    let src = ".data
+                v: .word 5, 6, 7, 8
+                .text
+                main: la r1, v
+                      li r2, 0
+                loop: lw r3, 0(r1)
+                      add r2, r2, r3
+                      addi r1, r1, 1
+                      slti r4, r1, 1028
+                      bne r4, r0, loop
+                      halt";
+    for cap in 1..=12 {
+        let (mut interp, mut fast) = pair(src, VmLimits::default(), aggressive());
+        loop {
+            let a = interp.try_take_trace(cap).expect("no fault");
+            let b = fast.try_take_trace(cap).expect("no fault");
+            assert_eq!(a, b, "cap {cap}");
+            assert_same_state(&interp, &fast, &format!("cap {cap}"));
+            if interp.halted() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_next_record_matches_interpreter() {
+    let src = programs::by_name("fib").unwrap();
+    let (mut interp, mut fast) = pair(src, VmLimits::default(), aggressive());
+    // Record-at-a-time streaming (the TraceSource path) must agree with
+    // the interpreter even though it repeatedly re-enters the fast tier.
+    loop {
+        let a = interp.next_record();
+        let b = fast.next_record();
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_same_state(&interp, &fast, "streamed to completion");
+}
+
+#[test]
+fn zero_deadline_trips_both_tiers_at_step_zero() {
+    let limits = VmLimits {
+        deadline: Some(Duration::ZERO),
+        ..VmLimits::default()
+    };
+    let (mut interp, mut fast) = pair(".text\nmain: j main", limits, aggressive());
+    let a = interp.run(u64::MAX).unwrap_err();
+    let b = fast.run(u64::MAX).unwrap_err();
+    assert_eq!(a, b);
+    assert_eq!(
+        b,
+        VmError::DeadlineExceeded {
+            deadline: Duration::ZERO
+        }
+    );
+    assert_same_state(&interp, &fast, "zero deadline");
+    assert_eq!(fast.steps(), 0);
+}
+
+#[test]
+fn generous_deadline_is_invisible() {
+    let limits = VmLimits {
+        deadline: Some(Duration::from_secs(60)),
+        ..VmLimits::default()
+    };
+    let src = programs::by_name("fib").unwrap();
+    let (mut interp, mut fast) = pair(src, limits, aggressive());
+    let a = interp.run(10_000_000).unwrap();
+    let b = fast.run(10_000_000).unwrap();
+    assert_eq!(a, b);
+    assert!(b.halted);
+    assert_same_state(&interp, &fast, "generous deadline");
+}
+
+#[test]
+fn short_deadline_stops_replay_on_a_poll_boundary() {
+    // Deadline expiring *during* recording/replay: wall-clock trip points
+    // are inherently time-dependent, so the two tiers cannot be compared
+    // step-for-step — instead both must uphold the interpreter's
+    // invariant: the trip lands exactly on a poll boundary and is charged
+    // no further instructions.
+    let limits = VmLimits {
+        deadline: Some(Duration::from_millis(20)),
+        ..VmLimits::default()
+    };
+    let src = ".text
+               main: li r1, 0
+               loop: addi r1, r1, 1
+                     slti r2, r1, 2000000000
+                     bne r2, r0, loop
+                     halt";
+    let program = assemble(src).unwrap();
+    let mut vm = Vm::with_tier_config(program, limits, Tier::Fast, aggressive()).unwrap();
+    let e = vm.run(u64::MAX).unwrap_err();
+    assert_eq!(
+        e,
+        VmError::DeadlineExceeded {
+            deadline: Duration::from_millis(20)
+        }
+    );
+    assert!(vm.halted());
+    assert_eq!(vm.steps() & 0xFFF, 0, "trip must land on a poll boundary");
+    let stats = vm.tier_stats().unwrap();
+    assert!(
+        stats.replay_iterations > 0,
+        "deadline should have expired under replay: {stats:?}"
+    );
+}
+
+#[test]
+fn jump_into_the_middle_of_a_fused_pair_is_exact() {
+    // `jr` targets the second slot of a fused slti+bne pair: the fast
+    // tier must execute the standalone branch there, not the fused op.
+    let src = ".text
+               main: li r5, 4
+                     li r1, 0
+                     jr r5
+               skip: slti r2, r1, 10
+                     bne r2, r0, cont
+               cont: addi r1, r1, 1
+                     slti r2, r1, 10
+                     bne r2, r0, mid
+                     halt
+               mid:  j cont";
+    let (mut interp, mut fast) = pair(src, VmLimits::default(), aggressive());
+    let a = interp.run(1_000_000).unwrap();
+    let b = fast.run(1_000_000).unwrap();
+    assert_eq!(a, b);
+    assert_same_state(&interp, &fast, "jr into pair");
+}
+
+#[test]
+fn faults_surface_identically() {
+    // Memory fault inside a loop (after replay warm-up) and a wild jr.
+    let oob = ".data
+               v: .word 1
+               .text
+               main: la r1, v
+                     li r2, 0
+               loop: lw r3, 0(r1)
+                     add r2, r2, r3
+                     addi r1, r1, 97
+                     slti r4, r2, 2000000000
+                     bne r4, r0, loop
+                     halt";
+    let (mut interp, mut fast) = pair(oob, VmLimits::default(), aggressive());
+    let a = interp.try_take_trace(1_000_000);
+    let b = fast.try_take_trace(1_000_000);
+    assert_eq!(a, b);
+    assert!(matches!(a, Err(VmError::MemoryOutOfBounds { .. })));
+    assert_same_state(&interp, &fast, "oob loop");
+
+    let wild = ".text\nmain: li r1, 123456\njr r1";
+    let (mut interp, mut fast) = pair(wild, VmLimits::default(), aggressive());
+    let a = interp.run(100);
+    let b = fast.run(100);
+    assert_eq!(a, b);
+    assert!(matches!(a, Err(VmError::PcOutOfRange { target: 123456 })));
+    assert_same_state(&interp, &fast, "wild jr");
+}
+
+#[test]
+fn interpreter_stepping_interleaves_soundly_with_fast_runs() {
+    let src = programs::by_name("fib").unwrap();
+    let (mut interp, mut fast) = pair(src, VmLimits::default(), aggressive());
+    // Alternate fast windows with manual interpreter steps on the same
+    // machine; architectural state must track the pure interpreter.
+    loop {
+        let a = interp.run(501).unwrap();
+        let b = fast.run(501).unwrap();
+        assert_eq!(a, b);
+        if a.halted {
+            break;
+        }
+        for _ in 0..7 {
+            assert_eq!(interp.step().unwrap(), fast.step().unwrap());
+        }
+        assert_same_state(&interp, &fast, "interleaved");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: random valid programs.
+// ---------------------------------------------------------------------------
+
+/// One random — but always assemblable — instruction line. Branches and
+/// jumps only reference the always-emitted labels `lab0..lab3`, so
+/// control flow is arbitrary (loops included); loads/stores use
+/// arbitrary registers, so faults are reachable. Termination is not
+/// guaranteed by construction: the instruction budget bounds every run,
+/// and budget parity is exactly what the harness verifies.
+fn arb_inst() -> impl Strategy<Value = String> {
+    let reg = 0u8..32;
+    prop_oneof![
+        (
+            prop_oneof![
+                Just("add"),
+                Just("sub"),
+                Just("mul"),
+                Just("div"),
+                Just("rem"),
+                Just("and"),
+                Just("or"),
+                Just("xor"),
+                Just("slt"),
+            ],
+            reg.clone(),
+            reg.clone(),
+            reg.clone()
+        )
+            .prop_map(|(m, d, s, t)| format!("{m} r{d}, r{s}, r{t}")),
+        (
+            prop_oneof![
+                Just("addi"),
+                Just("andi"),
+                Just("ori"),
+                Just("xori"),
+                Just("slti"),
+            ],
+            reg.clone(),
+            reg.clone(),
+            -64i64..64
+        )
+            .prop_map(|(m, d, s, i)| format!("{m} r{d}, r{s}, {i}")),
+        (
+            prop_oneof![Just("sll"), Just("srl"), Just("sra")],
+            reg.clone(),
+            reg.clone(),
+            0u8..64
+        )
+            .prop_map(|(m, d, s, sh)| format!("{m} r{d}, r{s}, {sh}")),
+        (reg.clone(), any::<i32>()).prop_map(|(d, i)| format!("li r{d}, {i}")),
+        (reg.clone(), -8i64..8, reg.clone()).prop_map(|(d, o, s)| format!("lw r{d}, {o}(r{s})")),
+        (reg.clone(), -8i64..8, reg.clone()).prop_map(|(t, o, s)| format!("sw r{t}, {o}(r{s})")),
+        (
+            prop_oneof![Just("beq"), Just("bne"), Just("blt"), Just("bge")],
+            reg.clone(),
+            reg.clone(),
+            0u8..4
+        )
+            .prop_map(|(m, s, t, l)| format!("{m} r{s}, r{t}, lab{l}")),
+        (0u8..4).prop_map(|l| format!("j lab{l}")),
+        (0u8..4).prop_map(|l| format!("jal lab{l}")),
+        reg.prop_map(|s| format!("jr r{s}")),
+        Just("nop".to_owned()),
+        Just("halt".to_owned()),
+    ]
+}
+
+/// A program: four labelled blocks of random instructions, a final halt.
+fn arb_program() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::collection::vec(arb_inst(), 1..12), 4..5).prop_map(|blocks| {
+        let mut src = String::from(".text\nmain:\n");
+        for (i, block) in blocks.iter().enumerate() {
+            src.push_str(&format!("lab{i}:\n"));
+            for inst in block {
+                src.push_str(inst);
+                src.push('\n');
+            }
+        }
+        src.push_str("halt\n");
+        src
+    })
+}
+
+proptest! {
+    /// The full differential contract over random programs: identical
+    /// traces, identical errors (budget trips, memory faults, wild
+    /// jumps), identical step counts and architectural state — under a
+    /// tier configuration aggressive enough that fusion and replay fire
+    /// constantly.
+    #[test]
+    fn random_programs_execute_identically(src in arb_program()) {
+        let limits = VmLimits {
+            memory_words: 1 << 16,
+            max_instructions: Some(20_000),
+            deadline: None,
+        };
+        let program = assemble(&src).expect("generated programs assemble");
+        let mut interp = Vm::with_limits(program, limits).expect("loads");
+        let program = assemble(&src).expect("generated programs assemble");
+        let mut fast =
+            Vm::with_tier_config(program, limits, Tier::Fast, aggressive()).expect("loads");
+        // Two pulls: the second exercises resumption (and recording
+        // continuity) after an arbitrary stop point.
+        for pull in 0..2 {
+            let a = interp.try_take_trace(4_000);
+            let b = fast.try_take_trace(4_000);
+            prop_assert_eq!(&a, &b, "pull {} diverged", pull);
+            prop_assert_eq!(interp.steps(), fast.steps());
+            prop_assert_eq!(interp.halted(), fast.halted());
+            prop_assert_eq!(interp.pc_index(), fast.pc_index());
+            prop_assert_eq!(interp.error(), fast.error());
+            prop_assert_eq!(interp.limit_stop(), fast.limit_stop());
+            for r in 0..32 {
+                prop_assert_eq!(interp.reg(r), fast.reg(r), "r{} diverged", r);
+            }
+            if a.is_err() || interp.halted() {
+                break;
+            }
+        }
+    }
+
+    /// Chunked `run` windows over random programs: stop reasons and
+    /// traces agree at every window boundary.
+    #[test]
+    fn random_programs_agree_across_run_windows(
+        src in arb_program(),
+        window in 1u64..3_000,
+    ) {
+        let limits = VmLimits {
+            memory_words: 1 << 16,
+            max_instructions: Some(20_000),
+            deadline: None,
+        };
+        let program = assemble(&src).expect("generated programs assemble");
+        let mut interp = Vm::with_limits(program, limits).expect("loads");
+        let program = assemble(&src).expect("generated programs assemble");
+        let mut fast =
+            Vm::with_tier_config(program, limits, Tier::Fast, aggressive()).expect("loads");
+        loop {
+            let a = interp.run(window);
+            let b = fast.run(window);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(interp.steps(), fast.steps());
+            prop_assert_eq!(interp.pc_index(), fast.pc_index());
+            match a {
+                Ok(r) if !r.halted => continue,
+                _ => break,
+            }
+        }
+        for r in 0..32 {
+            prop_assert_eq!(interp.reg(r), fast.reg(r), "r{} diverged", r);
+        }
+    }
+}
