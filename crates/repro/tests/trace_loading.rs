@@ -82,6 +82,56 @@ fn strict_refuses_damage_that_nonstrict_salvages() {
 }
 
 #[test]
+fn intact_v3_directory_loads_every_benchmark() {
+    // The loader is format-agnostic: a directory of compressed v3 traces
+    // loads record-identical to the v2 one.
+    let dir = std::env::temp_dir().join("dfcm_repro_traces").join("v3");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, spec) in standard_suite().iter().enumerate() {
+        make_trace(500 + i, i as u64)
+            .save_with(
+                dir.join(format!("{}.trc", spec.name())),
+                TraceFormat::V3 { seed: i as u64 },
+            )
+            .unwrap();
+    }
+    let loaded = options_for(&dir, true).load_traces().unwrap();
+    assert_eq!(loaded.len(), standard_suite().len());
+    for (i, bench) in loaded.iter().enumerate() {
+        assert_eq!(bench.trace, make_trace(500 + i, i as u64));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_refuses_v3_damage_that_nonstrict_salvages() {
+    use dfcm_trace::V3_CHUNK_RECORDS;
+
+    let dir = write_suite_dir("damaged_v3");
+    let victim = dir.join("go.trc");
+    let big = make_trace(2 * V3_CHUNK_RECORDS + 100, 7);
+    big.save_with(&victim, TraceFormat::V3 { seed: 7 }).unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = bytes.len() * 3 / 4;
+    bytes[at] ^= 0x10;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let err = options_for(&dir, true).load_traces().unwrap_err();
+    assert!(err.contains("go.trc"), "{err}");
+    assert!(err.contains("--strict"), "{err}");
+
+    let loaded = options_for(&dir, false).load_traces().unwrap();
+    let go = loaded.iter().find(|b| b.name == "go").unwrap();
+    let report = salvage_trace(BufReader::new(std::fs::File::open(&victim).unwrap())).unwrap();
+    assert_eq!(report.version, 3);
+    assert!(report.recovered_chunks < report.total_chunks);
+    assert!(!report.recovered.is_empty());
+    assert_eq!(go.trace, report.recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_file_is_fatal_in_both_modes() {
     let dir = write_suite_dir("missing");
     std::fs::remove_file(dir.join("vortex.trc")).unwrap();

@@ -12,10 +12,15 @@
 //!   not `dyn` — dispatch.
 //! * **Chunked runs with deterministic merge.** [`stream_trace_chunked`]
 //!   produces the same result as one per-chunk [`RunStats`] merge in chunk
-//!   order; [`stream_v2_file`] extends this to on-disk `DFCMTRC2` traces,
-//!   decoding chunks on worker threads while the (stateful) lanes consume
-//!   them strictly in file order — bit-identical to a serial run, any
-//!   thread count.
+//!   order; [`stream_v2_file`] and [`stream_v3_file`] extend this to
+//!   on-disk `DFCMTRC2`/`DFCMTRC3` traces ([`stream_trace_file`]
+//!   auto-detects), decoding chunks on worker threads while the
+//!   (stateful) lanes consume them strictly in file order — bit-identical
+//!   to a serial run, any thread count.
+//! * **Flat memory at any trace size.** The file paths never materialize
+//!   the trace: a bounded pipeline holds O(`decode_threads`) compressed
+//!   and decoded chunks at once, so a 100M-record v3 trace streams in a
+//!   working set of a few chunks.
 //! * **Suite fan-out.** [`stream_suite_engine`] runs one engine task per
 //!   benchmark (cold cloned lanes each), merging per-lane results in
 //!   benchmark order.
@@ -24,9 +29,9 @@
 //! predict-then-update reference loop (`tests/stream_equiv.rs`).
 
 use std::collections::BTreeMap;
-use std::io;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use dfcm::{
@@ -35,7 +40,7 @@ use dfcm::{
 };
 use dfcm_trace::io::RawChunk;
 use dfcm_trace::suite::BenchmarkTrace;
-use dfcm_trace::{Trace, TraceRecord, V2_CHUNK_RECORDS};
+use dfcm_trace::{Trace, TraceFormatError, TraceRecord, V3RawChunk, V2_CHUNK_RECORDS};
 
 use crate::engine::{run_tasks, EngineConfig, EngineReport, TaskOutput};
 use crate::run::RunStats;
@@ -328,7 +333,7 @@ pub fn stream_trace_chunked(
     totals
 }
 
-/// Outcome of a [`stream_v2_file`] run.
+/// Outcome of a [`stream_v2_file`]/[`stream_v3_file`] run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamFileReport {
     /// Per-lane statistics, in lane order.
@@ -337,6 +342,25 @@ pub struct StreamFileReport {
     pub records: u64,
     /// Chunks the file was decoded in.
     pub chunks: usize,
+}
+
+/// A chunk the streaming pipeline can ship to a decode worker: both the
+/// v2 and v3 raw-chunk types, which decode independently of their
+/// neighbours.
+trait StreamChunk: Send {
+    fn decode_records(&self) -> io::Result<Vec<TraceRecord>>;
+}
+
+impl StreamChunk for RawChunk {
+    fn decode_records(&self) -> io::Result<Vec<TraceRecord>> {
+        self.decode()
+    }
+}
+
+impl StreamChunk for V3RawChunk {
+    fn decode_records(&self) -> io::Result<Vec<TraceRecord>> {
+        self.decode()
+    }
 }
 
 /// Streams an on-disk `DFCMTRC2` trace through the lanes, decoding its
@@ -349,109 +373,229 @@ pub struct StreamFileReport {
 /// order. The result is therefore bit-identical to a fully serial run
 /// regardless of `decode_threads`; `0` or `1` decodes inline.
 ///
+/// Memory stays flat at any trace size: the file is read one chunk at a
+/// time and at most O(`decode_threads`) chunks are in flight.
+///
 /// # Errors
 ///
 /// Propagates open/read errors and chunk corruption
 /// ([`dfcm_trace::TraceFormatError`] wrapped in `InvalidData`). On a
 /// corrupt chunk the error reported is the lowest-indexed one, again
-/// independent of thread scheduling.
+/// independent of thread scheduling; the lanes will have consumed the
+/// intact chunks before it.
 pub fn stream_v2_file<P: AsRef<Path>>(
     path: P,
     lanes: &mut [StreamPredictor],
     decode_threads: usize,
 ) -> io::Result<StreamFileReport> {
-    let reader = dfcm_trace::V2ChunkReader::open(path)?;
-    let chunks = reader.collect::<io::Result<Vec<RawChunk>>>()?;
+    stream_file_chunks(
+        dfcm_trace::V2ChunkReader::open(path)?,
+        lanes,
+        decode_threads,
+    )
+}
+
+/// Streams an on-disk compressed `DFCMTRC3` trace through the lanes,
+/// decompressing and decoding its chunks on `decode_threads` worker
+/// threads.
+///
+/// Same ordering and determinism contract as [`stream_v2_file`]: decoded
+/// chunks are consumed strictly in file order, so the result is
+/// bit-identical to a serial run — and to the v2 path over the same
+/// records — at any thread count. The working set is O(`decode_threads`)
+/// chunks (compressed + decoded), independent of trace length, with each
+/// chunk's decode allocation capped by the v3 bomb guards.
+///
+/// # Errors
+///
+/// As [`stream_v2_file`], plus
+/// [`dfcm_trace::TraceFormatError::DecompressionBomb`] for chunks whose
+/// declared sizes no legitimate writer could produce.
+pub fn stream_v3_file<P: AsRef<Path>>(
+    path: P,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+) -> io::Result<StreamFileReport> {
+    stream_file_chunks(
+        dfcm_trace::V3ChunkReader::open(path)?,
+        lanes,
+        decode_threads,
+    )
+}
+
+/// Streams any trace file through the lanes, auto-detecting the format
+/// from the magic: chunked formats (v2, v3) stream flat-memory via
+/// [`stream_v2_file`]/[`stream_v3_file`]; the unchunked legacy v1 format
+/// is fully loaded and then streamed in [`STREAM_CHUNK_RECORDS`] chunks
+/// (v1 has no independently decodable chunks to bound memory with).
+///
+/// # Errors
+///
+/// As [`stream_v2_file`], plus `InvalidData` with
+/// [`dfcm_trace::TraceFormatError::BadMagic`] for unrecognized files.
+pub fn stream_trace_file<P: AsRef<Path>>(
+    path: P,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+) -> io::Result<StreamFileReport> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    file.seek(SeekFrom::Start(0))?;
+    let reader = BufReader::new(file);
+    match &magic {
+        b"DFCMTRC2" => stream_file_chunks(dfcm_trace::v2_chunks(reader)?, lanes, decode_threads),
+        b"DFCMTRC3" => stream_file_chunks(dfcm_trace::v3_chunks(reader)?, lanes, decode_threads),
+        b"DFCMTRC1" => {
+            let trace = Trace::read_from(reader)?;
+            let stats = stream_trace_chunked(lanes, &trace, STREAM_CHUNK_RECORDS);
+            Ok(StreamFileReport {
+                stats,
+                records: trace.len() as u64,
+                chunks: trace.len().div_ceil(STREAM_CHUNK_RECORDS),
+            })
+        }
+        _ => Err(TraceFormatError::BadMagic { found: magic }.into()),
+    }
+}
+
+/// Drives a chunk iterator through the pipeline into the lanes, merging
+/// per-chunk stats in chunk order.
+fn stream_file_chunks<C, I>(
+    chunks: I,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+) -> io::Result<StreamFileReport>
+where
+    C: StreamChunk,
+    I: Iterator<Item = io::Result<C>> + Send,
+{
     let mut totals = vec![RunStats::default(); lanes.len()];
     let mut records = 0u64;
-
-    let mut consume =
-        |lanes: &mut [StreamPredictor], totals: &mut [RunStats], decoded: &[TraceRecord]| {
-            records += decoded.len() as u64;
-            let chunk_stats = stream_records_with(lanes, decoded, |_, _, _| {});
-            for (total, part) in totals.iter_mut().zip(chunk_stats) {
-                total.merge(part);
-            }
-        };
-
-    if decode_threads <= 1 {
-        for chunk in &chunks {
-            consume(lanes, &mut totals, &chunk.decode()?);
+    let chunk_count = stream_chunk_pipeline(chunks, decode_threads, |decoded| {
+        records += decoded.len() as u64;
+        let chunk_stats = stream_records_with(lanes, decoded, |_, _, _| {});
+        for (total, part) in totals.iter_mut().zip(chunk_stats) {
+            total.merge(part);
         }
-    } else {
-        stream_chunks_parallel(&chunks, decode_threads, |decoded| {
-            consume(lanes, &mut totals, decoded)
-        })?;
-    }
+    })?;
     Ok(StreamFileReport {
         stats: totals,
         records,
-        chunks: chunks.len(),
+        chunks: chunk_count,
     })
 }
 
-/// Decodes `chunks` on worker threads, handing each decoded chunk to
-/// `consume` strictly in index order. Returns the lowest-indexed decode
-/// error, if any; `consume` never sees chunks at or beyond a failed index.
-fn stream_chunks_parallel<F>(chunks: &[RawChunk], threads: usize, mut consume: F) -> io::Result<()>
+/// Pulls chunks off `chunks` (a single reader thread owns the
+/// underlying file), decodes them on `threads` workers, and hands the
+/// decoded records to `consume` strictly in index order. Returns the
+/// number of chunks consumed.
+///
+/// Memory is bounded by construction: the raw and decoded channels are
+/// `sync_channel`s sized by the thread count, and the reorder buffer can
+/// only hold what the decoded channel lets past — so the working set is
+/// O(threads) chunks no matter how large the file is or how fast the
+/// reader outpaces the lanes.
+///
+/// The first error — a framing error from the iterator or the
+/// lowest-indexed decode failure — is returned; `consume` never sees
+/// chunks at or beyond a failed index.
+fn stream_chunk_pipeline<C, I, F>(chunks: I, threads: usize, mut consume: F) -> io::Result<usize>
 where
+    C: StreamChunk,
+    I: Iterator<Item = io::Result<C>> + Send,
     F: FnMut(&[TraceRecord]),
 {
-    let next = AtomicUsize::new(0);
-    // The channel bound keeps decoded-chunk memory proportional to the
-    // thread count rather than the file size when decoding outpaces
-    // consumption.
-    let (tx, rx) = mpsc::sync_channel::<(usize, io::Result<Vec<TraceRecord>>)>(threads);
+    if threads <= 1 {
+        // True single-chunk working set: read, decode, consume, drop.
+        let mut count = 0usize;
+        for chunk in chunks {
+            consume(&chunk?.decode_records()?);
+            count += 1;
+        }
+        return Ok(count);
+    }
+
+    // Reader -> workers: one bounded channel per worker, filled
+    // round-robin. Per-worker channels (rather than one shared receiver)
+    // keep the receivers owned by the worker threads, so every blocked
+    // sender observes a disconnect the moment its peer exits — the
+    // property the shutdown paths below rely on.
+    let mut raw_txs = Vec::with_capacity(threads);
+    let mut raw_rxs = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = mpsc::sync_channel::<(usize, io::Result<C>)>(2);
+        raw_txs.push(tx);
+        raw_rxs.push(rx);
+    }
+    // Workers -> consumer: decoded chunks, bounded by the thread count.
+    let (dec_tx, dec_rx) = mpsc::sync_channel::<(usize, io::Result<Vec<TraceRecord>>)>(threads);
+
     std::thread::scope(|scope| {
         // Move the receiver into the scope so it drops on *any* exit from
-        // this closure (including the early decode-error return below) —
-        // that unparks workers blocked on a full channel, letting the
-        // scope join them instead of deadlocking.
-        let rx = rx;
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= chunks.len() {
+        // this closure (including the early error return below) — that
+        // unparks workers blocked on a full channel, letting the scope
+        // join them instead of deadlocking.
+        let dec_rx = dec_rx;
+
+        scope.spawn(move || {
+            let mut chunks = chunks;
+            let mut i = 0usize;
+            loop {
+                let Some(item) = chunks.next() else { break };
+                // A framing error poisons the source; ship it as the
+                // final item so the consumer reports it in order.
+                let last = item.is_err();
+                if raw_txs[i % raw_txs.len()].send((i, item)).is_err() {
+                    break; // consumer bailed; stop reading
+                }
+                i += 1;
+                if last {
                     break;
                 }
-                // A send error means the consumer bailed (decode error on
-                // an earlier chunk); stop producing.
-                if tx.send((i, chunks[i].decode())).is_err() {
-                    break;
+            }
+        });
+        for raw_rx in raw_rxs {
+            let dec_tx = dec_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, chunk)) = raw_rx.recv() {
+                    let decoded = chunk.and_then(|c| c.decode_records());
+                    if dec_tx.send((i, decoded)).is_err() {
+                        break; // consumer bailed
+                    }
                 }
             });
         }
-        drop(tx);
+        drop(dec_tx);
 
         // In-order consumption with a reorder buffer: chunks may arrive
         // out of order, but lane state only ever advances on the chunk it
-        // is waiting for.
+        // is waiting for. The buffer stays O(threads): workers can only
+        // run ahead by what the bounded channels admit.
         let mut pending: BTreeMap<usize, io::Result<Vec<TraceRecord>>> = BTreeMap::new();
         let mut want = 0usize;
-        while want < chunks.len() {
+        loop {
             let entry = match pending.remove(&want) {
                 Some(entry) => entry,
-                None => match rx.recv() {
+                None => match dec_rx.recv() {
                     Ok((i, decoded)) if i == want => decoded,
                     Ok((i, decoded)) => {
                         pending.insert(i, decoded);
                         continue;
                     }
-                    // All workers exited without producing the chunk we
-                    // need — impossible unless a worker panicked.
-                    Err(_) => {
-                        return Err(io::Error::other("chunk decode worker died"));
-                    }
+                    // Every worker exited: the stream is exhausted.
+                    // Indices are contiguous, so nothing can be pending.
+                    Err(_) => break,
                 },
             };
             consume(&entry?);
             want += 1;
         }
-        Ok(())
-        // Dropping `rx` here unblocks any worker parked on a full
-        // channel; the scope then joins them.
+        debug_assert!(pending.is_empty());
+        Ok(want)
+        // Dropping `dec_rx` here unblocks any worker parked on a full
+        // channel; workers dropping their raw receivers unblock the
+        // reader; the scope then joins all of them.
     })
 }
 
@@ -635,6 +779,89 @@ mod tests {
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{threads} threads");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v3_file_streaming_matches_v2_and_memory_for_any_thread_count() {
+        use dfcm_trace::{TraceFormat, V3_CHUNK_RECORDS};
+        let trace = mixed_trace(2 * V3_CHUNK_RECORDS as u64 + 333);
+        let dir = std::env::temp_dir();
+        let v2_path = dir.join("dfcm_stream_v3_test.v2.trc");
+        let v3_path = dir.join("dfcm_stream_v3_test.v3.trc");
+        trace
+            .save_with(&v2_path, TraceFormat::V2 { seed: 9 })
+            .unwrap();
+        trace
+            .save_with(&v3_path, TraceFormat::V3 { seed: 9 })
+            .unwrap();
+
+        let mut reference = lanes();
+        let expected = stream_trace(&mut reference, &trace);
+        let mut v2_lanes = lanes();
+        let v2_report = stream_v2_file(&v2_path, &mut v2_lanes, 2).unwrap();
+        assert_eq!(v2_report.stats, expected);
+        for threads in [0, 1, 2, 5] {
+            let mut l = lanes();
+            let report = stream_v3_file(&v3_path, &mut l, threads).unwrap();
+            assert_eq!(report.stats, expected, "{threads} decode threads");
+            assert_eq!(report.records, trace.len() as u64);
+            assert_eq!(report.chunks, 3);
+            // The auto-detecting entry point takes the same path.
+            let mut auto = lanes();
+            let auto_report = stream_trace_file(&v3_path, &mut auto, threads).unwrap();
+            assert_eq!(auto_report, report, "{threads} threads via sniffer");
+        }
+        let _ = std::fs::remove_file(&v2_path);
+        let _ = std::fs::remove_file(&v3_path);
+    }
+
+    #[test]
+    fn v3_file_streaming_reports_corruption() {
+        use dfcm_trace::TraceFormat;
+        let trace = mixed_trace(dfcm_trace::V3_CHUNK_RECORDS as u64 + 10);
+        let mut buffer = Vec::new();
+        trace
+            .write_with(&mut buffer, TraceFormat::V3 { seed: 0 })
+            .unwrap();
+        // Flip a byte deep in the first chunk's compressed payload.
+        let target = buffer.len() / 4;
+        buffer[target] ^= 0x40;
+        let path = std::env::temp_dir().join("dfcm_stream_v3_corrupt_test.trc");
+        atomic_write(&path, &buffer).unwrap();
+        for threads in [1, 4] {
+            let err = stream_v3_file(&path, &mut lanes(), threads).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{threads} threads");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_file_sniffer_handles_v1_v2_and_garbage() {
+        use dfcm_trace::TraceFormat;
+        let trace = mixed_trace(2500);
+        let dir = std::env::temp_dir();
+        let mut expected_lanes = lanes();
+        let expected = stream_trace(&mut expected_lanes, &trace);
+
+        for (name, format) in [
+            ("dfcm_sniff_test.v1.trc", TraceFormat::V1),
+            ("dfcm_sniff_test.v2.trc", TraceFormat::V2 { seed: 1 }),
+            ("dfcm_sniff_test.v3.trc", TraceFormat::V3 { seed: 1 }),
+        ] {
+            let path = dir.join(name);
+            trace.save_with(&path, format).unwrap();
+            let mut l = lanes();
+            let report = stream_trace_file(&path, &mut l, 2).unwrap();
+            assert_eq!(report.stats, expected, "{name}");
+            assert_eq!(report.records, trace.len() as u64, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+
+        let garbage = dir.join("dfcm_sniff_test.bad.trc");
+        atomic_write(&garbage, b"NOTATRACEFILE???").unwrap();
+        let err = stream_trace_file(&garbage, &mut lanes(), 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&garbage);
     }
 
     #[test]

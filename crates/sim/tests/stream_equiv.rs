@@ -83,6 +83,57 @@ fn streaming_pass_is_bit_identical_to_simulate_trace_over_full_suite() {
     }
 }
 
+#[test]
+fn v3_file_streaming_is_bit_identical_to_v2_over_full_suite() {
+    // The differential guarantee from the v3 tier: for every suite
+    // benchmark, streaming the compressed v3 file — at one thread and at
+    // several — produces the same records and the same RunStats as the
+    // v2 path and the in-memory pass.
+    use dfcm_sim::{stream_trace_file, stream_v2_file, stream_v3_file};
+    use dfcm_trace::TraceFormat;
+
+    let dir = std::env::temp_dir().join("dfcm_stream_equiv_v3");
+    std::fs::create_dir_all(&dir).unwrap();
+    for bench in standard_traces(0xD1FF, 0.02) {
+        let v2_path = dir.join(format!("{}.v2.trc", bench.name));
+        let v3_path = dir.join(format!("{}.v3.trc", bench.name));
+        bench
+            .trace
+            .save_with(&v2_path, TraceFormat::V2 { seed: 0xD1FF })
+            .unwrap();
+        bench
+            .trace
+            .save_with(&v3_path, TraceFormat::V3 { seed: 0xD1FF })
+            .unwrap();
+
+        let mut memory = lanes();
+        let expected = stream_trace(&mut memory, &bench.trace);
+        let mut v2 = lanes();
+        let v2_report = stream_v2_file(&v2_path, &mut v2, 3).unwrap();
+        assert_eq!(
+            v2_report.stats, expected,
+            "{}: v2 path diverged",
+            bench.name
+        );
+        for threads in [1, 3] {
+            let mut v3 = lanes();
+            let v3_report = stream_v3_file(&v3_path, &mut v3, threads).unwrap();
+            assert_eq!(
+                v3_report.stats, expected,
+                "{}: v3 path diverged at {} threads",
+                bench.name, threads
+            );
+            assert_eq!(v3_report.records, v2_report.records, "{}", bench.name);
+            let mut sniffed = lanes();
+            let auto = stream_trace_file(&v3_path, &mut sniffed, threads).unwrap();
+            assert_eq!(auto, v3_report, "{}: sniffer diverged", bench.name);
+        }
+        let _ = std::fs::remove_file(&v2_path);
+        let _ = std::fs::remove_file(&v3_path);
+    }
+    let _ = std::fs::remove_dir(&dir);
+}
+
 /// A generated trace: bounded pc/value alphabets keep collisions (the
 /// interesting case for table-indexed predictors) frequent.
 fn arb_trace() -> impl Strategy<Value = Trace> {

@@ -5,12 +5,18 @@
 //! Subcommands (see `dfcm-tools help`):
 //!
 //! * `gen` — generate a trace (synthetic benchmark or VM kernel) and save
-//!   it in the compact binary format.
+//!   it in the compact binary format (`--format v1|v2|v3`; v3 synthetic
+//!   traces are streamed to disk without materializing, so record counts
+//!   in the hundreds of millions stay flat-memory).
 //! * `stats` — trace statistics (Table 1-style) for a saved trace.
-//! * `eval` — run a predictor configuration over a saved trace.
+//! * `eval` — run a predictor configuration over a saved trace
+//!   (`--streaming` feeds every predictor in one bounded-memory pass
+//!   straight off the file, any format).
 //! * `trace` — integrity tooling for saved traces: `inspect` (header and
-//!   chunk map), `verify` (fail on any corruption), `salvage` (recover
-//!   intact chunks into a fresh file).
+//!   chunk map, with per-chunk compressed/packed sizes and bits/record
+//!   for v3), `verify` (fail on any corruption), `salvage` (recover
+//!   intact chunks into a fresh file of the same format), `compress`
+//!   (convert between formats).
 //! * `obs` — observability tooling: `summarize` renders the table-usage
 //!   report for an export directory, `--check` validates the exports.
 //! * `bench` — validate benchmark artifacts (`BENCH_throughput.json`,
@@ -36,13 +42,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dfcm::ValuePredictor;
-use dfcm_sim::engine::{run_tasks_ft, TaskOutput};
+use dfcm_sim::engine::{run_tasks_ft, TaskError, TaskOutput};
 use dfcm_sim::{
-    simulate_trace_observed, stream_trace, EngineConfig, EngineReport, StreamPredictor,
+    simulate_trace_observed, stream_trace_file, EngineConfig, EngineReport, StreamPredictor,
 };
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
-use dfcm_trace::{inspect_trace, salvage_trace, Trace, TraceFormat, TraceSource};
+use dfcm_trace::{
+    atomic_write_with, inspect_trace, salvage_trace, Trace, TraceFormat, TraceSource,
+    V3StreamWriter,
+};
 use dfcm_vm::{assemble, classify_pair, disassemble, programs, Tier, Vm, VmLimits};
 
 /// Errors surfaced to the command line.
@@ -59,6 +68,21 @@ impl std::error::Error for ToolError {}
 
 fn err(message: impl Into<String>) -> ToolError {
     ToolError(message.into())
+}
+
+/// Parses a `--format` argument (`v1`, `v2` or `v3`) into a
+/// [`TraceFormat`] stamped with `seed`.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for anything else.
+pub fn parse_trace_format(s: &str, seed: u64) -> Result<TraceFormat, ToolError> {
+    match s {
+        "v1" | "1" => Ok(TraceFormat::V1),
+        "v2" | "2" => Ok(TraceFormat::V2 { seed }),
+        "v3" | "3" => Ok(TraceFormat::V3 { seed }),
+        other => Err(err(format!("unknown trace format `{other}` (v1, v2, v3)"))),
+    }
 }
 
 /// `gen <workload> <records> <out.trc> [--seed N]` — generates and saves a
@@ -91,9 +115,50 @@ pub fn generate_tiered(
     seed: u64,
     tier: Tier,
 ) -> Result<String, ToolError> {
+    generate_formatted(workload, records, out, seed, tier, TraceFormat::V2 { seed })
+}
+
+/// [`generate_tiered`] with an explicit on-disk format (`--format`).
+///
+/// Synthetic workloads written as v3 never materialize the trace: records
+/// are pulled from the generator straight into a [`V3StreamWriter`], so
+/// memory stays flat no matter how many records are requested — that is
+/// the path for producing 100M+-record traces. Kernel workloads and the
+/// other formats build the trace in memory first.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unknown workloads or I/O failures.
+pub fn generate_formatted(
+    workload: &str,
+    records: usize,
+    out: &Path,
+    seed: u64,
+    tier: Tier,
+    format: TraceFormat,
+) -> Result<String, ToolError> {
+    if matches!(format, TraceFormat::V3 { .. }) {
+        if let Some(spec) = standard_suite().into_iter().find(|b| b.name() == workload) {
+            let mut program = spec.program(seed);
+            atomic_write_with(out, |w| {
+                let mut writer = V3StreamWriter::new(&mut *w, records as u64, seed)?;
+                for _ in 0..records {
+                    // The synthetic generator is endless by construction.
+                    let record = program
+                        .next_record()
+                        .expect("synthetic sources are endless");
+                    writer.push(record)?;
+                }
+                writer.finish()?;
+                Ok(())
+            })
+            .map_err(|e| err(format!("writing {}: {e}", out.display())))?;
+            return Ok(format!("wrote {} records to {}", records, out.display()));
+        }
+    }
     let trace = trace_for_tiered(workload, records, seed, tier)?;
     trace
-        .save_with(out, TraceFormat::V2 { seed })
+        .save_with(out, format)
         .map_err(|e| err(format!("writing {}: {e}", out.display())))?;
     Ok(format!(
         "wrote {} records to {}",
@@ -192,9 +257,14 @@ pub fn stream_predictor_for(spec: &str) -> Result<StreamPredictor, ToolError> {
 }
 
 /// `eval --streaming` — runs every spec as a lane of the single-pass
-/// streaming core: the trace is decoded and walked once, all predictors
-/// update in the same pass (one engine task, so `--metrics`, retries and
-/// `--strict` still apply to it).
+/// streaming core: the trace is decoded and walked once straight off the
+/// file, all predictors update in the same pass (one engine task, so
+/// `--metrics`, retries and `--strict` still apply to it).
+///
+/// Any trace format is accepted (the magic is sniffed). Chunked formats
+/// (v2, v3) stream with a bounded working set — O(decode threads) chunks
+/// — so arbitrarily large traces evaluate in flat memory; the engine's
+/// thread count doubles as the chunk-decode thread count.
 ///
 /// Output lines match [`eval`]'s layout and ordering. The streaming pass
 /// is bit-identical to the per-predictor path; what changes is
@@ -211,20 +281,31 @@ pub fn eval_streaming(
     specs: &[String],
     engine: &EngineConfig,
 ) -> Result<(String, EngineReport), ToolError> {
-    let trace = Trace::load(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
     let lanes = specs
         .iter()
         .map(|s| stream_predictor_for(s))
         .collect::<Result<Vec<StreamPredictor>, ToolError>>()?;
+    let decode_threads = if engine.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        engine.threads
+    };
     let label = format!("stream[{}]", specs.join(","));
     let (mut values, report) = run_tasks_ft(
         vec![label.clone()],
         |_| {
             let mut lanes = lanes.clone();
-            let stats = stream_trace(&mut lanes, &trace);
+            let file_report = stream_trace_file(path, &mut lanes, decode_threads)
+                // Corruption won't heal on retry; read hiccups might.
+                .map_err(|e| match e.kind() {
+                    std::io::ErrorKind::InvalidData => {
+                        TaskError::Permanent(format!("{}: {e}", path.display()))
+                    }
+                    _ => TaskError::Transient(format!("{}: {e}", path.display())),
+                })?;
             let lines: Vec<String> = lanes
                 .iter()
-                .zip(&stats)
+                .zip(&file_report.stats)
                 .zip(specs)
                 .map(|((lane, s), spec)| {
                     if engine.obs.is_enabled() {
@@ -242,22 +323,22 @@ pub fn eval_streaming(
                 .collect();
             Ok(TaskOutput {
                 // One streaming task touches every record once per lane.
-                records: trace.len() as u64 * specs.len() as u64,
-                value: lines,
+                records: file_report.records * specs.len() as u64,
+                value: (file_report.records, lines),
             })
         },
         engine,
     );
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} ({} records, streaming x{}):",
-        path.display(),
-        trace.len(),
-        specs.len()
-    );
     match values.pop().flatten() {
-        Some(lines) => {
+        Some((records, lines)) => {
+            let _ = writeln!(
+                out,
+                "{} ({} records, streaming x{}):",
+                path.display(),
+                records,
+                specs.len()
+            );
             for line in lines {
                 let _ = writeln!(out, "{line}");
             }
@@ -268,6 +349,7 @@ pub fn eval_streaming(
                 .first()
                 .map(|t| t.outcome.to_string())
                 .unwrap_or_default();
+            let _ = writeln!(out, "{} (streaming x{}):", path.display(), specs.len());
             let _ = writeln!(out, "  {label:<32} FAILED: {outcome}");
         }
     }
@@ -370,10 +452,26 @@ pub fn trace_inspect(path: &Path) -> Result<String, ToolError> {
             } else {
                 "UNDECODABLE".to_owned()
             };
+            if info.version >= 3 {
+                let _ = writeln!(
+                    out,
+                    "    chunk {:>3}  {:>7} records  {:>9} compressed  {:>9} packed  crc {:08x}  {status}",
+                    c.chunk, c.records, c.payload_bytes, c.uncompressed_bytes, c.crc_stored
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "    chunk {:>3}  {:>7} records  {:>9} bytes  crc {:08x}  {status}",
+                    c.chunk, c.records, c.payload_bytes, c.crc_stored
+                );
+            }
+        }
+        if info.decoded_records > 0 {
+            let payload: u64 = info.chunks.iter().map(|c| c.payload_bytes).sum();
             let _ = writeln!(
                 out,
-                "    chunk {:>3}  {:>7} records  {:>9} bytes  crc {:08x}  {status}",
-                c.chunk, c.records, c.payload_bytes, c.crc_stored
+                "  payload density   {:.2} bits/record",
+                payload as f64 * 8.0 / info.decoded_records as f64
             );
         }
     }
@@ -403,8 +501,17 @@ pub fn trace_verify(path: &Path) -> Result<String, ToolError> {
     let info =
         inspect_trace(BufReader::new(file)).map_err(|e| err(format!("{}: {e}", path.display())))?;
     if info.intact() {
+        let density = if info.version >= 3 && info.decoded_records > 0 {
+            let payload: u64 = info.chunks.iter().map(|c| c.payload_bytes).sum();
+            format!(
+                ", {:.2} bits/record",
+                payload as f64 * 8.0 / info.decoded_records as f64
+            )
+        } else {
+            String::new()
+        };
         return Ok(format!(
-            "{}: OK (v{}, {} records, {} chunk{})",
+            "{}: OK (v{}, {} records, {} chunk{}{density})",
             path.display(),
             info.version,
             info.decoded_records,
@@ -442,8 +549,10 @@ pub fn trace_verify(path: &Path) -> Result<String, ToolError> {
 }
 
 /// `trace salvage <file> --output <out>` — recovers every intact chunk
-/// into a fresh v2 file (re-stamping the original generator seed when
-/// the header survived) and summarizes what was dropped.
+/// into a fresh file of the *same format as the input* (re-stamping the
+/// original generator seed when the header survived) and summarizes what
+/// was dropped. Salvaging a v3 trace re-emits v3; v1 and v2 inputs
+/// re-emit v2 (v1 has no seed or chunk structure worth preserving).
 ///
 /// # Errors
 ///
@@ -461,14 +570,15 @@ pub fn trace_salvage(path: &Path, output: &Path) -> Result<String, ToolError> {
             report.declared_records
         )));
     }
+    let seed = report.seed.unwrap_or(0);
+    let format = if report.version >= 3 {
+        TraceFormat::V3 { seed }
+    } else {
+        TraceFormat::V2 { seed }
+    };
     report
         .recovered
-        .save_with(
-            output,
-            TraceFormat::V2 {
-                seed: report.seed.unwrap_or(0),
-            },
-        )
+        .save_with(output, format)
         .map_err(|e| err(format!("writing {}: {e}", output.display())))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -492,6 +602,106 @@ pub fn trace_salvage(path: &Path, output: &Path) -> Result<String, ToolError> {
         let _ = writeln!(out, "  source was fully intact; output is a clean rewrite");
     }
     Ok(out)
+}
+
+/// Streams already-decoded chunks into a fresh v3 file — the flat-memory
+/// half of [`trace_compress`].
+fn write_v3_streaming<I>(output: &Path, records: u64, seed: u64, chunks: I) -> std::io::Result<()>
+where
+    I: Iterator<Item = std::io::Result<Vec<dfcm_trace::TraceRecord>>>,
+{
+    atomic_write_with(output, |w| {
+        let mut writer = V3StreamWriter::new(&mut *w, records, seed)?;
+        for chunk in chunks {
+            for record in chunk? {
+                writer.push(record)?;
+            }
+        }
+        writer.finish()?;
+        Ok(())
+    })
+}
+
+/// `trace compress <file> --output <out> [--format v1|v2|v3]` — rewrites
+/// a saved trace in another format (default v3, the compressed tier).
+///
+/// Chunked inputs (v2, v3) converted to v3 are streamed chunk by chunk —
+/// decode one, re-encode it, drop it — so the conversion runs in flat
+/// memory at any trace size. The generator seed from a v2/v3 header is
+/// carried over; v1 inputs (which have no seed) stamp 0.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] for unreadable or corrupt inputs, unknown
+/// target formats, and I/O failures.
+pub fn trace_compress(
+    path: &Path,
+    output: &Path,
+    format: Option<&str>,
+) -> Result<String, ToolError> {
+    let in_err = |e: std::io::Error| err(format!("{}: {e}", path.display()));
+    let out_err = |e: std::io::Error| err(format!("writing {}: {e}", output.display()));
+    let mut magic = [0u8; 8];
+    {
+        use std::io::Read as _;
+        File::open(path)
+            .map_err(in_err)?
+            .read_exact(&mut magic)
+            .map_err(in_err)?;
+    }
+    let seed = match &magic {
+        b"DFCMTRC2" => dfcm_trace::V2ChunkReader::open(path)
+            .map_err(in_err)?
+            .seed(),
+        b"DFCMTRC3" => dfcm_trace::V3ChunkReader::open(path)
+            .map_err(in_err)?
+            .seed(),
+        _ => 0,
+    };
+    let target = parse_trace_format(format.unwrap_or("v3"), seed)?;
+    let records = match (&magic, target) {
+        (b"DFCMTRC2", TraceFormat::V3 { .. }) => {
+            let reader = dfcm_trace::V2ChunkReader::open(path).map_err(in_err)?;
+            let records = reader.declared_records();
+            write_v3_streaming(
+                output,
+                records,
+                seed,
+                reader.map(|c| c.and_then(|c| c.decode())),
+            )
+            .map_err(out_err)?;
+            records
+        }
+        (b"DFCMTRC3", TraceFormat::V3 { .. }) => {
+            let reader = dfcm_trace::V3ChunkReader::open(path).map_err(in_err)?;
+            let records = reader.declared_records();
+            write_v3_streaming(
+                output,
+                records,
+                seed,
+                reader.map(|c| c.and_then(|c| c.decode())),
+            )
+            .map_err(out_err)?;
+            records
+        }
+        _ => {
+            let trace = Trace::load(path).map_err(in_err)?;
+            trace.save_with(output, target).map_err(out_err)?;
+            trace.len() as u64
+        }
+    };
+    let in_bytes = std::fs::metadata(path).map_err(in_err)?.len();
+    let out_bytes = std::fs::metadata(output).map_err(out_err)?.len();
+    Ok(format!(
+        "{} -> {}: {} records, {} -> {} bytes ({:.2}x, {:.2} bits/record)",
+        path.display(),
+        output.display(),
+        records,
+        in_bytes,
+        out_bytes,
+        in_bytes as f64 / out_bytes.max(1) as f64,
+        out_bytes as f64 * 8.0 / records.max(1) as f64
+    ))
 }
 
 /// `obs summarize <dir> [--check]` — renders the table-usage report for
@@ -539,6 +749,15 @@ pub fn obs_summarize(dir: &Path, check: bool) -> Result<String, ToolError> {
 ///   request accounted for (`acked + failed == requests`), zero
 ///   `corrupted` acknowledgements, `verified ≤ acked`, ordered latency
 ///   percentiles, and finite timing/throughput numbers.
+/// * `dfcm-bench-trace/v1` (`BENCH_trace.json`, emitted by
+///   `cargo bench --bench trace`): `mode`, `records` and `machine`
+///   fields; a non-empty `suite` array whose entries carry positive
+///   byte counts, density and encode/decode rates, with every suite
+///   trace at or under 16 bits/record in v3; and an `aggregate` whose
+///   v3 density is at or under 12 bits/record, whose `ratio_vs_v2` is
+///   at least 2 and consistent with its own density fields, and whose
+///   streaming predictions/sec are finite and positive for both
+///   formats.
 ///
 /// # Errors
 ///
@@ -553,6 +772,7 @@ pub fn bench_check(path: &Path) -> Result<String, ToolError> {
         Some("dfcm-bench-throughput/v1") => check_bench_throughput(&doc, &mut problems),
         Some("dfcm-bench-serve/v1") => check_bench_serve(&doc, &mut problems),
         Some("dfcm-bench-vm/v1") => check_bench_vm(&doc, &mut problems),
+        Some("dfcm-bench-trace/v1") => check_bench_trace(&doc, &mut problems),
         Some(other) => {
             problems.push(format!("unknown schema `{other}`"));
             String::new()
@@ -902,6 +1122,171 @@ fn check_bench_vm(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> Str
     }
 
     format!("dfcm-bench-vm/v1, {} kernel(s)", seen.len())
+}
+
+/// Per-suite v3 density ceiling (bits/record) for `bench check`. The
+/// suite's worst case is `go` (wide random value blocks) at ~15 in
+/// quick mode; anything past this means packing or compression
+/// regressed.
+const TRACE_SUITE_MAX_BITS: f64 = 16.0;
+/// Aggregate v3 density ceiling (bits/record); measured ~10.8.
+const TRACE_AGG_MAX_BITS: f64 = 12.0;
+/// Minimum aggregate size ratio over v2; measured ~3.3x.
+const TRACE_MIN_RATIO_VS_V2: f64 = 2.0;
+
+/// The `dfcm-bench-trace/v1` validator (see [`bench_check`]): the
+/// trace-format benchmark artifact written by `cargo bench --bench
+/// trace`. Density ceilings are acceptance gates — a suite entry over
+/// [`TRACE_SUITE_MAX_BITS`] bits/record in v3, an aggregate over
+/// [`TRACE_AGG_MAX_BITS`], or an aggregate ratio under
+/// [`TRACE_MIN_RATIO_VS_V2`]x is rejected, not just reported.
+fn check_bench_trace(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> String {
+    let mut problem = |p: String| problems.push(p);
+    match doc.get("mode").and_then(|v| v.as_str()) {
+        Some("quick") | Some("full") => {}
+        Some(other) => problem(format!("`mode` must be quick|full, got `{other}`")),
+        None => problem("missing string field `mode`".into()),
+    }
+    if doc
+        .get("records")
+        .and_then(|v| v.as_u64())
+        .is_none_or(|n| n == 0)
+    {
+        problem("`records` must be a positive integer".into());
+    }
+    match doc.get("machine") {
+        Some(machine) => {
+            for key in ["os", "arch"] {
+                if machine.get(key).and_then(|v| v.as_str()).is_none() {
+                    problem(format!("`machine.{key}` must be a string"));
+                }
+            }
+            if machine
+                .get("threads")
+                .and_then(|v| v.as_u64())
+                .is_none_or(|n| n == 0)
+            {
+                problem("`machine.threads` must be a positive integer".into());
+            }
+        }
+        None => problem("missing object field `machine`".into()),
+    }
+
+    let mut entries_seen = 0usize;
+    match doc.get("suite").and_then(|v| v.as_arr()) {
+        Some([]) => problem("`suite` must be non-empty".into()),
+        Some(entries) => {
+            entries_seen = entries.len();
+            for (i, entry) in entries.iter().enumerate() {
+                if entry.get("name").and_then(|v| v.as_str()).is_none() {
+                    problem(format!("suite[{i}].name must be a string"));
+                }
+                for key in ["records", "v2_bytes", "v3_bytes"] {
+                    if entry
+                        .get(key)
+                        .and_then(|v| v.as_u64())
+                        .is_none_or(|n| n == 0)
+                    {
+                        problem(format!("suite[{i}].{key} must be a positive integer"));
+                    }
+                }
+                let rate = |key: &str| entry.get(key).and_then(|v| v.as_f64());
+                for key in [
+                    "v2_bits_record",
+                    "v3_bits_record",
+                    "encode_mb_s",
+                    "decode_mb_s",
+                ] {
+                    if !rate(key).is_some_and(|x| x.is_finite() && x > 0.0) {
+                        problem(format!("suite[{i}].{key} must be finite and positive"));
+                    }
+                }
+                if let Some(bits) = rate("v3_bits_record") {
+                    if bits > TRACE_SUITE_MAX_BITS {
+                        problem(format!(
+                            "suite[{i}].v3_bits_record {bits} exceeds the \
+                             {TRACE_SUITE_MAX_BITS} bits/record density gate"
+                        ));
+                    }
+                }
+            }
+        }
+        None => problem("missing array field `suite`".into()),
+    }
+
+    match doc.get("aggregate") {
+        Some(agg) => {
+            let field = |key: &str| agg.get(key).and_then(|v| v.as_f64());
+            for key in [
+                "v2_bits_record",
+                "v3_bits_record",
+                "ratio_vs_v2",
+                "encode_mb_s",
+                "decode_mb_s",
+                "v2_stream_pred_s",
+                "v3_stream_pred_s",
+                "stream_ratio",
+            ] {
+                if !field(key).is_some_and(|x| x.is_finite() && x > 0.0) {
+                    problem(format!("aggregate.{key} must be finite and positive"));
+                }
+            }
+            if agg
+                .get("stream_threads")
+                .and_then(|v| v.as_u64())
+                .is_none_or(|n| n == 0)
+            {
+                problem("`aggregate.stream_threads` must be a positive integer".into());
+            }
+            if let Some(bits) = field("v3_bits_record") {
+                if bits > TRACE_AGG_MAX_BITS {
+                    problem(format!(
+                        "aggregate.v3_bits_record {bits} exceeds the \
+                         {TRACE_AGG_MAX_BITS} bits/record density gate"
+                    ));
+                }
+            }
+            if let (Some(v2), Some(v3), Some(ratio)) = (
+                field("v2_bits_record"),
+                field("v3_bits_record"),
+                field("ratio_vs_v2"),
+            ) {
+                if v2 > 0.0 && v3 > 0.0 && ratio > 0.0 {
+                    if ratio < TRACE_MIN_RATIO_VS_V2 {
+                        problem(format!(
+                            "aggregate.ratio_vs_v2 {ratio} under the \
+                             {TRACE_MIN_RATIO_VS_V2}x compression gate"
+                        ));
+                    }
+                    let expected = v2 / v3;
+                    if (ratio - expected).abs() > 0.05 * expected {
+                        problem(format!(
+                            "aggregate.ratio_vs_v2 {ratio} inconsistent with \
+                             {v2}/{v3} = {expected:.3}"
+                        ));
+                    }
+                }
+            }
+            if let (Some(v2_ps), Some(v3_ps), Some(ratio)) = (
+                field("v2_stream_pred_s"),
+                field("v3_stream_pred_s"),
+                field("stream_ratio"),
+            ) {
+                if v2_ps > 0.0 && v3_ps > 0.0 && ratio > 0.0 {
+                    let expected = v3_ps / v2_ps;
+                    if (ratio - expected).abs() > 0.05 * expected {
+                        problem(format!(
+                            "aggregate.stream_ratio {ratio} inconsistent with \
+                             {v3_ps}/{v2_ps} = {expected:.3}"
+                        ));
+                    }
+                }
+            }
+        }
+        None => problem("missing object field `aggregate`".into()),
+    }
+
+    format!("dfcm-bench-trace/v1, {entries_seen} suite trace(s)")
 }
 
 /// Options for the `serve` subcommand.
@@ -1500,6 +1885,107 @@ mod tests {
             "aggregate.json",
             vm_bench_doc().replace(r#""min_speedup":16.0"#, r#""min_speedup":99.0"#),
             "ordered",
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn trace_bench_doc() -> String {
+        r#"{"schema":"dfcm-bench-trace/v1","mode":"quick","records":640000,
+           "machine":{"os":"linux","arch":"x86_64","threads":8},
+           "suite":[
+             {"name":"cc1","records":80000,"v2_bytes":350000,"v3_bytes":120000,
+              "v2_bits_record":35.0,"v3_bits_record":12.0,
+              "encode_mb_s":60.0,"decode_mb_s":150.0},
+             {"name":"li","records":80000,"v2_bytes":340000,"v3_bytes":100000,
+              "v2_bits_record":34.0,"v3_bits_record":10.0,
+              "encode_mb_s":70.0,"decode_mb_s":180.0}],
+           "aggregate":{"v2_bits_record":34.5,"v3_bits_record":11.0,
+             "ratio_vs_v2":3.136,"encode_mb_s":65.0,"decode_mb_s":165.0,
+             "v2_stream_pred_s":23000000.0,"v3_stream_pred_s":10000000.0,
+             "stream_ratio":0.435,"stream_threads":4}}"#
+            .to_owned()
+    }
+
+    #[test]
+    fn bench_check_accepts_valid_trace_artifact() {
+        let path = std::env::temp_dir().join("dfcm_tools_bench_trace_ok.json");
+        // Unknown fields must be ignored, like the other validators.
+        let doc = trace_bench_doc().replace(
+            r#""mode":"quick""#,
+            r#""mode":"quick","future_field":{"nested":1}"#,
+        );
+        std::fs::write(&path, doc).unwrap();
+        let out = bench_check(&path).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(
+            out.contains("dfcm-bench-trace/v1, 2 suite trace(s)"),
+            "{out}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_check_rejects_trace_schema_violations() {
+        let dir = std::env::temp_dir().join("dfcm_tools_bench_trace_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let reject = |name: &str, doc: String, needle: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, doc).unwrap();
+            let msg = bench_check(&path).unwrap_err().to_string();
+            assert!(msg.contains(needle), "{name}: {msg}");
+        };
+        // A suite trace over the per-benchmark density gate.
+        reject(
+            "suite_density.json",
+            trace_bench_doc().replace(r#""v3_bits_record":12.0"#, r#""v3_bits_record":17.0"#),
+            "density gate",
+        );
+        // Aggregate density over its (tighter) gate. Keep ratio_vs_v2
+        // consistent so only the gate itself fires.
+        reject(
+            "agg_density.json",
+            trace_bench_doc()
+                .replace(r#""v3_bits_record":11.0"#, r#""v3_bits_record":13.0"#)
+                .replace(r#""ratio_vs_v2":3.136"#, r#""ratio_vs_v2":2.654"#),
+            "density gate",
+        );
+        // Aggregate compression ratio under the 2x floor.
+        reject(
+            "ratio_floor.json",
+            trace_bench_doc()
+                .replace(r#""v2_bits_record":34.5"#, r#""v2_bits_record":12.0"#)
+                .replace(r#""ratio_vs_v2":3.136"#, r#""ratio_vs_v2":1.091"#),
+            "compression gate",
+        );
+        // Ratio inconsistent with its own density fields.
+        reject(
+            "ratio_consistency.json",
+            trace_bench_doc().replace(r#""ratio_vs_v2":3.136"#, r#""ratio_vs_v2":9.0"#),
+            "inconsistent",
+        );
+        // Stream ratio inconsistent with the measured rates.
+        reject(
+            "stream_consistency.json",
+            trace_bench_doc().replace(r#""stream_ratio":0.435"#, r#""stream_ratio":2.0"#),
+            "inconsistent",
+        );
+        // Rates must be positive.
+        reject(
+            "rate.json",
+            trace_bench_doc().replace(r#""decode_mb_s":150.0"#, r#""decode_mb_s":0.0"#),
+            "decode_mb_s",
+        );
+        // Missing suite array.
+        reject(
+            "no_suite.json",
+            {
+                let doc = trace_bench_doc();
+                let start = doc.find(r#""suite":["#).unwrap();
+                let end = doc.find(r#"],"#).unwrap() + 2;
+                format!("{}{}", &doc[..start], &doc[end..])
+            },
+            "suite",
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

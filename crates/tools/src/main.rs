@@ -7,9 +7,13 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage:
   dfcm-tools gen <workload> <records> <out.trc> [--seed N] [--vm-tier fast|interp]
+             [--format v1|v2|v3]
              (--vm-tier picks the VM execution tier for kernel workloads;
               the tiers are bit-identical — fast, the default, is just
-              faster)
+              faster; --format picks the trace encoding — v2, the default,
+              is the CRC-framed format, v3 adds per-chunk compression and
+              is written streaming, so record counts beyond memory are
+              fine)
   dfcm-tools stats <trace.trc>
   dfcm-tools eval <trace.trc> <predictor>... [--streaming] [--threads N] [--progress]
              [--metrics FILE] [--obs DIR] [--retries N]
@@ -27,17 +31,21 @@ usage:
   dfcm-tools trace inspect <trace.trc>
   dfcm-tools trace verify <trace.trc>
   dfcm-tools trace salvage <trace.trc> --output <out.trc>
-             (inspect: header, chunk map and CRC status; verify: exit
-              nonzero on any corruption; salvage: recover intact chunks
-              into a fresh file, report what was dropped)
+  dfcm-tools trace compress <trace.trc> --output <out.trc> [--format v1|v2|v3]
+             (inspect: header, chunk map, CRC status and, for v3,
+              compressed density; verify: exit nonzero on any corruption;
+              salvage: recover intact chunks into a fresh file — v3 input
+              re-emits v3 — and report what was dropped; compress:
+              re-encode a trace into another format, v3 by default)
   dfcm-tools obs summarize <dir> [--check]
              (table-usage report for an --obs export directory; --check
               validates all three export files and exits nonzero on any
               malformed or inconsistent export)
   dfcm-tools bench check <BENCH_file.json>
              (validates a benchmark artifact against its declared schema —
-              dfcm-bench-throughput/v1, dfcm-bench-serve/v1 or
-              dfcm-bench-vm/v1; exits nonzero on any violation)
+              dfcm-bench-throughput/v1, dfcm-bench-serve/v1,
+              dfcm-bench-vm/v1 or dfcm-bench-trace/v1; exits nonzero on
+              any violation)
   dfcm-tools serve <addr> <predictor> [--snapshot FILE] [--max-sessions N]
              [--workers N] [--queue N] [--deadline-ms N] [--idle-ms N]
              (runs the prediction daemon until SIGTERM/SIGINT, then drains
@@ -93,12 +101,30 @@ fn run() -> Result<String, String> {
                     .map_err(|e: String| e)?;
                 rest.drain(pos..=pos + 1);
             }
+            let mut format_spec: Option<String> = None;
+            if let Some(pos) = rest.iter().position(|a| a == "--format") {
+                format_spec = Some(rest.get(pos + 1).ok_or("--format needs a value")?.clone());
+                rest.drain(pos..=pos + 1);
+            }
             let [workload, records, out] = rest.as_slice() else {
                 return Err(USAGE.to_owned());
             };
             let records: usize = records.parse().map_err(|_| "bad record count".to_owned())?;
-            dfcm_tools::generate_tiered(workload, records, &PathBuf::from(out), seed, tier)
-                .map_err(|e| e.to_string())
+            let format = match format_spec {
+                Some(spec) => {
+                    dfcm_tools::parse_trace_format(&spec, seed).map_err(|e| e.to_string())?
+                }
+                None => dfcm_trace::TraceFormat::V2 { seed },
+            };
+            dfcm_tools::generate_formatted(
+                workload,
+                records,
+                &PathBuf::from(out),
+                seed,
+                tier,
+                format,
+            )
+            .map_err(|e| e.to_string())
         }
         "stats" => {
             let [path] = rest else {
@@ -210,6 +236,16 @@ fn run() -> Result<String, String> {
             }
             [sub, path, flag, out] if sub == "salvage" && flag == "--output" => {
                 dfcm_tools::trace_salvage(&PathBuf::from(path), &PathBuf::from(out))
+                    .map_err(|e| e.to_string())
+            }
+            [sub, path, flag, out] if sub == "compress" && flag == "--output" => {
+                dfcm_tools::trace_compress(&PathBuf::from(path), &PathBuf::from(out), None)
+                    .map_err(|e| e.to_string())
+            }
+            [sub, path, flag, out, fmt_flag, fmt]
+                if sub == "compress" && flag == "--output" && fmt_flag == "--format" =>
+            {
+                dfcm_tools::trace_compress(&PathBuf::from(path), &PathBuf::from(out), Some(fmt))
                     .map_err(|e| e.to_string())
             }
             _ => Err(USAGE.to_owned()),

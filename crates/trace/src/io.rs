@@ -1,5 +1,7 @@
 //! Compact binary serialization for value traces: the legacy `DFCMTRC1`
-//! format and the checksummed, salvageable `DFCMTRC2` format.
+//! format, the checksummed, salvageable `DFCMTRC2` format, and the
+//! dispatch points for the compressed `DFCMTRC3` format (whose encoding
+//! lives in the `v3` module).
 //!
 //! Traces regenerate deterministically from seeds, but saving them is
 //! useful for sharing workloads across tools and for freezing a trace
@@ -48,6 +50,15 @@
 //!
 //! PC deltas are small (loops revisit nearby code), so a typical suite
 //! trace compresses to a handful of bytes per record in either version.
+//!
+//! # v3 (`DFCMTRC3`, compressed)
+//!
+//! The paper-scale tier: v2's chunked, salvageable framing with each
+//! chunk bit-packed and then LZ+Huffman compressed, reaching a few bits
+//! per record. Layout, packing, streaming reader/writer, and the
+//! decompression-bomb guards are documented in the `v3` module; this
+//! module dispatches to it from [`Trace::read_from`], [`salvage_trace`]
+//! and [`inspect_trace`] based on the magic.
 
 use std::ffi::OsString;
 use std::fmt;
@@ -59,6 +70,7 @@ use std::time::Duration;
 
 use crate::crc::crc32;
 use crate::record::{Trace, TraceRecord};
+use crate::v3::{inspect_v3, read_v3_body, salvage_v3, write_v3, MAGIC_V3};
 
 const MAGIC_V1: &[u8; 8] = b"DFCMTRC1";
 const MAGIC_V2: &[u8; 8] = b"DFCMTRC2";
@@ -75,7 +87,7 @@ const MAX_RECORD_BYTES: u64 = 20;
 /// Trust the header's count only up to a bounded pre-allocation: a
 /// crafted small file could otherwise demand terabytes before a single
 /// record is read. Larger traces grow as records actually arrive.
-const MAX_PREALLOC: u64 = 1 << 20;
+pub(crate) const MAX_PREALLOC: u64 = 1 << 20;
 
 /// Headers claiming more records than this are rejected outright.
 const MAX_PLAUSIBLE_RECORDS: u64 = 1 << 40;
@@ -93,6 +105,13 @@ pub enum TraceFormat {
     /// The chunked, CRC-checked format, stamping the generator seed into
     /// the header (use 0 when the seed is unknown or not applicable).
     V2 {
+        /// Generator seed recorded in the file header.
+        seed: u64,
+    },
+    /// The compressed format: v2's chunked framing with bit-packed,
+    /// LZ+Huffman-compressed payloads (see the crate docs on v3). The
+    /// format of choice for paper-scale traces.
+    V3 {
         /// Generator seed recorded in the file header.
         seed: u64,
     },
@@ -139,6 +158,20 @@ pub enum TraceFormatError {
         /// What was wrong.
         detail: String,
     },
+    /// A v3 chunk declares an uncompressed size no legitimate writer
+    /// could produce — larger than the worst-case packed size for its
+    /// record count, or implausibly expanded relative to its compressed
+    /// payload. The declaration is rejected *before* any payload-sized
+    /// allocation, so a crafted file cannot demand memory beyond one
+    /// chunk's structural bound.
+    DecompressionBomb {
+        /// Zero-based chunk index.
+        chunk: usize,
+        /// The uncompressed size the chunk declares.
+        declared: u64,
+        /// The compressed payload size the chunk declares.
+        compressed: u64,
+    },
 }
 
 impl fmt::Display for TraceFormatError {
@@ -159,6 +192,15 @@ impl fmt::Display for TraceFormatError {
             TraceFormatError::TruncatedTail { chunk, detail } => {
                 write!(f, "truncated at chunk {chunk}: {detail}")
             }
+            TraceFormatError::DecompressionBomb {
+                chunk,
+                declared,
+                compressed,
+            } => write!(
+                f,
+                "chunk {chunk} is a decompression bomb \
+                 ({declared} declared bytes from {compressed} compressed)"
+            ),
         }
     }
 }
@@ -436,31 +478,31 @@ pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// True for error kinds that indicate corrupt or truncated input rather
 /// than an environment failure.
-fn is_corruption(e: &io::Error) -> bool {
+pub(crate) fn is_corruption(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
     )
 }
 
-fn bad_header(detail: impl Into<String>) -> io::Error {
+pub(crate) fn bad_header(detail: impl Into<String>) -> io::Error {
     TraceFormatError::BadHeader {
         detail: detail.into(),
     }
     .into()
 }
 
-fn truncated(chunk: usize, detail: impl Into<String>) -> io::Error {
+pub(crate) fn truncated(chunk: usize, detail: impl Into<String>) -> io::Error {
     TraceFormatError::TruncatedTail {
         chunk,
         detail: detail.into(),
@@ -468,15 +510,16 @@ fn truncated(chunk: usize, detail: impl Into<String>) -> io::Error {
     .into()
 }
 
-/// Parsed v2 file header.
+/// Parsed v2 file header. The v3 header shares the exact layout and
+/// growth rules, so the v3 module reuses this parser.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct V2Header {
-    records: u64,
-    seed: u64,
-    flags: u64,
+pub(crate) struct V2Header {
+    pub(crate) records: u64,
+    pub(crate) seed: u64,
+    pub(crate) flags: u64,
 }
 
-fn read_v2_header<R: Read>(r: &mut R) -> io::Result<V2Header> {
+pub(crate) fn read_v2_header<R: Read>(r: &mut R) -> io::Result<V2Header> {
     let hlen = read_varint(r).map_err(|e| {
         if is_corruption(&e) {
             bad_header(format!("unreadable header length: {e}"))
@@ -842,7 +885,7 @@ impl<R: Read> V2ChunkReader<R> {
 /// Wraps a read error hit inside chunk `index`: corruption-shaped errors
 /// (unexpected EOF, invalid data) become a [`TraceFormatError::TruncatedTail`]
 /// naming the chunk; genuine I/O failures pass through untouched.
-fn corruption_at(index: usize, e: io::Error, what: &str) -> io::Error {
+pub(crate) fn corruption_at(index: usize, e: io::Error, what: &str) -> io::Error {
     if is_corruption(&e) {
         truncated(index, format!("{what}: {e}"))
     } else {
@@ -881,11 +924,11 @@ pub struct DroppedChunk {
 /// What [`salvage_trace`] recovered from a (possibly corrupted) file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SalvageReport {
-    /// Format version of the file (1 or 2).
+    /// Format version of the file (1, 2 or 3).
     pub version: u8,
     /// Record count the header declares.
     pub declared_records: u64,
-    /// Generator seed from the header (v2 only).
+    /// Generator seed from the header (v2/v3 only).
     pub seed: Option<u64>,
     /// Every record that could be recovered, in file order.
     pub recovered: Trace,
@@ -930,6 +973,7 @@ pub fn salvage_trace<R: Read>(mut r: R) -> io::Result<SalvageReport> {
     match &magic {
         MAGIC_V1 => salvage_v1(&mut r),
         MAGIC_V2 => salvage_v2(&mut r),
+        MAGIC_V3 => salvage_v3(&mut r),
         _ => Err(TraceFormatError::BadMagic { found: magic }.into()),
     }
 }
@@ -1035,8 +1079,13 @@ pub struct ChunkInfo {
     pub chunk: usize,
     /// Records the chunk claims to hold.
     pub records: u64,
-    /// Byte length of the chunk payload.
+    /// Byte length of the chunk payload as stored on disk (for v3, the
+    /// compressed size).
     pub payload_bytes: u64,
+    /// Byte length of the chunk payload after decompression: the
+    /// declared packed size for v3 chunks, equal to `payload_bytes` for
+    /// the uncompressed v2 format.
+    pub uncompressed_bytes: u64,
     /// CRC-32 stored in the file.
     pub crc_stored: u32,
     /// CRC-32 of the payload as read.
@@ -1055,15 +1104,15 @@ impl ChunkInfo {
 /// Header and integrity summary of a trace file, from [`inspect_trace`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceInfo {
-    /// Format version (1 or 2).
+    /// Format version (1, 2 or 3).
     pub version: u8,
     /// Record count the header declares.
     pub declared_records: u64,
     /// Records that actually decode cleanly.
     pub decoded_records: u64,
-    /// Generator seed from the header (v2 only).
+    /// Generator seed from the header (v2/v3 only).
     pub seed: Option<u64>,
-    /// Format flags from the header (v2 only; 0 today).
+    /// Format flags from the header (v2/v3 only; 0 today).
     pub flags: u64,
     /// Per-chunk status (empty for v1 files, which are unchunked).
     pub chunks: Vec<ChunkInfo>,
@@ -1131,6 +1180,7 @@ pub fn inspect_trace<R: Read>(mut r: R) -> io::Result<TraceInfo> {
                         chunk: c.index,
                         records: c.records,
                         payload_bytes: c.payload_bytes,
+                        uncompressed_bytes: c.payload_bytes,
                         crc_stored: c.crc_stored,
                         crc_computed: c.crc_computed,
                         decodes: c.decoded.is_ok(),
@@ -1140,6 +1190,7 @@ pub fn inspect_trace<R: Read>(mut r: R) -> io::Result<TraceInfo> {
                 error: framing_error.map(|e| e.to_string()),
             }
         }
+        MAGIC_V3 => inspect_v3(&mut r)?,
         _ => return Err(TraceFormatError::BadMagic { found: magic }.into()),
     };
     // Anything left in the stream is not part of the trace.
@@ -1210,6 +1261,7 @@ impl Trace {
         match format {
             TraceFormat::V1 => self.write_to(w),
             TraceFormat::V2 { seed } => self.write_v2_to(w, seed),
+            TraceFormat::V3 { seed } => write_v3(self, w, seed),
         }
     }
 
@@ -1228,6 +1280,7 @@ impl Trace {
         match &magic {
             MAGIC_V1 => read_v1_body(&mut r),
             MAGIC_V2 => read_v2_body(&mut r),
+            MAGIC_V3 => read_v3_body(&mut r),
             _ => Err(TraceFormatError::BadMagic { found: magic }.into()),
         }
     }

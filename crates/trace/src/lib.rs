@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod crc;
 mod deadline;
 pub mod io;
@@ -45,6 +46,7 @@ mod record;
 mod rng;
 pub mod stats;
 pub mod suite;
+mod v3;
 
 pub use crate::deadline::Deadline;
 pub use crate::io::{
@@ -58,3 +60,7 @@ pub use crate::program::{ProgramBuilder, SyntheticProgram, BASE_PC};
 pub use crate::record::{Trace, TraceRecord, TraceSource};
 pub use crate::rng::SplitMix64;
 pub use crate::suite::{BenchmarkSpec, BenchmarkTrace};
+pub use crate::v3::{
+    max_packed_len as v3_max_packed_len, v3_chunks, V3ChunkReader, V3RawChunk, V3StreamWriter,
+    MAX_EXPANSION_RATIO, V3_CHUNK_RECORDS,
+};

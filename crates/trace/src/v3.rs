@@ -1,0 +1,1048 @@
+//! The compressed `DFCMTRC3` trace format: per-chunk pc dictionaries
+//! and transposed per-pc value streams behind the [`crate::compress`]
+//! LZ+Huffman stage.
+//!
+//! v3 exists for paper-scale traces (the paper replays 123–157M records
+//! per benchmark): it reaches ~10 bits per record on the synthetic
+//! suite (~13× smaller than raw 16-byte records, ~3.5× smaller than
+//! v2) while keeping every robustness property of v2 — chunked
+//! framing, per-chunk CRC-32, typed errors, salvageability — and adds
+//! the guard compression makes necessary: a decoder that never
+//! allocates more than one chunk's worst-case packed size, no matter
+//! what the file claims ([`TraceFormatError::DecompressionBomb`]).
+//!
+//! # File layout
+//!
+//! ```text
+//! magic    8 bytes  "DFCMTRC3"
+//! hlen     varint   byte length of the header payload
+//! header            varint record count, varint generator seed,
+//!                   varint format flags (must be 0) — same layout and
+//!                   growth rules as v2
+//! chunks            until `count` records are accounted for:
+//!   records varint  records in this chunk (1 ..= 65536)
+//!   packed  varint  uncompressed (packed) payload size in bytes;
+//!                   bounded by `max_packed_len(records)`
+//!   bytes   varint  compressed payload size in bytes
+//!   crc32   4 bytes CRC-32 (IEEE, LE) of the *compressed* payload
+//!   payload         a `compress` container holding the packed records
+//! ```
+//!
+//! All model state (the pc dictionary and the per-pc value chains)
+//! restarts at zero in every chunk and the compressor holds no
+//! cross-chunk state, so every chunk decodes independently — the
+//! property salvage and parallel streaming rely on.
+//!
+//! # Packed record encoding
+//!
+//! A packed chunk is a value-stream mode byte, then three sections, all
+//! canonical LEB128 varints:
+//!
+//! 1. **Pc dictionary** — the chunk's distinct pcs, sorted and
+//!    gap-coded, followed by a permutation assigning each entry its
+//!    symbol rank, hottest jump targets first.
+//! 2. **Pc stream** (behind a byte-length prefix) — one symbol per
+//!    record: 0 means "previous pc + 4" (the in-block successor of a
+//!    code-like trace), any other symbol is 1 + the rank of the jump
+//!    target. Encoding jumps as dictionary ranks instead of pc deltas
+//!    matters twice over: a delta of two independent jumps squares the
+//!    symbol space, and frequency-ranking gives the hot targets
+//!    one-byte symbols.
+//! 3. **Value stream** — the values *transposed into per-pc buckets*
+//!    (in order of each pc's first appearance), each value a zigzag
+//!    delta against the previous value produced by the same static
+//!    instruction — the paper's own value-locality insight turned into
+//!    a compressor. Transposing restores each instruction's structure
+//!    as byte-level repetition: constants become zero runs, strides
+//!    become runs of their constant stride, periodic values short
+//!    repeating cycles — exactly the shape the LZ stage eats. The
+//!    encoder falls back to raw varints per chunk when deltas come out
+//!    longer. The bucket boundaries are fully determined by the decoded
+//!    pc stream, so the transpose costs no side metadata.
+//!
+//! # Bomb guards
+//!
+//! A legitimate chunk can expand at most ~600× through the pipeline
+//! (LZ matches ≈ 75×, Huffman ≤ 8×). The reader enforces, before any
+//! payload-sized allocation:
+//!
+//! * declared packed size ≤ [`max_packed_len`] (≈ 27 bytes/record),
+//! * compressed size ≤ packed bound + container slack,
+//! * packed/compressed ratio ≤ [`MAX_EXPANSION_RATIO`] once the chunk
+//!   is past the small-chunk exemption.
+//!
+//! Violations surface as [`TraceFormatError::DecompressionBomb`]; the
+//! payload length is still trusted enough to *skip*, so salvage drops
+//! only the offending chunk.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::compress::{compress, decompress, max_token_len};
+use crate::crc::crc32;
+use crate::io::{
+    corruption_at, is_corruption, read_v2_header, read_varint, truncated, unzigzag, write_varint,
+    zigzag, DroppedChunk, SalvageReport, TraceFormatError, TraceInfo, V2Header,
+};
+use crate::io::{ChunkInfo, MAX_PREALLOC};
+use crate::record::{Trace, TraceRecord};
+
+pub(crate) const MAGIC_V3: &[u8; 8] = b"DFCMTRC3";
+
+/// Records per v3 chunk (the last chunk of a file holds the remainder).
+pub const V3_CHUNK_RECORDS: usize = 1 << 16;
+
+/// A chunk whose declared uncompressed size exceeds this many times its
+/// compressed size is rejected as a decompression bomb. A legitimate
+/// writer cannot exceed ~600× (see the module docs), so 1024 never
+/// rejects real data while still capping a hostile chunk's
+/// allocation-to-input ratio.
+pub const MAX_EXPANSION_RATIO: u64 = 1024;
+
+/// Chunks this small are exempt from the ratio guard: tiny inputs have
+/// noisy ratios and a bounded absolute cost anyway.
+const RATIO_EXEMPT_BYTES: u64 = 4096;
+
+/// Worst-case packed size for `records` records: every record with a
+/// distinct pc costs at most one 10-byte dictionary varint, a 3-byte
+/// pc-stream symbol, and a 10-byte value varint; the constant covers
+/// the mode byte and the length prefixes. This is the hard ceiling on
+/// what a v3 chunk may declare as its uncompressed size — and therefore
+/// on what the decoder will ever allocate for one chunk.
+pub fn max_packed_len(records: u64) -> u64 {
+    records * 27 + 16
+}
+
+/// Worst-case compressed size: the stored fallback plus container slack.
+fn max_compressed_len(records: u64) -> u64 {
+    max_packed_len(records) + 64
+}
+
+// ---------------------------------------------------------------------
+// Record packing (stage 1)
+// ---------------------------------------------------------------------
+
+/// Value-stream mode: zigzag deltas against the previous value of the
+/// same bucket — i.e. the previous value produced by the same static
+/// instruction, the paper's value-locality insight as a compressor.
+/// Constants pack to zero runs, strides to runs of their constant
+/// stride, periodic values to short repeating cycles.
+const MODE_BUCKET_DELTA: u8 = 0;
+/// Value-stream mode: raw value varints per bucket, for value streams
+/// no delta model improves (e.g. pure random data).
+const MODE_RAW: u8 = 1;
+
+/// Step between consecutive static instructions; a pc-stream symbol of
+/// 0 means "previous pc plus this step", which covers every in-block
+/// instruction of a code-like trace with a single hot symbol.
+const PC_STEP: u64 = 4;
+
+/// Packs one chunk of records into the dictionary + transposed-bucket
+/// layout (see the module docs): a sorted pc dictionary (gap-coded),
+/// then one pc-stream symbol per record (0 = previous pc + 4, else
+/// 1 + dictionary index), then the values *grouped by pc* in order of
+/// each pc's first appearance. Encoding jumps as dictionary indices
+/// instead of pc deltas keeps their entropy at the size of the pc set
+/// (a delta of two independent jumps squares it), and transposing the
+/// values restores each instruction's own structure as byte-level
+/// repetition the LZ stage can see. The encoder builds both candidate
+/// value streams and keeps the shortest. All state restarts per chunk,
+/// keeping chunks independently decodable.
+fn pack_records(records: &[TraceRecord]) -> Vec<u8> {
+    // Sorted pc dictionary and how often each entry is jumped to (i.e.
+    // reached other than as the previous pc's successor).
+    let mut dict: Vec<u64> = records.iter().map(|r| r.pc).collect();
+    dict.sort_unstable();
+    dict.dedup();
+    let index: HashMap<u64, usize> = dict.iter().enumerate().map(|(i, &pc)| (pc, i)).collect();
+    let mut jumps = vec![0u64; dict.len()];
+    let mut prev_pc = 0u64;
+    for r in records {
+        if r.pc != prev_pc.wrapping_add(PC_STEP) {
+            jumps[index[&r.pc]] += 1;
+        }
+        prev_pc = r.pc;
+    }
+    // Rank dictionary entries by jump frequency so the hottest jump
+    // targets get the shortest pc-stream symbols.
+    let mut by_freq: Vec<usize> = (0..dict.len()).collect();
+    by_freq.sort_by_key(|&i| (u64::MAX - jumps[i], i));
+    let mut rank = vec![0u64; dict.len()];
+    for (r, &i) in by_freq.iter().enumerate() {
+        rank[i] = r as u64;
+    }
+
+    // The pc stream, plus per-pc value buckets in first-appearance order.
+    let mut pcs: Vec<u8> = Vec::with_capacity(records.len());
+    let mut bucket_of: HashMap<u64, usize> = HashMap::new();
+    let mut buckets: Vec<Vec<u64>> = Vec::new();
+    let mut prev_pc = 0u64;
+    for r in records {
+        let symbol = if r.pc == prev_pc.wrapping_add(PC_STEP) {
+            0
+        } else {
+            rank[index[&r.pc]] + 1
+        };
+        write_varint(&mut pcs, symbol).expect("vec write");
+        prev_pc = r.pc;
+        let b = *bucket_of.entry(r.pc).or_insert_with(|| {
+            buckets.push(Vec::new());
+            buckets.len() - 1
+        });
+        buckets[b].push(r.value);
+    }
+
+    // Candidate value streams over the transposed buckets.
+    let mut delta: Vec<u8> = Vec::with_capacity(records.len() * 2);
+    let mut raw: Vec<u8> = Vec::with_capacity(records.len() * 2);
+    for bucket in &buckets {
+        let mut prev = 0i64;
+        for &v in bucket {
+            write_varint(&mut delta, zigzag((v as i64).wrapping_sub(prev))).expect("vec write");
+            write_varint(&mut raw, v).expect("vec write");
+            prev = v as i64;
+        }
+    }
+    let (mode, values) = if delta.len() <= raw.len() {
+        (MODE_BUCKET_DELTA, &delta)
+    } else {
+        (MODE_RAW, &raw)
+    };
+
+    let mut out = Vec::with_capacity(pcs.len() + values.len() + dict.len() * 3 + 16);
+    out.push(mode);
+    write_varint(&mut out, dict.len() as u64).expect("vec write");
+    let mut prev = 0u64;
+    for (i, &pc) in dict.iter().enumerate() {
+        // Gap-coded sorted dictionary: first entry verbatim, then the
+        // strictly positive gaps.
+        let gap = if i == 0 { pc } else { pc - prev };
+        write_varint(&mut out, gap).expect("vec write");
+        prev = pc;
+    }
+    for &r in &rank {
+        // The frequency permutation: each sorted entry's symbol rank.
+        write_varint(&mut out, r).expect("vec write");
+    }
+    write_varint(&mut out, pcs.len() as u64).expect("vec write");
+    out.extend_from_slice(&pcs);
+    out.extend_from_slice(values);
+    out
+}
+
+/// Decodes a packed chunk back into exactly `records` records.
+fn unpack_records(packed: &[u8], records: u64) -> Result<Vec<TraceRecord>, String> {
+    let mut rest = packed;
+    let mut mode = [0u8; 1];
+    rest.read_exact(&mut mode)
+        .map_err(|_| String::from("missing value-stream mode byte"))?;
+    let mode = mode[0];
+    if mode > MODE_RAW {
+        return Err(format!("unknown value-stream mode {mode}"));
+    }
+
+    // Pc dictionary: gap-coded, at most one entry per record.
+    let dict_len = read_varint(&mut rest).map_err(|e| format!("dictionary length: {e}"))?;
+    if dict_len > records {
+        return Err(format!(
+            "dictionary declares {dict_len} pcs for {records} records"
+        ));
+    }
+    let mut dict: Vec<u64> = Vec::with_capacity(dict_len as usize);
+    let mut prev = 0u64;
+    for i in 0..dict_len {
+        let gap = read_varint(&mut rest).map_err(|e| format!("dictionary entry {i}: {e}"))?;
+        let pc = if i == 0 {
+            gap
+        } else {
+            prev.checked_add(gap)
+                .ok_or_else(|| format!("dictionary entry {i} overflows"))?
+        };
+        dict.push(pc);
+        prev = pc;
+    }
+    // The frequency permutation: pc_by_rank[rank of sorted entry i] =
+    // dict[i]. Every rank must be in range and hit exactly once.
+    let mut pc_by_rank: Vec<Option<u64>> = vec![None; dict_len as usize];
+    for (i, &pc) in dict.iter().enumerate() {
+        let r = read_varint(&mut rest).map_err(|e| format!("dictionary rank {i}: {e}"))?;
+        let slot = pc_by_rank
+            .get_mut(r as usize)
+            .ok_or_else(|| format!("dictionary rank {r} outside {dict_len} entries"))?;
+        if slot.replace(pc).is_some() {
+            return Err(format!("dictionary rank {r} assigned twice"));
+        }
+    }
+    let dict: Vec<u64> = pc_by_rank.into_iter().flatten().collect();
+
+    // Pc stream: one symbol per record.
+    let pc_len = read_varint(&mut rest).map_err(|e| format!("pc stream length: {e}"))?;
+    if pc_len > rest.len() as u64 {
+        return Err(format!(
+            "pc stream length {pc_len} exceeds the {} payload bytes",
+            rest.len()
+        ));
+    }
+    let (mut pcs, mut values) = rest.split_at(pc_len as usize);
+    let mut pc_seq: Vec<u64> = Vec::with_capacity(records as usize);
+    let mut prev_pc = 0u64;
+    for _ in 0..records {
+        let symbol = read_varint(&mut pcs).map_err(|e| format!("pc stream: {e}"))?;
+        let pc = if symbol == 0 {
+            prev_pc.wrapping_add(PC_STEP)
+        } else {
+            *dict
+                .get(symbol as usize - 1)
+                .ok_or_else(|| format!("pc symbol {symbol} outside {dict_len}-entry dictionary"))?
+        };
+        pc_seq.push(pc);
+        prev_pc = pc;
+    }
+    if !pcs.is_empty() {
+        return Err(format!(
+            "{} unused pc-stream bytes after the last record",
+            pcs.len()
+        ));
+    }
+
+    // Bucket sizes in first-appearance order, mirroring the encoder.
+    let mut bucket_of: HashMap<u64, usize> = HashMap::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for &pc in &pc_seq {
+        let b = *bucket_of.entry(pc).or_insert_with(|| {
+            counts.push(0);
+            counts.len() - 1
+        });
+        counts[b] += 1;
+    }
+
+    // Value stream: decode each bucket, then deal values back out in
+    // pc-sequence order.
+    let mut buckets: Vec<Vec<u64>> = Vec::with_capacity(counts.len());
+    for (b, &count) in counts.iter().enumerate() {
+        let mut bucket = Vec::with_capacity(count);
+        let mut prev = 0i64;
+        for _ in 0..count {
+            let field = read_varint(&mut values).map_err(|e| format!("value bucket {b}: {e}"))?;
+            let value = match mode {
+                MODE_BUCKET_DELTA => prev.wrapping_add(unzigzag(field)),
+                _ => field as i64,
+            };
+            bucket.push(value as u64);
+            prev = value;
+        }
+        buckets.push(bucket);
+    }
+    if !values.is_empty() {
+        return Err(format!(
+            "{} unused value-stream bytes after the last record",
+            values.len()
+        ));
+    }
+    let mut cursor = vec![0usize; buckets.len()];
+    let mut out = Vec::with_capacity(records as usize);
+    for &pc in &pc_seq {
+        let b = bucket_of[&pc];
+        let value = buckets[b][cursor[b]];
+        cursor[b] += 1;
+        out.push(TraceRecord::new(pc, value));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Chunk wire format
+// ---------------------------------------------------------------------
+
+/// One undecoded v3 chunk: framing fields plus the raw compressed
+/// payload. Produced by [`V3ChunkReader`]; the v3 counterpart of
+/// [`crate::RawChunk`], with the same independence property — every
+/// chunk decodes with no state from its neighbours.
+#[derive(Debug, Clone)]
+pub struct V3RawChunk {
+    /// Zero-based position of this chunk in the file.
+    pub index: usize,
+    /// Records the chunk holds.
+    pub records: u64,
+    /// Declared uncompressed (bit-packed) payload size in bytes.
+    pub packed_bytes: u64,
+    /// CRC-32 (IEEE) stored in the file for the compressed payload.
+    pub crc_stored: u32,
+    /// The compressed chunk payload.
+    pub payload: Vec<u8>,
+}
+
+impl V3RawChunk {
+    /// Decompresses and unpacks the payload, verifying the CRC first.
+    ///
+    /// Allocation is bounded by the declared packed size, which is
+    /// itself re-checked against [`max_packed_len`] so a hand-crafted
+    /// chunk cannot demand more than one chunk's worst case.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` carrying [`TraceFormatError::ChunkCrcMismatch`],
+    /// [`TraceFormatError::DecompressionBomb`], or
+    /// [`TraceFormatError::TruncatedTail`] for payloads that fail to
+    /// decompress or unpack.
+    pub fn decode(&self) -> io::Result<Vec<TraceRecord>> {
+        if let Some(e) = bomb_guard(
+            self.index,
+            self.records,
+            self.packed_bytes,
+            self.payload.len() as u64,
+        ) {
+            return Err(e.into());
+        }
+        let computed = crc32(&self.payload);
+        if computed != self.crc_stored {
+            return Err(TraceFormatError::ChunkCrcMismatch {
+                chunk: self.index,
+                stored: self.crc_stored,
+                computed,
+            }
+            .into());
+        }
+        let packed = decompress(&self.payload, self.packed_bytes as usize)
+            .map_err(|e| truncated(self.index, format!("undecodable chunk: {e}")))?;
+        unpack_records(&packed, self.records)
+            .map_err(|detail| truncated(self.index, format!("undecodable chunk: {detail}")))
+    }
+
+    /// Peak bytes decoding this chunk may allocate: the packed buffer,
+    /// the decoder's token scratch, and the decoded records.
+    pub fn decode_footprint(&self) -> u64 {
+        self.packed_bytes
+            + max_token_len(self.packed_bytes as usize) as u64
+            + self.records * std::mem::size_of::<TraceRecord>() as u64
+    }
+}
+
+/// The bomb guard applied before any payload-sized work: `None` when
+/// the declared sizes are consistent with a legitimate writer.
+fn bomb_guard(
+    chunk: usize,
+    records: u64,
+    packed_bytes: u64,
+    payload_bytes: u64,
+) -> Option<TraceFormatError> {
+    let over_cap = packed_bytes > max_packed_len(records);
+    let over_ratio = packed_bytes > RATIO_EXEMPT_BYTES
+        && packed_bytes / payload_bytes.max(1) > MAX_EXPANSION_RATIO;
+    (over_cap || over_ratio).then_some(TraceFormatError::DecompressionBomb {
+        chunk,
+        declared: packed_bytes,
+        compressed: payload_bytes,
+    })
+}
+
+/// Streams the chunks of a v3 (`DFCMTRC3`) trace without decoding them:
+/// the v3 counterpart of [`crate::V2ChunkReader`]. Holds at most one
+/// compressed chunk at a time; decoding (via [`V3RawChunk::decode`])
+/// adds at most one decoded chunk, so a full-file scan runs in a
+/// single-chunk working set regardless of file size.
+#[derive(Debug)]
+pub struct V3ChunkReader<R> {
+    reader: R,
+    header: V2Header,
+    remaining: u64,
+    index: usize,
+    /// Set once a framing error is hit so iteration stops permanently.
+    poisoned: bool,
+}
+
+/// Opens a v3 chunk stream over `reader`, which must be positioned at
+/// the start of a `DFCMTRC3` file (magic included).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for other formats or unrecognized magic and
+/// for unreadable headers; propagates I/O errors from the reader.
+pub fn v3_chunks<R: Read>(mut reader: R) -> io::Result<V3ChunkReader<R>> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC_V3 {
+        return Err(TraceFormatError::BadMagic { found: magic }.into());
+    }
+    let header = read_v2_header(&mut reader)?;
+    Ok(V3ChunkReader {
+        reader,
+        remaining: header.records,
+        header,
+        index: 0,
+        poisoned: false,
+    })
+}
+
+impl V3ChunkReader<BufReader<File>> {
+    /// Opens a v3 trace file as a chunk stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`v3_chunks`], plus file-open errors.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        v3_chunks(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> V3ChunkReader<R> {
+    /// Generator seed stamped in the file header.
+    pub fn seed(&self) -> u64 {
+        self.header.seed
+    }
+
+    /// Record count the header declares for the whole file.
+    pub fn declared_records(&self) -> u64 {
+        self.header.records
+    }
+
+    /// Reads the next chunk's framing and payload, applying the bomb
+    /// guards before the payload allocation.
+    fn read_chunk(&mut self) -> io::Result<V3RawChunk> {
+        let index = self.index;
+        let framing = read_v3_chunk_framing(&mut self.reader, index, self.remaining)?;
+        if let Some(e) = bomb_guard(index, framing.records, framing.packed, framing.compressed) {
+            return Err(e.into());
+        }
+        let mut crc_bytes = [0u8; 4];
+        self.reader
+            .read_exact(&mut crc_bytes)
+            .map_err(|e| corruption_at(index, e, "chunk checksum cut short"))?;
+        let mut payload = vec![0u8; framing.compressed as usize];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| corruption_at(index, e, "chunk payload cut short"))?;
+        self.remaining -= framing.records;
+        self.index += 1;
+        Ok(V3RawChunk {
+            index,
+            records: framing.records,
+            packed_bytes: framing.packed,
+            crc_stored: u32::from_le_bytes(crc_bytes),
+            payload,
+        })
+    }
+}
+
+impl<R: Read> Iterator for V3ChunkReader<R> {
+    type Item = io::Result<V3RawChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.remaining == 0 {
+            return None;
+        }
+        match self.read_chunk() {
+            Ok(chunk) => Some(Ok(chunk)),
+            Err(e) => {
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// The three framing varints of a v3 chunk, plausibility-checked up to
+/// (but not including) the bomb guard.
+struct V3ChunkFraming {
+    records: u64,
+    packed: u64,
+    compressed: u64,
+}
+
+fn read_v3_chunk_framing<R: Read>(
+    r: &mut R,
+    index: usize,
+    remaining: u64,
+) -> io::Result<V3ChunkFraming> {
+    let records = read_varint(r).map_err(|e| corruption_at(index, e, "chunk framing cut short"))?;
+    if records == 0 || records > V3_CHUNK_RECORDS as u64 || records > remaining {
+        return Err(truncated(
+            index,
+            format!("implausible chunk record count {records} ({remaining} outstanding)"),
+        ));
+    }
+    let packed = read_varint(r).map_err(|e| corruption_at(index, e, "chunk framing cut short"))?;
+    let compressed =
+        read_varint(r).map_err(|e| corruption_at(index, e, "chunk framing cut short"))?;
+    // The compressed length is what gets allocated *and* what a salvage
+    // skip trusts to find the next chunk, so it must stay plausible even
+    // when the packed length is a bomb.
+    if compressed > max_compressed_len(records) {
+        return Err(truncated(
+            index,
+            format!("implausible chunk byte length {compressed}"),
+        ));
+    }
+    Ok(V3ChunkFraming {
+        records,
+        packed,
+        compressed,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Whole-file read / salvage / inspect
+// ---------------------------------------------------------------------
+
+/// One chunk as read off the wire during a salvage/inspect scan.
+struct ScannedV3Chunk {
+    index: usize,
+    records: u64,
+    packed_bytes: u64,
+    payload_bytes: u64,
+    crc_stored: u32,
+    crc_computed: u32,
+    /// The bomb-guard verdict, if it tripped (payload skipped).
+    bomb: Option<TraceFormatError>,
+    /// The decoded records, or why the payload failed to decode.
+    decoded: Result<Vec<TraceRecord>, String>,
+}
+
+impl ScannedV3Chunk {
+    fn intact(&self) -> bool {
+        self.bomb.is_none() && self.crc_stored == self.crc_computed && self.decoded.is_ok()
+    }
+}
+
+/// Reads chunks until `header.records` are accounted for, decoding what
+/// it can. Bomb-guarded chunks are *skipped* (their compressed length
+/// is plausibility-bounded, so the scan can step over the payload) and
+/// reported in place, which is what lets salvage recover everything
+/// after a bomb. Only environment I/O errors are returned as `Err`.
+fn scan_v3<R: Read>(
+    r: &mut R,
+    header: &V2Header,
+) -> io::Result<(Vec<ScannedV3Chunk>, Option<io::Error>)> {
+    let mut chunks = Vec::new();
+    let mut remaining = header.records;
+    let mut index = 0usize;
+    while remaining > 0 {
+        let framing = match read_v3_chunk_framing(r, index, remaining) {
+            Ok(f) => f,
+            Err(e) if is_corruption(&e) => return Ok((chunks, Some(e))),
+            Err(e) => return Err(e),
+        };
+        let mut crc_bytes = [0u8; 4];
+        if let Err(e) = r.read_exact(&mut crc_bytes) {
+            if is_corruption(&e) {
+                return Ok((chunks, Some(truncated(index, "chunk checksum cut short"))));
+            }
+            return Err(e);
+        }
+        let mut payload = vec![0u8; framing.compressed as usize];
+        if let Err(e) = r.read_exact(&mut payload) {
+            if is_corruption(&e) {
+                return Ok((chunks, Some(truncated(index, "chunk payload cut short"))));
+            }
+            return Err(e);
+        }
+        let crc_stored = u32::from_le_bytes(crc_bytes);
+        let crc_computed = crc32(&payload);
+        let bomb = bomb_guard(index, framing.records, framing.packed, framing.compressed);
+        let decoded = match &bomb {
+            Some(e) => Err(e.to_string()),
+            None if crc_stored != crc_computed => {
+                // CRC already failed; don't decode a payload known bad.
+                Err("CRC mismatch".into())
+            }
+            None => decompress(&payload, framing.packed as usize)
+                .map_err(|e| e.to_string())
+                .and_then(|packed| unpack_records(&packed, framing.records)),
+        };
+        chunks.push(ScannedV3Chunk {
+            index,
+            records: framing.records,
+            packed_bytes: framing.packed,
+            payload_bytes: framing.compressed,
+            crc_stored,
+            crc_computed,
+            bomb,
+            decoded,
+        });
+        remaining -= framing.records;
+        index += 1;
+    }
+    Ok((chunks, None))
+}
+
+/// Strict whole-file v3 read (magic already consumed): the body of
+/// [`Trace::read_from`] for `DFCMTRC3` files.
+pub(crate) fn read_v3_body<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let header = read_v2_header(r)?;
+    let (chunks, framing_error) = scan_v3(r, &header)?;
+    // Report the earliest-chunk problem, preferring the sharpest
+    // diagnosis: bomb guard, then CRC, then decode failure.
+    for c in &chunks {
+        if let Some(bomb) = &c.bomb {
+            return Err(bomb.clone().into());
+        }
+        if c.crc_stored != c.crc_computed {
+            return Err(TraceFormatError::ChunkCrcMismatch {
+                chunk: c.index,
+                stored: c.crc_stored,
+                computed: c.crc_computed,
+            }
+            .into());
+        }
+        if let Err(detail) = &c.decoded {
+            return Err(truncated(c.index, format!("undecodable chunk: {detail}")));
+        }
+    }
+    if let Some(e) = framing_error {
+        return Err(e);
+    }
+    let mut trace = Trace::with_capacity(header.records.min(MAX_PREALLOC) as usize);
+    for c in chunks {
+        trace.extend(c.decoded.expect("checked above"));
+    }
+    Ok(trace)
+}
+
+/// v3 salvage (magic already consumed): recovers every intact chunk,
+/// skipping bombs, CRC failures, and undecodable payloads individually.
+pub(crate) fn salvage_v3<R: Read>(r: &mut R) -> io::Result<SalvageReport> {
+    let header = read_v2_header(r)?;
+    let (chunks, framing_error) = scan_v3(r, &header)?;
+    let scanned = chunks.len();
+    let mut recovered = Trace::with_capacity(header.records.min(MAX_PREALLOC) as usize);
+    let mut recovered_chunks = 0usize;
+    let mut dropped = Vec::new();
+    let mut accounted = 0u64;
+    for c in chunks {
+        accounted += c.records;
+        if c.intact() {
+            recovered.extend(c.decoded.expect("intact chunk decoded"));
+            recovered_chunks += 1;
+            continue;
+        }
+        let reason = if let Some(bomb) = &c.bomb {
+            bomb.to_string()
+        } else if c.crc_stored != c.crc_computed {
+            format!(
+                "CRC mismatch (stored {:#010x}, computed {:#010x})",
+                c.crc_stored, c.crc_computed
+            )
+        } else {
+            format!(
+                "undecodable payload: {}",
+                c.decoded.as_ref().expect_err("not intact")
+            )
+        };
+        dropped.push(DroppedChunk {
+            chunk: c.index,
+            records: c.records,
+            reason,
+        });
+    }
+    if let Some(e) = framing_error {
+        dropped.push(DroppedChunk {
+            chunk: scanned,
+            records: header.records - accounted,
+            reason: e.to_string(),
+        });
+    }
+    Ok(SalvageReport {
+        version: 3,
+        declared_records: header.records,
+        seed: Some(header.seed),
+        recovered,
+        total_chunks: header.records.div_ceil(V3_CHUNK_RECORDS as u64) as usize,
+        recovered_chunks,
+        dropped,
+    })
+}
+
+/// v3 inspect (magic already consumed): the chunk map with per-chunk
+/// CRC status and compressed/uncompressed sizes.
+pub(crate) fn inspect_v3<R: Read>(r: &mut R) -> io::Result<TraceInfo> {
+    let header = read_v2_header(r)?;
+    let (chunks, framing_error) = scan_v3(r, &header)?;
+    let decoded_records = chunks
+        .iter()
+        .filter(|c| c.intact())
+        .map(|c| c.records)
+        .sum();
+    Ok(TraceInfo {
+        version: 3,
+        declared_records: header.records,
+        decoded_records,
+        seed: Some(header.seed),
+        flags: header.flags,
+        chunks: chunks
+            .into_iter()
+            .map(|c| ChunkInfo {
+                chunk: c.index,
+                records: c.records,
+                payload_bytes: c.payload_bytes,
+                uncompressed_bytes: c.packed_bytes,
+                crc_stored: c.crc_stored,
+                crc_computed: c.crc_computed,
+                decodes: c.bomb.is_none() && c.decoded.is_ok(),
+            })
+            .collect(),
+        trailing_bytes: 0,
+        error: framing_error.map(|e| e.to_string()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------------
+
+/// Writes a v3 trace incrementally, one chunk at a time, so a trace of
+/// any length can be emitted without ever materializing it: the writer
+/// holds at most one chunk of records plus its encoding scratch.
+///
+/// The record count goes in the header up front, so it must be declared
+/// at construction; [`finish`](V3StreamWriter::finish) enforces that
+/// exactly that many records were pushed.
+///
+/// ```
+/// use dfcm_trace::{Trace, TraceRecord, V3StreamWriter};
+///
+/// let mut out = Vec::new();
+/// let mut w = V3StreamWriter::new(&mut out, 3, 42).unwrap();
+/// for i in 0..3 {
+///     w.push(TraceRecord::new(0x400 + 4 * i, i)).unwrap();
+/// }
+/// w.finish().unwrap();
+/// assert_eq!(Trace::read_from(&out[..]).unwrap().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct V3StreamWriter<W: Write> {
+    w: W,
+    declared: u64,
+    written: u64,
+    buf: Vec<TraceRecord>,
+}
+
+impl<W: Write> V3StreamWriter<W> {
+    /// Starts a v3 stream declaring `records` records and stamping
+    /// `seed` into the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the magic and header.
+    pub fn new(mut w: W, records: u64, seed: u64) -> io::Result<Self> {
+        w.write_all(MAGIC_V3)?;
+        let mut header = Vec::with_capacity(24);
+        write_varint(&mut header, records)?;
+        write_varint(&mut header, seed)?;
+        write_varint(&mut header, 0)?; // flags
+        write_varint(&mut w, header.len() as u64)?;
+        w.write_all(&header)?;
+        Ok(V3StreamWriter {
+            w,
+            declared: records,
+            written: 0,
+            buf: Vec::with_capacity(V3_CHUNK_RECORDS.min(records as usize)),
+        })
+    }
+
+    /// Appends one record, flushing a full chunk to the writer.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when more records than declared are pushed;
+    /// otherwise propagates I/O errors.
+    pub fn push(&mut self, record: TraceRecord) -> io::Result<()> {
+        if self.written == self.declared {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("trace declared {} records, got more", self.declared),
+            ));
+        }
+        self.buf.push(record);
+        self.written += 1;
+        if self.buf.len() == V3_CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        let packed = pack_records(&self.buf);
+        let payload = compress(&packed);
+        write_varint(&mut self.w, self.buf.len() as u64)?;
+        write_varint(&mut self.w, packed.len() as u64)?;
+        write_varint(&mut self.w, payload.len() as u64)?;
+        self.w.write_all(&crc32(&payload).to_le_bytes())?;
+        self.w.write_all(&payload)?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk and validates the record count,
+    /// returning the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when fewer records than declared were pushed
+    /// (the header would lie); otherwise propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.written != self.declared {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "trace declared {} records, got {}",
+                    self.declared, self.written
+                ),
+            ));
+        }
+        if !self.buf.is_empty() {
+            self.flush_chunk()?;
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Writes a buffered trace in the v3 format (the [`Trace::write_with`]
+/// body for [`crate::TraceFormat::V3`]).
+pub(crate) fn write_v3<W: Write>(trace: &Trace, w: W, seed: u64) -> io::Result<()> {
+    let mut writer = V3StreamWriter::new(w, trace.len() as u64, seed)?;
+    for r in trace {
+        writer.push(*r)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::TraceFormat;
+    use crate::rng::SplitMix64;
+
+    fn mixed_trace(records: usize, salt: u64) -> Trace {
+        let mut rng = SplitMix64::new(salt);
+        (0..records as u64)
+            .map(|i| {
+                // Loop-like pcs, a mix of stride, constant, and random
+                // values — exercises both block value modes.
+                let pc = 0x40_0000 + 4 * (i % 331);
+                let value = match i % 4 {
+                    0 => i * 8,
+                    1 => 7,
+                    2 => rng.next_u64() & 0xFFFF_FFFF,
+                    _ => i.wrapping_mul(0x9E37_79B9),
+                };
+                TraceRecord::new(pc, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        for records in [1usize, 2, 127, 128, 129, 1000, 4096] {
+            let trace = mixed_trace(records, records as u64);
+            let packed = pack_records(trace.records());
+            assert!(packed.len() as u64 <= max_packed_len(records as u64));
+            let restored = unpack_records(&packed, records as u64).unwrap();
+            assert_eq!(restored, trace.records());
+        }
+    }
+
+    #[test]
+    fn pack_handles_extreme_values() {
+        let trace: Trace = vec![
+            TraceRecord::new(0, 0),
+            TraceRecord::new(u64::MAX, u64::MAX),
+            TraceRecord::new(0, 1),
+            TraceRecord::new(u64::MAX / 2, u64::MAX / 2 + 3),
+        ]
+        .into_iter()
+        .collect();
+        let packed = pack_records(trace.records());
+        let restored = unpack_records(&packed, 4).unwrap();
+        assert_eq!(restored, trace.records());
+    }
+
+    #[test]
+    fn file_roundtrip_multi_chunk() {
+        let trace = mixed_trace(2 * V3_CHUNK_RECORDS + 777, 5);
+        let mut bytes = Vec::new();
+        write_v3(&trace, &mut bytes, 99).unwrap();
+        let restored = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(trace, restored);
+        // And the chunk reader agrees, chunk by chunk.
+        let reader = v3_chunks(bytes.as_slice()).unwrap();
+        assert_eq!(reader.seed(), 99);
+        assert_eq!(reader.declared_records(), trace.len() as u64);
+        let mut all = Vec::new();
+        for chunk in reader {
+            all.extend(chunk.unwrap().decode().unwrap());
+        }
+        assert_eq!(all, trace.records());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace::new();
+        let mut bytes = Vec::new();
+        write_v3(&trace, &mut bytes, 0).unwrap();
+        assert_eq!(Trace::read_from(bytes.as_slice()).unwrap().len(), 0);
+        let report = crate::salvage_trace(bytes.as_slice()).unwrap();
+        assert!(report.intact());
+    }
+
+    #[test]
+    fn streaming_writer_matches_buffered() {
+        let trace = mixed_trace(V3_CHUNK_RECORDS + 100, 11);
+        let mut buffered = Vec::new();
+        trace
+            .write_with(&mut buffered, TraceFormat::V3 { seed: 4 })
+            .unwrap();
+        let mut streamed = Vec::new();
+        let mut w = V3StreamWriter::new(&mut streamed, trace.len() as u64, 4).unwrap();
+        for r in &trace {
+            w.push(*r).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(buffered, streamed);
+    }
+
+    #[test]
+    fn writer_enforces_declared_count() {
+        let mut out = Vec::new();
+        let mut w = V3StreamWriter::new(&mut out, 2, 0).unwrap();
+        w.push(TraceRecord::new(0, 0)).unwrap();
+        assert!(w.finish().is_err(), "undershoot refused");
+
+        let mut out = Vec::new();
+        let mut w = V3StreamWriter::new(&mut out, 1, 0).unwrap();
+        w.push(TraceRecord::new(0, 0)).unwrap();
+        assert!(w.push(TraceRecord::new(0, 1)).is_err(), "overshoot refused");
+    }
+
+    #[test]
+    fn bomb_guard_trips_on_oversized_declaration() {
+        // A chunk declaring far more packed bytes than 65536 records
+        // can legitimately produce.
+        let e = bomb_guard(0, 100, max_packed_len(100) + 1, 50).unwrap();
+        assert!(matches!(e, TraceFormatError::DecompressionBomb { .. }));
+        // Ratio violation: 1MB declared from a 16-byte payload.
+        let e = bomb_guard(0, 65536, 1 << 20, 16).unwrap();
+        assert!(matches!(e, TraceFormatError::DecompressionBomb { .. }));
+        // Legit chunks pass.
+        assert!(bomb_guard(0, 65536, 1 << 20, 2048).is_none());
+        assert!(bomb_guard(0, 100, 1600, 200).is_none());
+    }
+
+    #[test]
+    fn density_beats_v2_on_suite_like_data() {
+        let trace = mixed_trace(100_000, 3);
+        let mut v2 = Vec::new();
+        trace.write_v2_to(&mut v2, 0).unwrap();
+        let mut v3 = Vec::new();
+        write_v3(&trace, &mut v3, 0).unwrap();
+        assert!(
+            v3.len() < v2.len(),
+            "v3 {} bytes should beat v2 {} bytes",
+            v3.len(),
+            v2.len()
+        );
+    }
+}

@@ -1,13 +1,16 @@
 //! Structure-aware fuzzing of the trace decoders on the workspace
-//! proptest shim: random byte mutations of valid v1/v2 traces, and raw
-//! garbage, must never panic or mis-decode. Strict reads either return
-//! the original records or a typed error; salvage and inspect are total.
+//! proptest shim: random byte mutations of valid v1/v2/v3 traces, raw
+//! garbage, truncations at every boundary, and hand-crafted
+//! decompression-bomb framings must never panic or mis-decode. Strict
+//! reads either return the original records or a typed error; salvage
+//! and inspect are total.
 //!
 //! CI runs this harness with `PROPTEST_CASES=1000` (the fuzz-smoke
 //! step); locally it runs at the shim's default case count.
 
 use dfcm_trace::{
     inspect_trace, salvage_trace, Trace, TraceFormatError, TraceRecord, V2_CHUNK_RECORDS,
+    V3_CHUNK_RECORDS,
 };
 use proptest::prelude::*;
 
@@ -36,6 +39,52 @@ fn v2_bytes(trace: &Trace, seed: u64) -> Vec<u8> {
     let mut buffer = Vec::new();
     trace.write_v2_to(&mut buffer, seed).unwrap();
     buffer
+}
+
+fn v3_bytes(trace: &Trace, seed: u64) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    trace
+        .write_with(&mut buffer, dfcm_trace::TraceFormat::V3 { seed })
+        .unwrap();
+    buffer
+}
+
+/// Minimal varint reader for crafting test inputs: returns the value
+/// and the bytes consumed.
+fn read_varint_at(bytes: &[u8], at: usize) -> (u64, usize) {
+    let mut value = 0u64;
+    let mut shift = 0;
+    let mut used = 0;
+    for &b in &bytes[at..] {
+        used += 1;
+        value |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    (value, used)
+}
+
+fn varint(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+    out
+}
+
+/// Byte offset of the first chunk frame in a v3 file (right after the
+/// magic and the length-prefixed header).
+fn v3_first_chunk_offset(bytes: &[u8]) -> usize {
+    let (hlen, used) = read_varint_at(bytes, 8);
+    8 + used + hlen as usize
 }
 
 /// Applies `flips` single-byte XOR mutations at pseudo-positions derived
@@ -163,5 +212,158 @@ proptest! {
             let bytes = v2_bytes(&trace, 1);
             prop_assert_eq!(Trace::read_from(bytes.as_slice()).unwrap(), trace);
         }
+    }
+
+    /// Strict v3 reads of byte-mutated files either reproduce the
+    /// original records exactly or fail with a typed format error —
+    /// never a panic, never silently wrong data, no matter whether the
+    /// flip lands in the header, the chunk framing, the compressed
+    /// payload, or the CRC itself.
+    #[test]
+    fn mutated_v3_never_misdecodes(
+        records in 0usize..9000,
+        salt in any::<u64>(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        let trace = base_trace(records, salt);
+        let mut bytes = v3_bytes(&trace, salt);
+        mutate(&mut bytes, &flips, 8);
+        match Trace::read_from(bytes.as_slice()) {
+            Ok(decoded) => prop_assert_eq!(decoded, trace),
+            Err(e) => prop_assert!(
+                TraceFormatError::classify(&e).is_some(),
+                "untyped decode error: {}", e
+            ),
+        }
+    }
+
+    /// Truncating a v3 file at every possible byte boundary is handled
+    /// cleanly: a strict read fails typed, and salvage recovers only
+    /// whole intact chunks that are a prefix of the original.
+    #[test]
+    fn truncated_v3_fails_typed_and_salvages(
+        records in 1usize..9000,
+        salt in any::<u64>(),
+        keep_permille in 0u32..1000,
+    ) {
+        let trace = base_trace(records, salt);
+        let bytes = v3_bytes(&trace, salt);
+        let keep = 8 + (bytes.len() - 8) * keep_permille as usize / 1000;
+        let err = Trace::read_from(&bytes[..keep]).unwrap_err();
+        prop_assert!(TraceFormatError::classify(&err).is_some(), "untyped: {}", err);
+        if let Ok(report) = salvage_trace(&bytes[..keep]) {
+            prop_assert!(report.recovered.len() <= trace.len());
+            prop_assert_eq!(
+                report.recovered.records(),
+                &trace.records()[..report.recovered.len()]
+            );
+        }
+    }
+
+    /// Salvage and inspect are total on mutated v3 files and agree with
+    /// each other, exactly like the v2 invariants.
+    #[test]
+    fn v3_salvage_and_inspect_are_total_and_consistent(
+        records in 0usize..9000,
+        salt in any::<u64>(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        let trace = base_trace(records, salt);
+        let mut bytes = v3_bytes(&trace, salt);
+        mutate(&mut bytes, &flips, 8);
+        let salvage = salvage_trace(bytes.as_slice());
+        let inspect = inspect_trace(bytes.as_slice());
+        if let Ok(report) = &salvage {
+            prop_assert!(report.recovered_chunks <= report.total_chunks);
+            if report.dropped.is_empty() {
+                prop_assert_eq!(&report.recovered, &trace);
+            }
+        }
+        if let Ok(info) = &inspect {
+            prop_assert!(info.decoded_records <= info.declared_records
+                || info.declared_records != trace.len() as u64);
+        }
+        prop_assert_eq!(salvage.is_err(), inspect.is_err());
+    }
+
+    /// Garbage wearing the v3 magic never panics any decoder entry
+    /// point. (Unprefixed garbage almost never hits the v3 path, so the
+    /// magic is forced here.)
+    #[test]
+    fn v3_magic_plus_garbage_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let mut file = b"DFCMTRC3".to_vec();
+        file.extend_from_slice(&bytes);
+        let _ = Trace::read_from(file.as_slice());
+        let _ = salvage_trace(file.as_slice());
+        let _ = inspect_trace(file.as_slice());
+    }
+
+    /// Arbitrary records — full-range pcs and values, any length —
+    /// round-trip through v3 bit-exactly.
+    #[test]
+    fn v3_roundtrip_arbitrary_records(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..2000),
+        seed in any::<u64>(),
+    ) {
+        let trace: Trace = pairs
+            .into_iter()
+            .map(|(pc, value)| TraceRecord::new(pc, value))
+            .collect();
+        let bytes = v3_bytes(&trace, seed);
+        prop_assert_eq!(Trace::read_from(bytes.as_slice()).unwrap(), trace);
+    }
+
+    /// A chunk framing rewritten to declare an absurd packed size — a
+    /// decompression bomb — fails typed without the decoder attempting
+    /// the allocation, for any claimed size over the per-chunk cap.
+    #[test]
+    fn v3_bomb_framing_fails_typed(extra in 0u64..u64::MAX / 2, salt in any::<u64>()) {
+        let trace = base_trace(500, salt);
+        let bytes = v3_bytes(&trace, salt);
+        let chunk_at = v3_first_chunk_offset(&bytes);
+        let (chunk_records, used) = read_varint_at(&bytes, chunk_at);
+        prop_assert_eq!(chunk_records, 500);
+        let packed_at = chunk_at + used;
+        let (_, packed_used) = read_varint_at(&bytes, packed_at);
+        // Splice in a packed size beyond the bomb guard's cap.
+        let bomb = dfcm_trace::v3_max_packed_len(chunk_records) + 1 + extra;
+        let mut crafted = bytes[..packed_at].to_vec();
+        crafted.extend_from_slice(&varint(bomb));
+        crafted.extend_from_slice(&bytes[packed_at + packed_used..]);
+        let err = Trace::read_from(crafted.as_slice()).unwrap_err();
+        prop_assert!(
+            matches!(
+                TraceFormatError::classify(&err),
+                Some(TraceFormatError::DecompressionBomb { .. })
+            ),
+            "expected a typed bomb rejection: {}", err
+        );
+        // Salvage drops the bomb chunk instead of honouring it.
+        if let Ok(report) = salvage_trace(crafted.as_slice()) {
+            prop_assert_eq!(report.recovered.len(), 0);
+        }
+    }
+}
+
+/// Round-trip sanity at the v3 chunk boundaries (one run, not a
+/// proptest: at 65536 records per chunk the traces are big enough that
+/// a 1000-case CI run would dominate the fuzz budget).
+#[test]
+fn v3_chunk_boundary_sizes_roundtrip() {
+    for base in [
+        V3_CHUNK_RECORDS - 1,
+        V3_CHUNK_RECORDS,
+        V3_CHUNK_RECORDS + 1,
+        2 * V3_CHUNK_RECORDS,
+    ] {
+        let trace = base_trace(base, 0xA5A5);
+        let bytes = v3_bytes(&trace, 1);
+        assert_eq!(
+            Trace::read_from(bytes.as_slice()).unwrap(),
+            trace,
+            "{base} records"
+        );
     }
 }
