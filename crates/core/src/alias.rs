@@ -204,6 +204,7 @@ pub struct AliasAnalyzer {
     l2_shadow: Vec<Option<L2Shadow>>,
     private_l2: Vec<HashMap<u64, u64>>,
     breakdown: AliasBreakdown,
+    last_predicted: u64,
 }
 
 impl AliasAnalyzer {
@@ -248,6 +249,7 @@ impl AliasAnalyzer {
             l2_shadow: vec![None; 1 << l2_bits],
             private_l2: vec![HashMap::new(); l1_entries],
             breakdown: AliasBreakdown::default(),
+            last_predicted: 0,
         })
     }
 
@@ -259,6 +261,15 @@ impl AliasAnalyzer {
     /// The classification counts accumulated so far.
     pub fn breakdown(&self) -> AliasBreakdown {
         self.breakdown
+    }
+
+    /// The value predicted by the most recent
+    /// [`access`](AliasAnalyzer::access) (0 before the first access).
+    /// Lets callers feed the replicated prediction into magnitude-aware
+    /// consumers (e.g. the phase-series miss histogram) without
+    /// re-simulating the predictor.
+    pub fn last_predicted(&self) -> u64 {
+        self.last_predicted
     }
 
     /// Performs one predict/classify/update step and returns the class and
@@ -275,6 +286,7 @@ impl AliasAnalyzer {
             AnalyzedKind::Dfcm => self.last[i1].wrapping_add(stored),
         };
         let correct = predicted == actual;
+        self.last_predicted = predicted;
 
         // Classification (first rule that applies).
         let class = self.classify(pc, i1, h, i2, stored);

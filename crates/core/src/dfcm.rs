@@ -316,7 +316,8 @@ impl ValuePredictor for DfcmPredictor {
             stats.l1.record(i1);
             stats.l2.record(history as usize);
             if let Some(analyzer) = &mut stats.analyzer {
-                analyzer.access(pc, actual);
+                let (class, _) = analyzer.access(pc, actual);
+                stats.last_class = Some(class);
             }
         }
     }
@@ -338,7 +339,8 @@ impl ValuePredictor for DfcmPredictor {
             stats.l1.record(i1);
             stats.l2.record(history as usize);
             if let Some(analyzer) = &mut stats.analyzer {
-                analyzer.access(pc, actual);
+                let (class, _) = analyzer.access(pc, actual);
+                stats.last_class = Some(class);
             }
         }
         AccessOutcome {
@@ -385,6 +387,7 @@ impl ValuePredictor for DfcmPredictor {
                 l1: TableTracker::new("l1", self.last.len()),
                 l2: TableTracker::new("l2", self.l2.len()),
                 analyzer,
+                last_class: None,
             });
         }
     }
@@ -394,6 +397,10 @@ impl ValuePredictor for DfcmPredictor {
             tables: vec![s.l1.usage(), s.l2.usage()],
             alias: s.analyzer.as_ref().map(AliasAnalyzer::breakdown),
         })
+    }
+
+    fn last_alias_class(&self) -> Option<crate::AliasClass> {
+        self.stats.as_ref().and_then(|s| s.last_class)
     }
 }
 

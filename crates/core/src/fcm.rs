@@ -8,12 +8,15 @@ use crate::DEFAULT_VALUE_BITS;
 
 /// Opt-in instrumentation for a two-level predictor: usage trackers for
 /// both tables plus a replicated [`AliasAnalyzer`] classifying every
-/// update into the paper's §4.2 taxonomy.
+/// update into the paper's §4.2 taxonomy. The class of the most recent
+/// update is kept so per-access observers can read it back without a
+/// second analyzer pass.
 #[derive(Debug, Clone)]
 pub(crate) struct TwoLevelInstrumentation {
     pub(crate) l1: TableTracker,
     pub(crate) l2: TableTracker,
     pub(crate) analyzer: Option<AliasAnalyzer>,
+    pub(crate) last_class: Option<crate::AliasClass>,
 }
 
 /// The two-level finite context method predictor (Sazeides & Smith; §2.3).
@@ -232,7 +235,8 @@ impl ValuePredictor for FcmPredictor {
             stats.l1.record(i1);
             stats.l2.record(history as usize);
             if let Some(analyzer) = &mut stats.analyzer {
-                analyzer.access(pc, actual);
+                let (class, _) = analyzer.access(pc, actual);
+                stats.last_class = Some(class);
             }
         }
     }
@@ -251,7 +255,8 @@ impl ValuePredictor for FcmPredictor {
             stats.l1.record(i1);
             stats.l2.record(history as usize);
             if let Some(analyzer) = &mut stats.analyzer {
-                analyzer.access(pc, actual);
+                let (class, _) = analyzer.access(pc, actual);
+                stats.last_class = Some(class);
             }
         }
         AccessOutcome {
@@ -292,6 +297,7 @@ impl ValuePredictor for FcmPredictor {
                     )
                     .expect("predictor config was already validated"),
                 ),
+                last_class: None,
             });
         }
     }
@@ -301,6 +307,10 @@ impl ValuePredictor for FcmPredictor {
             tables: vec![s.l1.usage(), s.l2.usage()],
             alias: s.analyzer.as_ref().map(AliasAnalyzer::breakdown),
         })
+    }
+
+    fn last_alias_class(&self) -> Option<crate::AliasClass> {
+        self.stats.as_ref().and_then(|s| s.last_class)
     }
 }
 

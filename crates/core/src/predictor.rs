@@ -76,6 +76,18 @@ pub trait ValuePredictor {
     fn table_stats(&self) -> Option<TableStats> {
         None
     }
+
+    /// The aliasing class (§4.2 taxonomy) the most recent
+    /// [`update`](ValuePredictor::update) /
+    /// [`access`](ValuePredictor::access) fell into, or `None` when the
+    /// predictor does not classify accesses or instrumentation is off.
+    ///
+    /// Phase-resolved observability reads this after each access to
+    /// attribute per-window and per-PC mispredictions to the paper's
+    /// aliasing classes without a second analyzer pass.
+    fn last_alias_class(&self) -> Option<crate::AliasClass> {
+        None
+    }
 }
 
 impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
@@ -105,6 +117,10 @@ impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
 
     fn table_stats(&self) -> Option<TableStats> {
         (**self).table_stats()
+    }
+
+    fn last_alias_class(&self) -> Option<crate::AliasClass> {
+        (**self).last_alias_class()
     }
 }
 
@@ -195,6 +211,62 @@ mod tests {
             }
             assert_eq!(fused.table_stats(), split.table_stats(), "{}", fused.name());
         }
+    }
+
+    #[test]
+    fn last_alias_class_reconciles_with_breakdown() {
+        // Per-access classes summed over the run must equal the
+        // analyzer's aggregate breakdown — the invariant phase-resolved
+        // attribution depends on. Also checks Box forwarding.
+        let make: Vec<fn() -> Box<dyn ValuePredictor>> = vec![
+            || {
+                Box::new(
+                    crate::FcmPredictor::builder()
+                        .l1_bits(4)
+                        .l2_bits(8)
+                        .build()
+                        .unwrap(),
+                )
+            },
+            || {
+                Box::new(
+                    crate::DfcmPredictor::builder()
+                        .l1_bits(4)
+                        .l2_bits(8)
+                        .build()
+                        .unwrap(),
+                )
+            },
+        ];
+        for factory in make {
+            let mut p = factory();
+            assert_eq!(p.last_alias_class(), None);
+            p.access(0x40, 1);
+            assert_eq!(p.last_alias_class(), None, "no stats yet: {}", p.name());
+            p.enable_table_stats();
+            let mut counts = std::collections::BTreeMap::new();
+            for i in 0..400u64 {
+                p.access(4 * (i % 17), (i / 3).wrapping_mul(7).wrapping_sub(i % 4));
+                let class = p.last_alias_class().expect("stats enabled");
+                *counts.entry(class.label()).or_insert(0u64) += 1;
+            }
+            let alias = p.table_stats().unwrap().alias.unwrap();
+            assert_eq!(alias.total(), 400, "{}", p.name());
+            for class in crate::AliasClass::ALL {
+                assert_eq!(
+                    counts.get(class.label()).copied().unwrap_or(0),
+                    alias.class_total(class),
+                    "{} class {}",
+                    p.name(),
+                    class.label()
+                );
+            }
+        }
+        // Predictors without an analyzer always report None.
+        let mut lvp = LastValuePredictor::new(4);
+        lvp.enable_table_stats();
+        lvp.access(0x40, 1);
+        assert_eq!(lvp.last_alias_class(), None);
     }
 
     #[test]

@@ -41,16 +41,19 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod summary;
+pub mod timeseries;
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use metrics::{MetricsRegistry, MetricsSnapshot};
 use span::{Event, SpanRecorder};
+use timeseries::LaneSeries;
 
 #[derive(Debug, Default)]
 struct ObsInner {
     spans: SpanRecorder,
     metrics: MetricsRegistry,
+    series: Mutex<Vec<LaneSeries>>,
 }
 
 /// A cheaply clonable observability handle, enabled or disabled.
@@ -162,8 +165,25 @@ impl Obs {
         }
     }
 
-    /// Writes all three export formats into `dir` (no-op when
-    /// disabled).
+    /// Attaches a finished per-lane time series (dropped when disabled);
+    /// it is rendered into `series.jsonl` by [`Obs::write_exports`].
+    pub fn record_series(&self, lane: LaneSeries) {
+        if let Some(i) = &self.inner {
+            i.series.lock().expect("series lock").push(lane);
+        }
+    }
+
+    /// A copy of all recorded per-lane time series.
+    pub fn series_snapshot(&self) -> Vec<LaneSeries> {
+        match &self.inner {
+            Some(i) => i.series.lock().expect("series lock").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Writes all export formats into `dir` (no-op when disabled).
+    /// `series.jsonl` is only written when at least one lane recorded a
+    /// time series.
     ///
     /// # Errors
     ///
@@ -173,7 +193,13 @@ impl Obs {
             return Ok(());
         }
         let (events, metrics) = self.snapshot();
-        export::write_exports(dir, &events, &metrics)
+        export::write_exports(dir, &events, &metrics)?;
+        let lanes = self.series_snapshot();
+        if !lanes.is_empty() {
+            let lines = timeseries::render_series(&lanes);
+            export::write_jsonl_report(&dir.join(timeseries::SERIES_FILE), &lines)?;
+        }
+        Ok(())
     }
 }
 

@@ -75,12 +75,19 @@ impl Histogram {
     }
 
     /// Records one observation.
+    #[inline]
     pub fn observe(&mut self, value: f64) {
-        let bucket = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
+        // Overflow first: hot callers (miss-magnitude folds over random
+        // values) mostly land past the last bound, and one compare beats
+        // scanning every bucket to find that out.
+        let bucket = match self.bounds.last() {
+            Some(&last) if value > last => self.bounds.len(),
+            _ => self
+                .bounds
+                .iter()
+                .position(|&b| value <= b)
+                .unwrap_or(self.bounds.len()),
+        };
         self.counts[bucket] += 1;
         self.sum += value;
         self.count += 1;

@@ -76,10 +76,45 @@ fn labels_of(value: &Json, key: &str) -> Vec<(String, String)> {
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending line when the file is missing
-/// or any line is not one of the known record types.
+/// Returns a message naming the offending line when any line is not one
+/// of the known record types. A missing directory, an empty directory
+/// (no export ever ran) and a partially-written export (some files
+/// present, [`EVENTS_FILE`] absent) each get a distinct, actionable
+/// message instead of a bare I/O error.
 pub fn load(dir: &Path) -> Result<ObsData, String> {
+    if !dir.is_dir() {
+        return Err(format!(
+            "{}: not a directory — no obs export found (run with --obs {} first)",
+            dir.display(),
+            dir.display()
+        ));
+    }
     let path = dir.join(EVENTS_FILE);
+    if !path.is_file() {
+        let present: Vec<String> = [
+            EVENTS_FILE,
+            crate::export::TRACE_FILE,
+            crate::export::PROM_FILE,
+        ]
+        .iter()
+        .filter(|f| dir.join(f).is_file())
+        .map(|f| (*f).to_owned())
+        .collect();
+        return Err(if present.is_empty() {
+            format!(
+                "{}: empty obs directory ({EVENTS_FILE} missing) — \
+                 was the run instrumented with --obs?",
+                dir.display()
+            )
+        } else {
+            format!(
+                "{}: partial obs export — {EVENTS_FILE} missing but {} present \
+                 (the writing run may have been interrupted; re-run it)",
+                dir.display(),
+                present.join(", ")
+            )
+        });
+    }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut data = ObsData::default();
     for (i, line) in text.lines().enumerate() {
@@ -430,7 +465,10 @@ fn label(metric_labels: &[(String, String)], key: &str) -> String {
         .unwrap_or_default()
 }
 
-fn sparkline(values: &[f64]) -> String {
+/// Renders `values` as a unicode block-bar sparkline scaled to the
+/// largest value (empty input renders empty). Shared with the
+/// `dfcm-tools obs report` phase renderer.
+pub fn sparkline(values: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().cloned().fold(0.0_f64, f64::max);
     values
@@ -736,6 +774,35 @@ mod tests {
         assert!(report.contains("dfcm"));
         assert!(report.contains("50.0") || report.contains("occ%"));
         assert!(report.contains("Aliasing breakdown"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_a_clear_error() {
+        let dir = temp_dir("no-such-dir");
+        let err = load(&dir).unwrap_err();
+        assert!(err.contains("no obs export found"), "{err}");
+        assert!(err.contains("--obs"), "{err}");
+    }
+
+    #[test]
+    fn load_empty_dir_is_a_clear_error() {
+        let dir = temp_dir("empty-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(err.contains("empty obs directory"), "{err}");
+        assert!(err.contains("--obs"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_partial_export_names_present_files() {
+        let dir = temp_dir("partial-dir");
+        write_sample_dir(&dir);
+        std::fs::remove_file(dir.join(EVENTS_FILE)).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(err.contains("partial obs export"), "{err}");
+        assert!(err.contains(TRACE_FILE), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

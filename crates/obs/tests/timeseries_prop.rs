@@ -1,0 +1,91 @@
+//! Property tests for the phase-resolved time series: windowed merge is
+//! associative and commutative over arbitrary partitions of an access
+//! stream, so chunk-parallel folds always equal the serial fold.
+
+use dfcm_obs::timeseries::{WindowSeries, MISS_MAGNITUDE_BOUNDS};
+
+use proptest::prelude::*;
+
+const LABELS: &[&str] = &["l1", "hash", "l2_priv", "l2_pc", "none"];
+
+/// One synthetic prediction outcome, generated per index.
+#[derive(Debug, Clone)]
+struct Outcome {
+    class: usize,
+    correct: bool,
+    magnitude: u64,
+}
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    (0usize..LABELS.len(), any::<bool>(), 0u64..1_000_000).prop_map(
+        |(class, correct, magnitude)| Outcome {
+            class,
+            correct,
+            magnitude,
+        },
+    )
+}
+
+fn fold(events: &[Outcome], range: std::ops::Range<usize>) -> WindowSeries {
+    let mut series = WindowSeries::new(16, LABELS, MISS_MAGNITUDE_BOUNDS);
+    for i in range {
+        let e = &events[i];
+        series.record(i as u64, e.class, e.correct, e.magnitude);
+    }
+    series
+}
+
+proptest! {
+    /// Splitting the stream at two arbitrary points and merging the
+    /// three partial series — in either association order, and with the
+    /// operands commuted — is bit-identical to the serial fold.
+    #[test]
+    fn window_series_merge_is_associative_and_commutative(
+        events in prop::collection::vec(outcome(), 1..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+    ) {
+        let n = events.len();
+        let (lo, hi) = (cut_a.min(cut_b) % n, cut_a.max(cut_b) % n);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let serial = fold(&events, 0..n);
+
+        let a = fold(&events, 0..lo);
+        let b = fold(&events, lo..hi);
+        let c = fold(&events, hi..n);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        prop_assert_eq!(&left, &serial);
+
+        // a ⊕ (b ⊕ c)
+        let mut tail = b.clone();
+        tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&tail);
+        prop_assert_eq!(&right, &serial);
+
+        // c ⊕ b ⊕ a (commuted)
+        let mut rev = c;
+        rev.merge(&b);
+        rev.merge(&a);
+        prop_assert_eq!(&rev, &serial);
+    }
+
+    /// Window totals always reconcile with the per-class breakdown and
+    /// the miss histogram, whatever the stream looked like.
+    #[test]
+    fn window_totals_reconcile(events in prop::collection::vec(outcome(), 0..200)) {
+        let series = fold(&events, 0..events.len());
+        let totals = series.totals();
+        prop_assert_eq!(totals.predictions, events.len() as u64);
+        prop_assert_eq!(totals.class_total.iter().sum::<u64>(), totals.predictions);
+        prop_assert_eq!(totals.class_correct.iter().sum::<u64>(), totals.correct);
+        prop_assert_eq!(totals.miss_magnitude.count, totals.predictions - totals.correct);
+        for w in series.windows() {
+            prop_assert!(w.predictions <= series.window_len());
+        }
+    }
+}

@@ -181,7 +181,8 @@ impl Options {
                 .write_exports(dir)
                 .unwrap_or_else(|e| panic!("writing obs exports to {}: {e}", dir.display()));
             println!(
-                "observability exports -> {} (events.jsonl, trace.json, metrics.prom)",
+                "observability exports -> {} (events.jsonl, trace.json, metrics.prom \
+                 and, for runs that recorded phase series, series.jsonl)",
                 dir.display()
             );
         }

@@ -12,7 +12,9 @@
 //!   the remaining mispredictions for both predictors.
 
 use dfcm::{AliasAnalyzer, AliasBreakdown, AliasClass, AnalyzedKind};
+use dfcm_obs::timeseries::LaneSeries;
 use dfcm_sim::report::{fmt_accuracy, TextTable};
+use dfcm_sim::SERIES_CLASS_LABELS;
 use dfcm_trace::BenchmarkTrace;
 
 use crate::common::{banner, Options};
@@ -20,17 +22,45 @@ use crate::common::{banner, Options};
 const L1_BITS: u32 = 12;
 const L2_BITS: u32 = 12;
 
-fn analyze(kind: AnalyzedKind, traces: &[BenchmarkTrace]) -> Vec<(&'static str, AliasBreakdown)> {
-    traces
+/// Classifies every access of every suite benchmark. With obs enabled,
+/// additionally folds each prediction into a windowed phase series for
+/// `spec` — one continuous prediction index across the benchmarks in
+/// suite order, so the series' phase boundaries are the benchmark
+/// boundaries — and records it on the handle (rendered by
+/// `dfcm-tools obs report` from the `--obs` export).
+fn analyze(
+    opts: &Options,
+    spec: &str,
+    kind: AnalyzedKind,
+    traces: &[BenchmarkTrace],
+) -> Vec<(&'static str, AliasBreakdown)> {
+    let mut series = opts
+        .obs
+        .is_enabled()
+        .then(|| LaneSeries::with_defaults(spec, SERIES_CLASS_LABELS));
+    let mut index = 0u64;
+    let out = traces
         .iter()
         .map(|b| {
             let mut az = AliasAnalyzer::new(kind, L1_BITS, L2_BITS).expect("valid");
             for r in &b.trace {
-                az.access(r.pc, r.value);
+                let (class, _) = az.access(r.pc, r.value);
+                if let Some(series) = &mut series {
+                    let slot = AliasClass::ALL
+                        .iter()
+                        .position(|c| *c == class)
+                        .expect("every access is classified");
+                    series.record(index, r.pc, slot, az.last_predicted(), r.value);
+                }
+                index += 1;
             }
             (b.name, az.breakdown())
         })
-        .collect()
+        .collect();
+    if let Some(series) = series {
+        opts.obs.record_series(series);
+    }
+    out
 }
 
 fn merged(per_bench: &[(&'static str, AliasBreakdown)]) -> AliasBreakdown {
@@ -95,7 +125,7 @@ pub fn run_fig12(opts: &Options) {
         "",
     );
     let traces = opts.traces();
-    let fcm = analyze(AnalyzedKind::Fcm, &traces);
+    let fcm = analyze(opts, "fig12/fcm", AnalyzedKind::Fcm, &traces);
     let total = merged(&fcm);
     record_obs(opts, "fig12/fcm", &total);
     let mut table = TextTable::new(vec!["class", "fraction", "accuracy"]);
@@ -122,8 +152,8 @@ pub fn run_fig13(opts: &Options) {
         "",
     );
     let traces = opts.traces();
-    let fcm = analyze(AnalyzedKind::Fcm, &traces);
-    let dfcm = analyze(AnalyzedKind::Dfcm, &traces);
+    let fcm = analyze(opts, "fig13/fcm", AnalyzedKind::Fcm, &traces);
+    let dfcm = analyze(opts, "fig13/dfcm", AnalyzedKind::Dfcm, &traces);
     record_obs(opts, "fig13/fcm", &merged(&fcm));
     record_obs(opts, "fig13/dfcm", &merged(&dfcm));
     let mut table = fraction_table("fcm", &fcm, |b, c| b.fraction(c));
@@ -152,8 +182,8 @@ pub fn run_fig14(opts: &Options) {
         "Bars stack to the global misprediction rate.",
     );
     let traces = opts.traces();
-    let fcm = analyze(AnalyzedKind::Fcm, &traces);
-    let dfcm = analyze(AnalyzedKind::Dfcm, &traces);
+    let fcm = analyze(opts, "fig14/fcm", AnalyzedKind::Fcm, &traces);
+    let dfcm = analyze(opts, "fig14/dfcm", AnalyzedKind::Dfcm, &traces);
     record_obs(opts, "fig14/fcm", &merged(&fcm));
     record_obs(opts, "fig14/dfcm", &merged(&dfcm));
     let mut table = fraction_table("fcm", &fcm, |b, c| b.misprediction_fraction(c));

@@ -224,7 +224,7 @@ fn drive_client(config: &LoadGenConfig, trace: &Trace, index: usize) -> ClientSt
     stats
 }
 
-fn percentile(sorted: &[u64], q: f64) -> u64 {
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }

@@ -194,6 +194,10 @@ impl ConnQueue {
     }
 }
 
+/// Requests kept in the rolling latency window the scrape path reports
+/// percentiles over.
+const RECENT_WINDOW: usize = 1024;
+
 struct ServerCtx {
     config: ServeConfig,
     store: SessionStore,
@@ -202,6 +206,10 @@ struct ServerCtx {
     /// Connections currently checked out by workers (for the live cap).
     checked_out: std::sync::atomic::AtomicUsize,
     restored: usize,
+    /// Rolling window of the last [`RECENT_WINDOW`] request latencies in
+    /// microseconds — always on (independent of the obs handle) so a
+    /// scrape reports live percentiles even on an uninstrumented daemon.
+    recent_us: Mutex<VecDeque<u64>>,
 }
 
 /// A bound, not-yet-running serving daemon.
@@ -284,6 +292,7 @@ impl Server {
                 shutdown: Arc::new(AtomicBool::new(false)),
                 checked_out: std::sync::atomic::AtomicUsize::new(0),
                 restored,
+                recent_us: Mutex::new(VecDeque::with_capacity(RECENT_WINDOW)),
             }),
         })
     }
@@ -409,14 +418,22 @@ fn serve_slice(ctx: &ServerCtx, mut conn: Conn) -> Option<Conn> {
         Poll::Frame(payload) => {
             conn.idle = Deadline::after(ctx.config.limits.idle_timeout);
             let deadline = Deadline::after(ctx.config.limits.request_deadline);
-            let started = ctx.config.obs.now_us();
+            let started = std::time::Instant::now();
             let (reply_bytes, outcome) = handle_payload(ctx, &payload, deadline);
+            let elapsed_us = started.elapsed().as_micros() as u64;
             ctx.config.obs.observe(
                 "serve_request_us",
                 &[],
                 REQUEST_US_BOUNDS,
-                (ctx.config.obs.now_us() - started) as f64,
+                elapsed_us as f64,
             );
+            {
+                let mut recent = ctx.recent_us.lock().unwrap_or_else(PoisonError::into_inner);
+                if recent.len() == RECENT_WINDOW {
+                    recent.pop_front();
+                }
+                recent.push_back(elapsed_us);
+            }
             count(ctx, outcome);
             let closing = outcome == "malformed";
             if conn.stream.write_all(&encode_frame(&reply_bytes)).is_err() || closing {
@@ -539,12 +556,47 @@ fn handle_payload(ctx: &ServerCtx, payload: &[u8], deadline: Deadline) -> (Vec<u
                 Err(_) => (Reply::Failed.encode(), "failed"),
             }
         }
-        Request::Stats => {
-            let (_, metrics) = ctx.config.obs.snapshot();
-            let text = dfcm_obs::export::to_prometheus(&metrics);
-            (Reply::StatsText(text).encode(), "ok")
-        }
+        Request::Stats => (Reply::StatsText(scrape_text(ctx)).encode(), "ok"),
     }
+}
+
+/// Renders the scrape exposition: rolling-window latency percentiles and
+/// per-spec live-session telemetry (computed fresh per scrape, cheap
+/// enough to serve under load), merged with the obs registry when the
+/// daemon is instrumented — all through the one `dfcm-obs` Prometheus
+/// formatter, so every exposed metric shares a single escaping and
+/// label convention.
+fn scrape_text(ctx: &ServerCtx) -> String {
+    let registry = dfcm_obs::metrics::MetricsRegistry::new();
+    let mut sorted: Vec<u64> = {
+        let recent = ctx.recent_us.lock().unwrap_or_else(PoisonError::into_inner);
+        recent.iter().copied().collect()
+    };
+    registry.gauge("serve_recent_window", &[], sorted.len() as f64);
+    if !sorted.is_empty() {
+        sorted.sort_unstable();
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            registry.gauge(
+                "serve_recent_request_us",
+                &[("quantile", label)],
+                crate::loadgen::percentile(&sorted, q) as f64,
+            );
+        }
+        registry.gauge(
+            "serve_recent_request_us",
+            &[("quantile", "1")],
+            *sorted.last().expect("non-empty") as f64,
+        );
+    }
+    let telemetry = ctx.store.telemetry();
+    for (spec, live) in &telemetry.by_spec {
+        registry.gauge("serve_live_sessions", &[("spec", spec)], *live as f64);
+    }
+    registry.gauge("serve_poisoned_sessions", &[], telemetry.poisoned as f64);
+    let mut merged = registry.snapshot();
+    let (_, obs_metrics) = ctx.config.obs.snapshot();
+    merged.merge(&obs_metrics);
+    dfcm_obs::export::to_prometheus(&merged)
 }
 
 /// Runs a session-scoped operation with exactly-once replay and panic

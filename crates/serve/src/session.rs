@@ -37,6 +37,16 @@ pub struct Session {
     touched: u64,
 }
 
+/// Point-in-time session summary produced by
+/// [`SessionStore::telemetry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionTelemetry {
+    /// Healthy live sessions per predictor spec (sorted by spec).
+    pub by_spec: std::collections::BTreeMap<String, u64>,
+    /// Sessions currently quarantined after a panic.
+    pub poisoned: u64,
+}
+
 /// Sharded session map with a per-shard LRU cap.
 #[derive(Debug)]
 pub struct SessionStore {
@@ -128,6 +138,27 @@ impl SessionStore {
     /// quarantine survives an eviction race).
     pub fn poison(&self, id: u64) {
         self.with_session(id, |s| s.poisoned = true);
+    }
+
+    /// A cheap point-in-time summary of the live sessions for scrape
+    /// endpoints: per-spec live counts plus the poisoned total. Unlike
+    /// [`records`](SessionStore::records) this never clones predictor
+    /// state, so it is safe to call while the daemon is under load.
+    pub fn telemetry(&self) -> SessionTelemetry {
+        let mut by_spec: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        let mut poisoned = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for session in shard.values() {
+                if session.poisoned {
+                    poisoned += 1;
+                } else {
+                    *by_spec.entry(session.predictor.spec()).or_insert(0) += 1;
+                }
+            }
+        }
+        SessionTelemetry { by_spec, poisoned }
     }
 
     /// Serializes every healthy session for a snapshot. Poisoned

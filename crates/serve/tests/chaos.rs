@@ -241,6 +241,42 @@ fn stats_frame_returns_prometheus_text() {
         text.contains("serve_requests"),
         "prometheus text should carry request counters:\n{text}"
     );
+    // The scrape adds rolling-window latency percentiles and per-spec
+    // session telemetry, all rendered by the one dfcm-obs formatter, so
+    // the whole exposition must parse.
+    let samples = dfcm_obs::summary::parse_prometheus(&text).expect("valid exposition");
+    let quantiles: Vec<f64> = samples
+        .iter()
+        .filter(|(n, _, _)| n == "serve_recent_request_us")
+        .map(|(_, _, v)| *v)
+        .collect();
+    assert_eq!(quantiles.len(), 4, "p50/p90/p99/max:\n{text}");
+    let live = samples
+        .iter()
+        .find(|(n, l, _)| {
+            n == "serve_live_sessions" && l.contains(&("spec".into(), "lvp:4".into()))
+        })
+        .expect("live session telemetry");
+    assert_eq!(live.2, 1.0);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn stats_frame_works_without_obs() {
+    // The rolling window and session telemetry are independent of the
+    // obs handle: an uninstrumented daemon still serves a useful scrape.
+    let (addr, handle, join) = start_server(ServeConfig::new("stride:4"));
+    let mut client = ServeClient::new(addr, 9, quick_retry());
+    client.update(0x40_0000, 5).unwrap();
+    let text = client.stats().expect("stats");
+    let samples = dfcm_obs::summary::parse_prometheus(&text).expect("valid exposition");
+    assert!(samples
+        .iter()
+        .any(|(n, _, _)| n == "serve_recent_request_us"));
+    assert!(samples
+        .iter()
+        .any(|(n, _, v)| n == "serve_recent_window" && *v >= 1.0));
     handle.shutdown();
     join.join().unwrap();
 }

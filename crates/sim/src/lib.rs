@@ -76,8 +76,9 @@ pub use crate::pareto::{pareto_front, ParetoPoint};
 pub use crate::run::{simulate, simulate_n, simulate_trace, simulate_trace_observed, RunStats};
 pub use crate::stream::{
     stream_records_with, stream_suite_engine, stream_trace, stream_trace_chunked,
-    stream_trace_file, stream_v2_file, stream_v3_file, SpecError, StreamFileReport,
-    StreamPredictor, StreamSuiteResult, STREAM_CHUNK_RECORDS,
+    stream_trace_file, stream_trace_file_observed, stream_v2_file, stream_v2_file_observed,
+    stream_v3_file, stream_v3_file_observed, SpecError, StreamFileReport, StreamPredictor,
+    StreamSuiteResult, SERIES_CLASS_LABELS, STREAM_CHUNK_RECORDS,
 };
 pub use crate::suite::{run_suite, BenchmarkResult, SuiteResult};
 pub use crate::sweep::{sweep, sweep_parallel, SweepPoint};

@@ -82,7 +82,9 @@ where
 /// [`simulate_trace`] with table-usage observability: when `obs` is
 /// enabled, turns on the predictor's table-stats instrumentation, wraps
 /// the run in an `eval.predictor` span, samples per-table occupancy
-/// (the `table_occupancy_percent` series, 64 points over the trace) and
+/// (the `table_occupancy_percent` series, 64 points over the trace),
+/// folds the phase-resolved windowed series + top-K per-PC tracker
+/// (attached via [`Obs::record_series`], exported as `series.jsonl`) and
 /// records the final table-usage counters, the paper-taxonomy aliasing
 /// breakdown (where the predictor provides one) and the `eval_accuracy`
 /// gauge — all labeled with `spec`. With `obs` disabled this is exactly
@@ -104,9 +106,19 @@ where
     span.arg("spec", spec);
     let stride = (trace.len() / 64).max(1);
     let mut stats = RunStats::default();
+    let mut series =
+        dfcm_obs::timeseries::LaneSeries::with_defaults(spec, crate::stream::SERIES_CLASS_LABELS);
     for (i, record) in trace.into_iter().enumerate() {
+        let outcome = predictor.access(record.pc, record.value);
         stats.predictions += 1;
-        stats.correct += u64::from(predictor.access(record.pc, record.value).correct);
+        stats.correct += u64::from(outcome.correct);
+        series.record(
+            i as u64,
+            record.pc,
+            crate::stream::class_slot(predictor.last_alias_class()),
+            outcome.predicted,
+            record.value,
+        );
         // Sample on every stride boundary, and always at the final record:
         // when `trace.len() % stride != 0` the trailing partial window
         // would otherwise never be sampled and the exported occupancy
@@ -144,6 +156,7 @@ where
         }
     }
     obs.gauge("eval_accuracy", &[("spec", spec)], stats.accuracy());
+    obs.record_series(series);
     stats
 }
 

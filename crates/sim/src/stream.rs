@@ -35,9 +35,11 @@ use std::path::Path;
 use std::sync::mpsc;
 
 use dfcm::{
-    AccessOutcome, DfcmPredictor, FcmPredictor, LastValuePredictor, StorageCost, StridePredictor,
-    TableStats, TwoDeltaStridePredictor, ValuePredictor,
+    AccessOutcome, AliasClass, DfcmPredictor, FcmPredictor, LastValuePredictor, StorageCost,
+    StridePredictor, TableStats, TwoDeltaStridePredictor, ValuePredictor,
 };
+use dfcm_obs::timeseries::LaneSeries;
+use dfcm_obs::Obs;
 use dfcm_trace::io::RawChunk;
 use dfcm_trace::suite::BenchmarkTrace;
 use dfcm_trace::{Trace, TraceFormatError, TraceRecord, V3RawChunk, V2_CHUNK_RECORDS};
@@ -236,6 +238,10 @@ impl ValuePredictor for StreamPredictor {
 
     fn table_stats(&self) -> Option<TableStats> {
         for_each_lane!(self, p => p.table_stats())
+    }
+
+    fn last_alias_class(&self) -> Option<AliasClass> {
+        for_each_lane!(self, p => p.last_alias_class())
     }
 }
 
@@ -484,6 +490,344 @@ where
         records,
         chunks: chunk_count,
     })
+}
+
+/// Class-slot labels of the phase-resolved time series: the paper's five
+/// aliasing classes in [`AliasClass::ALL`] order, plus an `unclassified`
+/// slot for lanes that do not run an alias analyzer (lvp, stride,
+/// 2delta, or fcm/dfcm without table stats).
+pub const SERIES_CLASS_LABELS: &[&str] =
+    &["l1", "hash", "l2_priv", "l2_pc", "none", "unclassified"];
+
+/// Maps a predictor's per-access alias class onto its series slot.
+pub(crate) fn class_slot(class: Option<AliasClass>) -> usize {
+    class
+        .and_then(|c| AliasClass::ALL.iter().position(|x| *x == c))
+        .unwrap_or(SERIES_CLASS_LABELS.len() - 1)
+}
+
+/// One per-(record, lane) prediction outcome shipped from the streaming
+/// consumer to the series-fold thread, lane-major within each record.
+#[derive(Clone, Copy)]
+struct SeriesOutcome {
+    pc: u64,
+    predicted: u64,
+    actual: u64,
+    class: u32,
+}
+
+/// Outcome-buffer chunks the fold thread may hold before the consumer
+/// blocks — bounds the observed path's extra working set to
+/// O(`FOLD_CHANNEL_DEPTH` + 1) chunks of outcomes.
+const FOLD_CHANNEL_DEPTH: usize = 2;
+
+/// Records a lane's end-of-run table/alias/accuracy metrics, mirroring
+/// [`simulate_trace_observed`](crate::simulate_trace_observed) so
+/// streaming and in-memory evaluations export the same aggregate names.
+fn record_lane_metrics(obs: &Obs, lane: &StreamPredictor, spec: &str, stats: RunStats) {
+    if let Some(ts) = lane.table_stats() {
+        for t in &ts.tables {
+            let labels = [("spec", spec), ("table", t.name)];
+            obs.gauge("predictor_table_entries", &labels, t.entries as f64);
+            obs.gauge("predictor_table_occupied", &labels, t.occupied as f64);
+            obs.add("predictor_table_writes_total", &labels, t.writes);
+            obs.add("predictor_table_overwrites_total", &labels, t.overwrites);
+        }
+        if let Some(alias) = &ts.alias {
+            for class in AliasClass::ALL {
+                let labels = [("spec", spec), ("class", class.label())];
+                obs.add("predictor_alias_total", &labels, alias.class_total(class));
+                obs.add(
+                    "predictor_alias_correct_total",
+                    &labels,
+                    alias.class_correct(class),
+                );
+            }
+        }
+    }
+    obs.gauge("eval_accuracy", &[("spec", spec)], stats.accuracy());
+}
+
+/// [`stream_file_chunks`] with phase-resolved observability: each lane
+/// folds a windowed series + top-K tracker over the global prediction
+/// index, occupancy is sampled at every chunk boundary, and the final
+/// per-lane aggregates are recorded under the lane's canonical spec.
+///
+/// On hosts with more than one hardware thread the series fold runs on
+/// a dedicated thread, off the streaming consumer's critical path: the
+/// consumer records each outcome into a flat buffer (recycled between
+/// chunks, so the steady state never allocates) and ships whole chunks
+/// over a bounded channel, paying only for the buffer writes. On a
+/// single-core host a fold thread would just time-slice against the
+/// consumer and the fold runs inline instead. Either way the fold
+/// consumes the outcome sequence strictly in file order — the same
+/// order the consumer produced it — so the exported series is
+/// bit-identical at any `decode_threads`, offloaded or not.
+fn stream_file_chunks_observed<C, I>(
+    chunks: I,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+    obs: &Obs,
+    table_stats: bool,
+) -> io::Result<StreamFileReport>
+where
+    C: StreamChunk,
+    I: Iterator<Item = io::Result<C>> + Send,
+{
+    let offload = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+    stream_file_chunks_observed_with(chunks, lanes, decode_threads, obs, table_stats, offload)
+}
+
+/// [`stream_file_chunks_observed`] with the fold placement made explicit
+/// (`offload`), so tests can pin both paths on any host.
+fn stream_file_chunks_observed_with<C, I>(
+    chunks: I,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+    obs: &Obs,
+    table_stats: bool,
+    offload: bool,
+) -> io::Result<StreamFileReport>
+where
+    C: StreamChunk,
+    I: Iterator<Item = io::Result<C>> + Send,
+{
+    if !obs.is_enabled() || lanes.is_empty() {
+        return stream_file_chunks(chunks, lanes, decode_threads);
+    }
+    if table_stats {
+        for lane in lanes.iter_mut() {
+            lane.enable_table_stats();
+        }
+    }
+    let specs: Vec<String> = lanes.iter().map(StreamPredictor::spec).collect();
+    let mut series: Vec<LaneSeries> = specs
+        .iter()
+        .map(|s| LaneSeries::with_defaults(s, SERIES_CLASS_LABELS))
+        .collect();
+    let mut totals = vec![RunStats::default(); lanes.len()];
+    let mut records = 0u64;
+    let sample_occupancy = |lanes: &[StreamPredictor]| {
+        for (lane, spec) in lanes.iter().zip(&specs) {
+            if let Some(ts) = lane.table_stats() {
+                for t in &ts.tables {
+                    obs.sample(
+                        "table_occupancy_percent",
+                        &[("spec", spec), ("table", t.name)],
+                        t.occupancy_percent(),
+                    );
+                }
+            }
+        }
+    };
+    let chunk_count = if offload {
+        let lane_count = lanes.len();
+        let empty_series = std::mem::take(&mut series);
+        let (chunk_result, folded) = std::thread::scope(|scope| {
+            let (fold_tx, fold_rx) = mpsc::sync_channel::<Vec<SeriesOutcome>>(FOLD_CHANNEL_DEPTH);
+            let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<SeriesOutcome>>();
+            let fold = scope.spawn(move || {
+                let mut series = empty_series;
+                let mut index = 0u64;
+                for buf in fold_rx {
+                    for group in buf.chunks_exact(lane_count) {
+                        for (lane_series, o) in series.iter_mut().zip(group) {
+                            lane_series.record(
+                                index,
+                                o.pc,
+                                o.class as usize,
+                                o.predicted,
+                                o.actual,
+                            );
+                        }
+                        index += 1;
+                    }
+                    // Hand the buffer back for reuse; the consumer may
+                    // already have exited, which is fine.
+                    let _ = recycle_tx.send(buf);
+                }
+                series
+            });
+            let result = stream_chunk_pipeline(chunks, decode_threads, |decoded| {
+                let mut buf = recycle_rx.try_recv().unwrap_or_default();
+                buf.clear();
+                buf.reserve(decoded.len() * lane_count);
+                for record in decoded {
+                    for (li, lane) in lanes.iter_mut().enumerate() {
+                        let outcome = lane.access(record.pc, record.value);
+                        totals[li].predictions += 1;
+                        totals[li].correct += u64::from(outcome.correct);
+                        buf.push(SeriesOutcome {
+                            pc: record.pc,
+                            predicted: outcome.predicted,
+                            actual: record.value,
+                            class: class_slot(lane.last_alias_class()) as u32,
+                        });
+                    }
+                }
+                records += decoded.len() as u64;
+                // A send error means the fold thread died; its panic
+                // surfaces at the join below.
+                let _ = fold_tx.send(buf);
+                sample_occupancy(lanes);
+            });
+            drop(fold_tx);
+            (result, fold.join().expect("series fold thread panicked"))
+        });
+        series = folded;
+        chunk_result?
+    } else {
+        stream_chunk_pipeline(chunks, decode_threads, |decoded| {
+            for (ri, record) in decoded.iter().enumerate() {
+                for (li, lane) in lanes.iter_mut().enumerate() {
+                    let outcome = lane.access(record.pc, record.value);
+                    totals[li].predictions += 1;
+                    totals[li].correct += u64::from(outcome.correct);
+                    series[li].record(
+                        records + ri as u64,
+                        record.pc,
+                        class_slot(lane.last_alias_class()),
+                        outcome.predicted,
+                        record.value,
+                    );
+                }
+            }
+            records += decoded.len() as u64;
+            sample_occupancy(lanes);
+        })?
+    };
+    for ((lane, spec), stats) in lanes.iter().zip(&specs).zip(&totals) {
+        record_lane_metrics(obs, lane, spec, *stats);
+    }
+    for lane_series in series {
+        obs.record_series(lane_series);
+    }
+    Ok(StreamFileReport {
+        stats: totals,
+        records,
+        chunks: chunk_count,
+    })
+}
+
+/// [`stream_v2_file`] with phase-resolved observability (see
+/// [`stream_trace_file_observed`]). With `obs` disabled this is exactly
+/// [`stream_v2_file`].
+///
+/// # Errors
+///
+/// As [`stream_v2_file`].
+pub fn stream_v2_file_observed<P: AsRef<Path>>(
+    path: P,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+    obs: &Obs,
+    table_stats: bool,
+) -> io::Result<StreamFileReport> {
+    stream_file_chunks_observed(
+        dfcm_trace::V2ChunkReader::open(path)?,
+        lanes,
+        decode_threads,
+        obs,
+        table_stats,
+    )
+}
+
+/// [`stream_v3_file`] with phase-resolved observability (see
+/// [`stream_trace_file_observed`]). With `obs` disabled this is exactly
+/// [`stream_v3_file`].
+///
+/// # Errors
+///
+/// As [`stream_v3_file`].
+pub fn stream_v3_file_observed<P: AsRef<Path>>(
+    path: P,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+    obs: &Obs,
+    table_stats: bool,
+) -> io::Result<StreamFileReport> {
+    stream_file_chunks_observed(
+        dfcm_trace::V3ChunkReader::open(path)?,
+        lanes,
+        decode_threads,
+        obs,
+        table_stats,
+    )
+}
+
+/// [`stream_trace_file`] with phase-resolved observability: when `obs`
+/// is enabled, every lane folds a fixed-window accuracy/alias-class
+/// series and a top-K per-PC misprediction tracker over the stream
+/// (attached via [`Obs::record_series`], exported as `series.jsonl`),
+/// per-table occupancy is sampled at chunk boundaries, and the final
+/// table/alias/accuracy aggregates are recorded under each lane's
+/// canonical spec — the same metric names
+/// [`simulate_trace_observed`](crate::simulate_trace_observed) emits.
+///
+/// `table_stats` additionally enables each lane's table instrumentation
+/// (occupancy tracking and, on fcm/dfcm, the §4.2 alias analyzer that
+/// gives the series its per-class breakdown). Without it the fold is
+/// cheaper and every access lands in the `unclassified` slot.
+///
+/// Decoded chunks are consumed strictly in file order regardless of
+/// `decode_threads`, so the exported series is bit-identical at any
+/// thread count. With `obs` disabled this is exactly
+/// [`stream_trace_file`].
+///
+/// # Errors
+///
+/// As [`stream_trace_file`].
+pub fn stream_trace_file_observed<P: AsRef<Path>>(
+    path: P,
+    lanes: &mut [StreamPredictor],
+    decode_threads: usize,
+    obs: &Obs,
+    table_stats: bool,
+) -> io::Result<StreamFileReport> {
+    if !obs.is_enabled() {
+        return stream_trace_file(path, lanes, decode_threads);
+    }
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    file.seek(SeekFrom::Start(0))?;
+    let reader = BufReader::new(file);
+    match &magic {
+        b"DFCMTRC2" => stream_file_chunks_observed(
+            dfcm_trace::v2_chunks(reader)?,
+            lanes,
+            decode_threads,
+            obs,
+            table_stats,
+        ),
+        b"DFCMTRC3" => stream_file_chunks_observed(
+            dfcm_trace::v3_chunks(reader)?,
+            lanes,
+            decode_threads,
+            obs,
+            table_stats,
+        ),
+        b"DFCMTRC1" => {
+            // v1 has no independently decodable chunks: load fully, then
+            // fold through the same observed chunk consumer.
+            let trace = Trace::read_from(reader)?;
+            let chunks = trace
+                .chunks(STREAM_CHUNK_RECORDS)
+                .map(|c| Ok(OwnedChunk(c.to_vec())));
+            stream_file_chunks_observed(chunks, lanes, 0, obs, table_stats)
+        }
+        _ => Err(TraceFormatError::BadMagic { found: magic }.into()),
+    }
+}
+
+/// An already-decoded record block, so the v1 path can reuse the
+/// observed chunk consumer.
+struct OwnedChunk(Vec<TraceRecord>);
+
+impl StreamChunk for OwnedChunk {
+    fn decode_records(&self) -> io::Result<Vec<TraceRecord>> {
+        Ok(self.0.clone())
+    }
 }
 
 /// Pulls chunks off `chunks` (a single reader thread owns the
@@ -911,6 +1255,149 @@ mod tests {
             let mut other = StreamPredictor::parse_spec("lvp:3").unwrap();
             assert!(other.load_state_words(&lane.state_words()).is_err() || lane.spec() == "lvp:3");
         }
+    }
+
+    /// Renders the series a full observed streaming run of `path`
+    /// produces at the given decode thread count.
+    fn observed_series_jsonl(path: &Path, threads: usize) -> (Vec<String>, Vec<RunStats>) {
+        let obs = Obs::enabled();
+        let mut l = lanes();
+        let report = stream_trace_file_observed(path, &mut l, threads, &obs, true).unwrap();
+        let lines = dfcm_obs::timeseries::render_series(&obs.series_snapshot());
+        (lines, report.stats)
+    }
+
+    #[test]
+    fn observed_series_bit_identical_at_1_2_4_8_threads() {
+        let trace = mixed_trace(2 * V2_CHUNK_RECORDS as u64 + 999);
+        let dir = std::env::temp_dir();
+        for (name, format) in [
+            (
+                "dfcm_series_det.v2.trc",
+                dfcm_trace::TraceFormat::V2 { seed: 3 },
+            ),
+            (
+                "dfcm_series_det.v3.trc",
+                dfcm_trace::TraceFormat::V3 { seed: 3 },
+            ),
+        ] {
+            let path = dir.join(name);
+            trace.save_with(&path, format).unwrap();
+            let (reference_lines, reference_stats) = observed_series_jsonl(&path, 1);
+            assert!(!reference_lines.is_empty());
+            for threads in [2, 4, 8] {
+                let (lines, stats) = observed_series_jsonl(&path, threads);
+                assert_eq!(lines, reference_lines, "{name} at {threads} threads");
+                assert_eq!(stats, reference_stats, "{name} at {threads} threads");
+            }
+            // The observed run's stats stay bit-identical to the
+            // unobserved path.
+            let mut plain = lanes();
+            let plain_report = stream_trace_file(&path, &mut plain, 2).unwrap();
+            assert_eq!(plain_report.stats, reference_stats, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn observed_series_identical_inline_and_offloaded() {
+        // The fold placement (inline on single-core hosts, a dedicated
+        // fold thread otherwise) is a pure performance decision: both
+        // consume the outcome sequence in file order, so the exported
+        // series must be bit-identical. Pin both paths explicitly so
+        // the host running the tests doesn't decide which one runs.
+        let trace = mixed_trace(V2_CHUNK_RECORDS as u64 + 777);
+        let path = std::env::temp_dir().join("dfcm_series_fold_placement.v2.trc");
+        trace
+            .save_with(&path, dfcm_trace::TraceFormat::V2 { seed: 9 })
+            .unwrap();
+        let run = |offload: bool| {
+            let obs = Obs::enabled();
+            let mut l = lanes();
+            let report = stream_file_chunks_observed_with(
+                dfcm_trace::V2ChunkReader::open(&path).unwrap(),
+                &mut l,
+                2,
+                &obs,
+                true,
+                offload,
+            )
+            .unwrap();
+            (
+                dfcm_obs::timeseries::render_series(&obs.series_snapshot()),
+                report,
+            )
+        };
+        let (inline_lines, inline_report) = run(false);
+        let (offload_lines, offload_report) = run(true);
+        assert!(!inline_lines.is_empty());
+        assert_eq!(inline_lines, offload_lines);
+        assert_eq!(inline_report, offload_report);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn observed_series_reconciles_with_aggregates() {
+        let trace = mixed_trace(V2_CHUNK_RECORDS as u64 + 123);
+        let path = std::env::temp_dir().join("dfcm_series_reconcile.v2.trc");
+        let mut buffer = Vec::new();
+        trace.write_v2_to(&mut buffer, 5).unwrap();
+        atomic_write(&path, &buffer).unwrap();
+
+        let obs = Obs::enabled();
+        let mut l = lanes();
+        let report = stream_v2_file_observed(&path, &mut l, 2, &obs, true).unwrap();
+        let series = obs.series_snapshot();
+        assert_eq!(series.len(), l.len());
+        for (lane_series, (lane, stats)) in series.iter().zip(l.iter().zip(&report.stats)) {
+            // Series totals equal the lane's RunStats exactly.
+            let totals = lane_series.series().totals();
+            assert_eq!(totals.predictions, stats.predictions, "{}", lane.spec());
+            assert_eq!(totals.correct, stats.correct, "{}", lane.spec());
+            // The top-K tracker saw exactly the mispredictions, and its
+            // table counts sum back to that total.
+            let misses = stats.predictions - stats.correct;
+            assert_eq!(lane_series.top().total(), misses, "{}", lane.spec());
+            let ranked = lane_series.top().ranked();
+            assert_eq!(
+                ranked.iter().map(|e| e.count).sum::<u64>(),
+                misses,
+                "{}",
+                lane.spec()
+            );
+            // Where the lane classifies accesses, the per-class series
+            // totals equal the analyzer's aggregate breakdown.
+            if let Some(alias) = lane.table_stats().and_then(|ts| ts.alias) {
+                for (slot, class) in AliasClass::ALL.iter().enumerate() {
+                    assert_eq!(
+                        totals.class_total[slot],
+                        alias.class_total(*class),
+                        "{} class {}",
+                        lane.spec(),
+                        class.label()
+                    );
+                    assert_eq!(
+                        totals.class_correct[slot],
+                        alias.class_correct(*class),
+                        "{} class {}",
+                        lane.spec(),
+                        class.label()
+                    );
+                }
+                assert_eq!(totals.class_total[5], 0, "{}", lane.spec());
+            } else {
+                // Unclassified lanes put everything in the last slot.
+                assert_eq!(totals.class_total[5], totals.predictions, "{}", lane.spec());
+            }
+        }
+        // Disabled obs is the plain path: no series recorded, stats
+        // bit-identical.
+        let disabled = Obs::disabled();
+        let mut plain = lanes();
+        let plain_report = stream_v2_file_observed(&path, &mut plain, 2, &disabled, true).unwrap();
+        assert_eq!(plain_report, report);
+        assert!(disabled.series_snapshot().is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -18,13 +18,18 @@
 //!   intact chunks into a fresh file of the same format), `compress`
 //!   (convert between formats).
 //! * `obs` — observability tooling: `summarize` renders the table-usage
-//!   report for an export directory, `--check` validates the exports.
-//! * `bench` — validate benchmark artifacts (`BENCH_throughput.json`,
-//!   `BENCH_serve.json`) for CI gating.
+//!   report for an export directory, `report` the windowed phase report
+//!   (accuracy/miss sparklines, alias-class mix, top-K hard-to-predict
+//!   PCs) from its `series.jsonl`; `--check` validates the exports.
+//! * `bench` — `check` validates benchmark artifacts
+//!   (`BENCH_throughput.json`, `BENCH_serve.json`, …) for CI gating;
+//!   `trend` compares them against a committed baseline and fails on
+//!   regressions beyond a noise threshold.
 //! * `serve` — run the crash-tolerant prediction daemon (the
 //!   `dfcm-serve` crate) until a shutdown signal.
 //! * `loadgen` — chaos-driven load generation against a running daemon,
 //!   with shadow-predictor verification.
+//! * `scrape` — fetch a running daemon's metrics as Prometheus text.
 //! * `disasm` — print the assembly listing of a bundled kernel.
 //! * `profile` — execute a kernel and print its execution profile.
 //! * `kernels` / `benchmarks` — list what `gen` accepts.
@@ -44,7 +49,8 @@ use std::time::Duration;
 use dfcm::ValuePredictor;
 use dfcm_sim::engine::{run_tasks_ft, TaskError, TaskOutput};
 use dfcm_sim::{
-    simulate_trace_observed, stream_trace_file, EngineConfig, EngineReport, StreamPredictor,
+    simulate_trace_observed, stream_trace_file_observed, EngineConfig, EngineReport,
+    StreamPredictor,
 };
 use dfcm_trace::stats::TraceStats;
 use dfcm_trace::suite::standard_suite;
@@ -268,10 +274,13 @@ pub fn stream_predictor_for(spec: &str) -> Result<StreamPredictor, ToolError> {
 ///
 /// Output lines match [`eval`]'s layout and ordering. The streaming pass
 /// is bit-identical to the per-predictor path; what changes is
-/// throughput. With `engine.obs` enabled the per-spec `eval_accuracy`
-/// gauge is still recorded, but the per-predictor occupancy time series
-/// of the observed path is not (use the non-streaming `eval --obs` for
-/// that).
+/// throughput. With `engine.obs` enabled the streaming pass records the
+/// same telemetry as the per-predictor path: the per-spec
+/// `eval_accuracy` gauge, table occupancy/write counters, the paper's
+/// aliasing taxonomy, chunk-boundary occupancy samples, and the
+/// windowed phase series with top-K per-PC attribution (rendered by
+/// `dfcm-tools obs report`). The series are bit-identical at any decode
+/// thread count.
 ///
 /// # Errors
 ///
@@ -295,24 +304,22 @@ pub fn eval_streaming(
         vec![label.clone()],
         |_| {
             let mut lanes = lanes.clone();
-            let file_report = stream_trace_file(path, &mut lanes, decode_threads)
-                // Corruption won't heal on retry; read hiccups might.
-                .map_err(|e| match e.kind() {
-                    std::io::ErrorKind::InvalidData => {
-                        TaskError::Permanent(format!("{}: {e}", path.display()))
-                    }
-                    _ => TaskError::Transient(format!("{}: {e}", path.display())),
-                })?;
+            // The observed entry point records the full telemetry set
+            // (eval_accuracy, table/alias counters, phase series) and
+            // falls back to the plain streaming pass when obs is off.
+            let file_report =
+                stream_trace_file_observed(path, &mut lanes, decode_threads, &engine.obs, true)
+                    // Corruption won't heal on retry; read hiccups might.
+                    .map_err(|e| match e.kind() {
+                        std::io::ErrorKind::InvalidData => {
+                            TaskError::Permanent(format!("{}: {e}", path.display()))
+                        }
+                        _ => TaskError::Transient(format!("{}: {e}", path.display())),
+                    })?;
             let lines: Vec<String> = lanes
                 .iter()
                 .zip(&file_report.stats)
-                .zip(specs)
-                .map(|((lane, s), spec)| {
-                    if engine.obs.is_enabled() {
-                        engine
-                            .obs
-                            .gauge("eval_accuracy", &[("spec", spec)], s.accuracy());
-                    }
+                .map(|(lane, s)| {
                     format!(
                         "  {:<32} accuracy {:.3}  ({:.1} Kbit)",
                         lane.name(),
@@ -731,6 +738,201 @@ pub fn obs_summarize(dir: &Path, check: bool) -> Result<String, ToolError> {
         out.push_str("check: all exports well-formed and consistent\n");
     }
     Ok(out)
+}
+
+/// `obs report <dir> [--check]` — renders the per-benchmark *phase*
+/// report from an export directory's `series.jsonl` (the
+/// `dfcm-obs-series/v1` stream written by observed runs): per lane a
+/// windowed accuracy/miss sparkline, the alias-class miss mix, and the
+/// top-K hard-to-predict PC table with its space-saving error bounds.
+///
+/// With `check`, first validates the series stream's internal
+/// consistency ([`dfcm_obs::timeseries::check_series`]) *and*
+/// cross-reconciles the series against the aggregate metrics in
+/// `events.jsonl`: the footer accuracy must match the `eval_accuracy`
+/// gauge and the summed per-window class counts must match the
+/// `predictor_alias_total` counters for every spec present in both.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when the series file is missing or malformed,
+/// or (with `check`) listing every reconciliation problem found.
+pub fn obs_report(dir: &Path, check: bool) -> Result<String, ToolError> {
+    let lanes = dfcm_obs::timeseries::load_series(dir).map_err(err)?;
+    if check {
+        let mut problems = dfcm_obs::timeseries::check_series(&lanes);
+        check_series_vs_aggregates(dir, &lanes, &mut problems);
+        if !problems.is_empty() {
+            return Err(err(format!(
+                "{}: {} series problem(s):\n  {}",
+                dir.display(),
+                problems.len(),
+                problems.join("\n  ")
+            )));
+        }
+    }
+    let mut out = format!("obs phase report: {}\n", dir.display());
+    for lane in &lanes {
+        render_lane_report(&mut out, lane);
+    }
+    if check {
+        let _ = writeln!(
+            out,
+            "check: {} series lane(s) reconcile with the aggregate exports",
+            lanes.len()
+        );
+    }
+    Ok(out)
+}
+
+/// Renders one lane of the phase report (see [`obs_report`]).
+fn render_lane_report(out: &mut String, lane: &dfcm_obs::timeseries::LoadedSeries) {
+    let predictions: u64 = lane.windows.iter().map(|w| w.predictions).sum();
+    let correct: u64 = lane.windows.iter().map(|w| w.correct).sum();
+    let accuracy = correct as f64 / predictions.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "\n{}: {predictions} prediction(s) in {} window(s) of {}, accuracy {accuracy:.3}",
+        lane.spec,
+        lane.windows.len(),
+        lane.window_len
+    );
+    let acc: Vec<f64> = lane.windows.iter().map(|w| w.accuracy).collect();
+    let misses: Vec<f64> = lane.windows.iter().map(|w| w.misses as f64).collect();
+    let (min_i, min_v) = extreme(&acc, |a, b| a < b);
+    let (max_i, max_v) = extreme(&acc, |a, b| a > b);
+    let _ = writeln!(
+        out,
+        "  accuracy {}  min {min_v:.3} (w{min_i})  max {max_v:.3} (w{max_i})",
+        dfcm_obs::summary::sparkline(&acc)
+    );
+    let _ = writeln!(
+        out,
+        "  misses   {}  total {}",
+        dfcm_obs::summary::sparkline(&misses),
+        predictions - correct
+    );
+    // Alias-class miss mix across the whole series (non-zero classes
+    // only; unclassified lanes show everything under `unclassified`).
+    let mix: Vec<String> = lane
+        .classes
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, class)| {
+            let total: u64 = lane
+                .windows
+                .iter()
+                .map(|w| w.class_total.get(slot).copied().unwrap_or(0))
+                .sum();
+            let ok: u64 = lane
+                .windows
+                .iter()
+                .map(|w| w.class_correct.get(slot).copied().unwrap_or(0))
+                .sum();
+            (total > 0).then(|| format!("{class} {}", total - ok))
+        })
+        .collect();
+    if !mix.is_empty() {
+        let _ = writeln!(out, "  class misses: {}", mix.join(", "));
+    }
+    if lane.top.is_empty() {
+        let _ = writeln!(out, "  hard-to-predict PCs: none recorded");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "  hard-to-predict PCs (top {} tracked, capacity {}):",
+        lane.top.len(),
+        lane.top_k
+    );
+    for entry in &lane.top {
+        let classes: Vec<String> = lane
+            .classes
+            .iter()
+            .zip(&entry.class_miss)
+            .filter(|(_, &n)| n > 0)
+            .map(|(class, n)| format!("{class}:{n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "    #{:<3} {:#018x}  {:>8} miss(es) (err <= {})  {}",
+            entry.rank,
+            entry.pc,
+            entry.count,
+            entry.error,
+            classes.join(" ")
+        );
+    }
+}
+
+/// Index and value of the extreme element under `better` (0/0.0 for an
+/// empty slice).
+fn extreme(values: &[f64], better: impl Fn(f64, f64) -> bool) -> (usize, f64) {
+    let mut best = (0usize, values.first().copied().unwrap_or(0.0));
+    for (i, &v) in values.iter().enumerate() {
+        if better(v, best.1) {
+            best = (i, v);
+        }
+    }
+    best
+}
+
+/// The series↔aggregate reconciliation half of `obs report --check`:
+/// for every series lane whose spec also appears in the `events.jsonl`
+/// aggregates, the footer accuracy must match the `eval_accuracy` gauge
+/// (within 1e-4, the export's rounding) and the summed per-window class
+/// totals must match the `predictor_alias_total` counters exactly.
+fn check_series_vs_aggregates(
+    dir: &Path,
+    lanes: &[dfcm_obs::timeseries::LoadedSeries],
+    problems: &mut Vec<String>,
+) {
+    let data = match dfcm_obs::summary::load(dir) {
+        Ok(data) => data,
+        Err(e) => {
+            problems.push(format!("series/aggregate cross-check impossible: {e}"));
+            return;
+        }
+    };
+    let metric_for = |name: &str, spec: &str, class: Option<&str>| {
+        data.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.iter().any(|(k, v)| k == "spec" && v == spec)
+                && class.is_none_or(|c| m.labels.iter().any(|(k, v)| k == "class" && v == c))
+        })
+    };
+    for lane in lanes {
+        let Some(totals) = &lane.totals else {
+            continue;
+        };
+        if let Some(gauge) = metric_for("eval_accuracy", &lane.spec, None) {
+            let series_acc = totals.correct as f64 / totals.predictions.max(1) as f64;
+            if (series_acc - gauge.value).abs() > 1e-4 {
+                problems.push(format!(
+                    "spec {}: series accuracy {series_acc:.6} disagrees with the \
+                     eval_accuracy gauge {:.6}",
+                    lane.spec, gauge.value
+                ));
+            }
+        }
+        for (slot, class) in lane.classes.iter().enumerate() {
+            let Some(counter) = metric_for("predictor_alias_total", &lane.spec, Some(class)) else {
+                continue;
+            };
+            let series_total: u64 = lane
+                .windows
+                .iter()
+                .map(|w| w.class_total.get(slot).copied().unwrap_or(0))
+                .sum();
+            if (counter.value - series_total as f64).abs() > 0.5 {
+                problems.push(format!(
+                    "spec {} class {class}: series total {series_total} disagrees with \
+                     the predictor_alias_total counter {}",
+                    lane.spec, counter.value
+                ));
+            }
+        }
+    }
 }
 
 /// `bench check <file>` — validates a benchmark artifact against its
@@ -1289,6 +1491,227 @@ fn check_bench_trace(doc: &dfcm_obs::json::Json, problems: &mut Vec<String>) -> 
     format!("dfcm-bench-trace/v1, {entries_seen} suite trace(s)")
 }
 
+/// The benchmark artifacts `bench trend` looks for in each directory.
+const TREND_FILES: &[&str] = &[
+    "BENCH_throughput.json",
+    "BENCH_vm.json",
+    "BENCH_trace.json",
+    "BENCH_serve.json",
+];
+
+/// One comparable headline metric extracted from a benchmark artifact:
+/// name, value, and whether larger values are better (throughput-like)
+/// or worse (latency/density-like).
+type TrendMetric = (String, f64, bool);
+
+/// Extracts the headline metrics of a benchmark artifact for trend
+/// comparison, dispatching on the `schema` field like [`bench_check`].
+/// Returns an error for unknown schemas (the artifact may still be
+/// valid for `bench check`; it just cannot be trended).
+fn trend_metrics(doc: &dfcm_obs::json::Json) -> Result<Vec<TrendMetric>, String> {
+    let mut metrics: Vec<TrendMetric> = Vec::new();
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("dfcm-bench-throughput/v1") => {
+            for entry in doc.get("results").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+                let (Some(kind), Some(path)) = (
+                    entry.get("kind").and_then(|v| v.as_str()),
+                    entry.get("path").and_then(|v| v.as_str()),
+                ) else {
+                    continue;
+                };
+                if let Some(v) = entry.get("predictions_per_sec").and_then(|v| v.as_f64()) {
+                    metrics.push((format!("{kind}[{path}] predictions_per_sec"), v, true));
+                }
+            }
+            if let Some(v) = doc
+                .get("aggregate")
+                .and_then(|a| a.get("speedup"))
+                .and_then(|v| v.as_f64())
+            {
+                metrics.push(("aggregate.speedup".into(), v, true));
+            }
+        }
+        Some("dfcm-bench-vm/v1") => {
+            for entry in doc.get("kernels").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+                let Some(kernel) = entry.get("kernel").and_then(|v| v.as_str()) else {
+                    continue;
+                };
+                for key in ["fast_ips", "speedup"] {
+                    if let Some(v) = entry.get(key).and_then(|v| v.as_f64()) {
+                        metrics.push((format!("{kernel}.{key}"), v, true));
+                    }
+                }
+            }
+            if let Some(v) = doc
+                .get("aggregate")
+                .and_then(|a| a.get("geomean_speedup"))
+                .and_then(|v| v.as_f64())
+            {
+                metrics.push(("aggregate.geomean_speedup".into(), v, true));
+            }
+        }
+        Some("dfcm-bench-trace/v1") => {
+            for entry in doc.get("suite").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+                let Some(name) = entry.get("name").and_then(|v| v.as_str()) else {
+                    continue;
+                };
+                if let Some(v) = entry.get("v3_bits_record").and_then(|v| v.as_f64()) {
+                    // Density: fewer bits per record is better.
+                    metrics.push((format!("{name}.v3_bits_record"), v, false));
+                }
+            }
+            if let Some(agg) = doc.get("aggregate") {
+                if let Some(v) = agg.get("v3_bits_record").and_then(|v| v.as_f64()) {
+                    metrics.push(("aggregate.v3_bits_record".into(), v, false));
+                }
+                for key in ["v2_stream_pred_s", "v3_stream_pred_s"] {
+                    if let Some(v) = agg.get(key).and_then(|v| v.as_f64()) {
+                        metrics.push((format!("aggregate.{key}"), v, true));
+                    }
+                }
+            }
+        }
+        Some("dfcm-bench-serve/v1") => {
+            if let Some(v) = doc.get("throughput_rps").and_then(|v| v.as_f64()) {
+                metrics.push(("throughput_rps".into(), v, true));
+            }
+            for key in ["p50_us", "p99_us"] {
+                if let Some(v) = doc.get(key).and_then(|v| v.as_f64()) {
+                    // Latency: lower is better.
+                    metrics.push((key.into(), v, false));
+                }
+            }
+        }
+        Some(other) => return Err(format!("unknown schema `{other}`")),
+        None => return Err("missing string field `schema`".into()),
+    }
+    Ok(metrics)
+}
+
+/// `bench trend --baseline <dir> [--current <dir>] [--threshold PCT]
+/// [--report-only]` — the bench-trajectory regression gate: compares
+/// the current benchmark artifacts ([`TREND_FILES`] in `current`)
+/// against a committed baseline directory, metric by metric, and fails
+/// on any headline metric that regressed beyond `threshold_percent`
+/// (slower throughput, higher latency, denser-than-before traces).
+///
+/// Artifacts absent from the baseline are reported and skipped (no
+/// baseline, nothing to gate — `BENCH_serve.json` is CI-only, for
+/// example); an artifact present in the baseline but missing from the
+/// current run is itself a regression. With `report_only`, regressions
+/// are reported but the call still succeeds, for advisory CI steps on
+/// noisy runners.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when no artifact could be compared, when an
+/// artifact is unreadable or schema-less, or (without `report_only`)
+/// when any metric regressed beyond the threshold.
+pub fn bench_trend(
+    current: &Path,
+    baseline: &Path,
+    threshold_percent: f64,
+    report_only: bool,
+) -> Result<String, ToolError> {
+    let mut out = format!(
+        "bench trend: {} vs baseline {} (threshold {threshold_percent}%)\n",
+        current.display(),
+        baseline.display()
+    );
+    let mut compared_files = 0usize;
+    let mut compared_metrics = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for name in TREND_FILES {
+        let base_path = baseline.join(name);
+        let cur_path = current.join(name);
+        match (base_path.is_file(), cur_path.is_file()) {
+            (false, false) => continue,
+            (false, true) => {
+                let _ = writeln!(out, "{name}: no baseline — skipped (baseline candidate)");
+                continue;
+            }
+            (true, false) => {
+                regressions.push(format!(
+                    "{name}: present in the baseline but missing from the current run"
+                ));
+                let _ = writeln!(out, "{name}: MISSING from current run");
+                continue;
+            }
+            (true, true) => {}
+        }
+        let parse = |path: &Path| -> Result<Vec<TrendMetric>, ToolError> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("{}: {e}", path.display())))?;
+            let doc = dfcm_obs::json::parse(&text)
+                .map_err(|e| err(format!("{}: malformed JSON: {e}", path.display())))?;
+            trend_metrics(&doc).map_err(|e| err(format!("{}: {e}", path.display())))
+        };
+        let base_metrics = parse(&base_path)?;
+        let cur_metrics = parse(&cur_path)?;
+        compared_files += 1;
+        let _ = writeln!(out, "{name}:");
+        for (metric, base_value, higher_is_better) in &base_metrics {
+            let Some((_, cur_value, _)) = cur_metrics.iter().find(|(m, _, _)| m == metric) else {
+                regressions.push(format!(
+                    "{name}: metric `{metric}` missing from current run"
+                ));
+                let _ = writeln!(out, "  {metric:<44} MISSING from current run");
+                continue;
+            };
+            if !(base_value.is_finite() && base_value.abs() > f64::EPSILON) {
+                continue;
+            }
+            compared_metrics += 1;
+            let delta_pct = (cur_value - base_value) / base_value * 100.0;
+            let regressed = if *higher_is_better {
+                delta_pct < -threshold_percent
+            } else {
+                delta_pct > threshold_percent
+            };
+            let status = if regressed {
+                regressions.push(format!(
+                    "{name}: `{metric}` {base_value:.3} -> {cur_value:.3} \
+                     ({delta_pct:+.1}%, {} is worse)",
+                    if *higher_is_better { "lower" } else { "higher" }
+                ));
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "  {metric:<44} {base_value:>14.3} -> {cur_value:>14.3}  {delta_pct:+7.1}%  {status}"
+            );
+        }
+    }
+    if compared_files == 0 && regressions.is_empty() {
+        return Err(err(format!(
+            "no benchmark artifacts to compare (looked for {} under {} and {})",
+            TREND_FILES.join(", "),
+            current.display(),
+            baseline.display()
+        )));
+    }
+    let _ = writeln!(
+        out,
+        "{compared_metrics} metric(s) across {compared_files} artifact(s), \
+         {} regression(s) beyond {threshold_percent}%",
+        regressions.len()
+    );
+    if regressions.is_empty() {
+        return Ok(out);
+    }
+    if report_only {
+        let _ = writeln!(out, "report-only: regressions reported, not enforced");
+        return Ok(out);
+    }
+    Err(err(format!(
+        "{out}error: {} benchmark metric(s) regressed beyond {threshold_percent}%:\n  {}",
+        regressions.len(),
+        regressions.join("\n  ")
+    )))
+}
+
 /// Options for the `serve` subcommand.
 #[derive(Debug, Clone)]
 pub struct ServeOpts {
@@ -1476,6 +1899,36 @@ pub fn loadgen(trace_path: &Path, opts: &LoadGenOpts) -> Result<String, ToolErro
         )));
     }
     Ok(out)
+}
+
+/// `scrape <addr>` — fetches a running daemon's metrics as Prometheus
+/// text over the stats frame: rolling-window request-latency quantiles,
+/// live per-spec session counts, and — when the daemon runs
+/// instrumented — its full obs registry. Read-only and safe to call
+/// while the daemon is under load.
+///
+/// # Errors
+///
+/// Returns [`ToolError`] when the address does not resolve or the
+/// daemon cannot be reached.
+pub fn scrape(addr: &str) -> Result<String, ToolError> {
+    let addr: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| err(format!("{addr}: {e}")))?
+        .next()
+        .ok_or_else(|| err(format!("{addr}: no usable address")))?;
+    // Session 0 is never driven by clients, and the stats frame touches
+    // no session state anyway.
+    let mut client = dfcm_serve::ServeClient::new(
+        addr,
+        0,
+        dfcm_sim::engine::RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(500),
+        },
+    );
+    client.stats().map_err(|e| err(format!("{addr}: {e}")))
 }
 
 /// `disasm <kernel>` — assembly listing of a bundled kernel (assembled and
@@ -2038,6 +2491,161 @@ mod tests {
         handle.shutdown();
         join.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_report_renders_and_reconciles() {
+        let dir = std::env::temp_dir().join("dfcm_tools_obs_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("li.trc");
+        generate("li", 3000, &path, 5).unwrap();
+        let specs: Vec<String> = ["dfcm:8:10", "lvp:8"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let engine = EngineConfig {
+            obs: dfcm_obs::Obs::enabled(),
+            ..EngineConfig::default()
+        };
+        let (_, report) = eval(&path, &specs, &engine).unwrap();
+        assert!(report.all_ok());
+        let obs_dir = dir.join("obs");
+        engine.obs.write_exports(&obs_dir).unwrap();
+
+        let out = obs_report(&obs_dir, true).unwrap();
+        assert!(out.contains("dfcm:8:10"), "{out}");
+        assert!(out.contains("lvp:8"), "{out}");
+        assert!(out.contains("accuracy"), "{out}");
+        assert!(out.contains("hard-to-predict"), "{out}");
+        assert!(
+            out.contains("reconcile with the aggregate exports"),
+            "{out}"
+        );
+
+        // --check catches a tampered series: bump one window's correct
+        // count so accuracy and the footer stop reconciling.
+        let series_path = obs_dir.join(dfcm_obs::timeseries::SERIES_FILE);
+        let text = std::fs::read_to_string(&series_path).unwrap();
+        let tampered = text.replacen(r#""correct":"#, r#""correct":1"#, 2);
+        assert_ne!(text, tampered);
+        std::fs::write(&series_path, tampered).unwrap();
+        assert!(obs_report(&obs_dir, true).is_err());
+        // Without --check the report still renders.
+        assert!(obs_report(&obs_dir, false).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_report_missing_series_is_a_clear_error() {
+        let dir = std::env::temp_dir().join("dfcm_tools_obs_report_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let msg = obs_report(&dir, false).unwrap_err().to_string();
+        assert!(msg.contains("series.jsonl"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn trend_dirs(tag: &str) -> (PathBuf, PathBuf) {
+        let root = std::env::temp_dir().join(format!("dfcm_tools_trend_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let current = root.join("current");
+        let baseline = root.join("baseline");
+        std::fs::create_dir_all(&current).unwrap();
+        std::fs::create_dir_all(&baseline).unwrap();
+        (current, baseline)
+    }
+
+    #[test]
+    fn bench_trend_passes_on_identical_artifacts() {
+        let (current, baseline) = trend_dirs("identical");
+        for dir in [&current, &baseline] {
+            std::fs::write(dir.join("BENCH_throughput.json"), bench_doc(4.0)).unwrap();
+            std::fs::write(dir.join("BENCH_vm.json"), vm_bench_doc()).unwrap();
+            std::fs::write(dir.join("BENCH_trace.json"), trace_bench_doc()).unwrap();
+            std::fs::write(dir.join("BENCH_serve.json"), serve_bench_doc()).unwrap();
+        }
+        let out = bench_trend(&current, &baseline, 10.0, false).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        assert!(out.contains("4 artifact(s)"), "{out}");
+        let _ = std::fs::remove_dir_all(current.parent().unwrap());
+    }
+
+    #[test]
+    fn bench_trend_flags_injected_regressions_in_both_directions() {
+        let (current, baseline) = trend_dirs("regressed");
+        std::fs::write(baseline.join("BENCH_throughput.json"), bench_doc(4.0)).unwrap();
+        // Throughput (higher-is-better) drops 40%.
+        std::fs::write(
+            current.join("BENCH_throughput.json"),
+            bench_doc(4.0).replace(
+                r#""predictions_per_sec":200000.0"#,
+                r#""predictions_per_sec":120000.0"#,
+            ),
+        )
+        .unwrap();
+        // Trace density (lower-is-better) grows past the threshold.
+        std::fs::write(baseline.join("BENCH_trace.json"), trace_bench_doc()).unwrap();
+        std::fs::write(
+            current.join("BENCH_trace.json"),
+            trace_bench_doc().replace(r#""v3_bits_record":11.0"#, r#""v3_bits_record":13.0"#),
+        )
+        .unwrap();
+
+        let msg = bench_trend(&current, &baseline, 10.0, false)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("predictions_per_sec"), "{msg}");
+        assert!(msg.contains("aggregate.v3_bits_record"), "{msg}");
+        assert!(msg.contains("REGRESSED"), "{msg}");
+
+        // Report-only mode reports the same regressions but succeeds.
+        let out = bench_trend(&current, &baseline, 10.0, true).unwrap();
+        assert!(out.contains("REGRESSED"), "{out}");
+        assert!(out.contains("report-only"), "{out}");
+
+        // A generous threshold absorbs the drift.
+        assert!(bench_trend(&current, &baseline, 60.0, false).is_ok());
+        let _ = std::fs::remove_dir_all(current.parent().unwrap());
+    }
+
+    #[test]
+    fn bench_trend_tolerates_missing_baselines_but_not_missing_currents() {
+        let (current, baseline) = trend_dirs("missing");
+        // Serve artifact exists only in the current run: skipped, not a
+        // failure (BENCH_serve.json is CI-only at the repo root).
+        std::fs::write(current.join("BENCH_throughput.json"), bench_doc(4.0)).unwrap();
+        std::fs::write(baseline.join("BENCH_throughput.json"), bench_doc(4.0)).unwrap();
+        std::fs::write(current.join("BENCH_serve.json"), serve_bench_doc()).unwrap();
+        let out = bench_trend(&current, &baseline, 10.0, false).unwrap();
+        assert!(out.contains("no baseline"), "{out}");
+
+        // An artifact that vanished from the current run is a regression.
+        std::fs::write(baseline.join("BENCH_vm.json"), vm_bench_doc()).unwrap();
+        let msg = bench_trend(&current, &baseline, 10.0, false)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("missing from the current run"), "{msg}");
+        assert!(bench_trend(&current, &baseline, 10.0, true).is_ok());
+
+        // Nothing to compare at all is an error, not a silent pass.
+        let (empty_cur, empty_base) = trend_dirs("empty");
+        assert!(bench_trend(&empty_cur, &empty_base, 10.0, false).is_err());
+        let _ = std::fs::remove_dir_all(current.parent().unwrap());
+        let _ = std::fs::remove_dir_all(empty_cur.parent().unwrap());
+    }
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let server =
+            dfcm_serve::Server::bind("127.0.0.1:0", dfcm_serve::ServeConfig::new("lvp:4")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        let text = scrape(&addr.to_string()).unwrap();
+        assert!(text.contains("serve_recent_window"), "{text}");
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

@@ -41,11 +41,24 @@ usage:
              (table-usage report for an --obs export directory; --check
               validates all three export files and exits nonzero on any
               malformed or inconsistent export)
+  dfcm-tools obs report <dir> [--check]
+             (windowed phase report from the directory's series.jsonl:
+              per-lane accuracy/miss sparklines, alias-class miss mix and
+              the top-K hard-to-predict PC table; --check validates the
+              series stream and cross-reconciles it against the aggregate
+              metrics, exiting nonzero on any disagreement)
   dfcm-tools bench check <BENCH_file.json>
              (validates a benchmark artifact against its declared schema —
               dfcm-bench-throughput/v1, dfcm-bench-serve/v1,
               dfcm-bench-vm/v1 or dfcm-bench-trace/v1; exits nonzero on
               any violation)
+  dfcm-tools bench trend --baseline <dir> [--current <dir>]
+             [--threshold PCT] [--report-only]
+             (compares the current BENCH_*.json artifacts — current
+              defaults to `.` — against a committed baseline directory
+              and exits nonzero on any headline metric regressed beyond
+              the threshold, default 10%; --report-only reports without
+              failing, for advisory gates on noisy runners)
   dfcm-tools serve <addr> <predictor> [--snapshot FILE] [--max-sessions N]
              [--workers N] [--queue N] [--deadline-ms N] [--idle-ms N]
              (runs the prediction daemon until SIGTERM/SIGINT, then drains
@@ -64,6 +77,11 @@ usage:
               requests only under --strict; --bench-out writes the
               dfcm-bench-serve/v1 artifact for `bench check`, --hist-out
               the latency histogram as JSONL)
+  dfcm-tools scrape <addr>
+             (fetches a running daemon's metrics as Prometheus text:
+              rolling-window latency quantiles, live per-spec session
+              counts and, on instrumented daemons, the full obs registry;
+              read-only, safe under load)
   dfcm-tools disasm <kernel>
   dfcm-tools profile <kernel> [max_steps]
   dfcm-tools vm profile <kernel> [max_steps]
@@ -225,6 +243,12 @@ fn run() -> Result<String, String> {
             [sub, dir, flag] if sub == "summarize" && flag == "--check" => {
                 dfcm_tools::obs_summarize(&PathBuf::from(dir), true).map_err(|e| e.to_string())
             }
+            [sub, dir] if sub == "report" => {
+                dfcm_tools::obs_report(&PathBuf::from(dir), false).map_err(|e| e.to_string())
+            }
+            [sub, dir, flag] if sub == "report" && flag == "--check" => {
+                dfcm_tools::obs_report(&PathBuf::from(dir), true).map_err(|e| e.to_string())
+            }
             _ => Err(USAGE.to_owned()),
         },
         "trace" => match rest {
@@ -250,9 +274,48 @@ fn run() -> Result<String, String> {
             }
             _ => Err(USAGE.to_owned()),
         },
-        "bench" => match rest {
-            [sub, path] if sub == "check" => {
+        "bench" => match rest.split_first() {
+            Some((sub, [path])) if sub == "check" => {
                 dfcm_tools::bench_check(&PathBuf::from(path)).map_err(|e| e.to_string())
+            }
+            Some((sub, args)) if sub == "trend" => {
+                let mut rest = args.to_vec();
+                let mut take_value = |flag: &str| -> Result<Option<String>, String> {
+                    match rest.iter().position(|a| a == flag) {
+                        Some(pos) => {
+                            let value = rest
+                                .get(pos + 1)
+                                .cloned()
+                                .ok_or_else(|| format!("{flag} needs a value"))?;
+                            rest.drain(pos..=pos + 1);
+                            Ok(Some(value))
+                        }
+                        None => Ok(None),
+                    }
+                };
+                let baseline = take_value("--baseline")?.ok_or("bench trend needs --baseline")?;
+                let current = take_value("--current")?.unwrap_or_else(|| ".".to_owned());
+                let threshold = take_value("--threshold")?
+                    .map(|s| s.parse::<f64>().map_err(|_| "bad --threshold".to_owned()))
+                    .transpose()?
+                    .unwrap_or(10.0);
+                let report_only = if let Some(pos) = rest.iter().position(|a| a == "--report-only")
+                {
+                    rest.remove(pos);
+                    true
+                } else {
+                    false
+                };
+                if !rest.is_empty() {
+                    return Err(USAGE.to_owned());
+                }
+                dfcm_tools::bench_trend(
+                    &PathBuf::from(current),
+                    &PathBuf::from(baseline),
+                    threshold,
+                    report_only,
+                )
+                .map_err(|e| e.to_string())
             }
             _ => Err(USAGE.to_owned()),
         },
@@ -344,6 +407,12 @@ fn run() -> Result<String, String> {
             opts.bench_out = bench_out.map(PathBuf::from);
             opts.hist_out = hist_out.map(PathBuf::from);
             dfcm_tools::loadgen(&PathBuf::from(trace), &opts).map_err(|e| e.to_string())
+        }
+        "scrape" => {
+            let [addr] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            dfcm_tools::scrape(addr).map_err(|e| e.to_string())
         }
         "disasm" => {
             let [kernel] = rest else {
